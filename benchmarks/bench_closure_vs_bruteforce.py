@@ -1,0 +1,62 @@
+"""D2 — the closure engine vs exhaustive rule application.
+
+Both decide the same implication problem (the property tests assert
+equality of their closures); the engine saturates only the queries it
+needs while the prover saturates the full exponential NFD space.
+
+Expected shape: the engine is orders of magnitude faster and the gap
+widens with the number of paths.
+"""
+
+import pytest
+
+from repro.generators import workloads
+from repro.inference import BruteForceProver, ClosureEngine
+from repro.nfd import NFD
+from repro.types import parse_schema
+from repro.nfd import parse_nfds
+
+CASES = {
+    "section-3.1 (6 paths)": (
+        workloads.section_3_1_schema, workloads.section_3_1_sigma,
+        "R:A:[B -> E]",
+    ),
+    "flat-5 (5 paths)": (
+        lambda: parse_schema("R = {<A, B, C, D, E>}"),
+        lambda: parse_nfds("R:[A -> B]\nR:[B -> C]\nR:[C, D -> E]"),
+        "R:[A, D -> E]",
+    ),
+    "nested-7 (7 paths)": (
+        lambda: parse_schema("R = {<A: {<B, C>}, D: {<E, F>}, G>}"),
+        lambda: parse_nfds(
+            "R:[G -> A:B]\nR:[G -> A:C]\nR:[A:B -> D:E]\nR:[D:E -> G]"),
+        "R:[A:B -> A]",
+    ),
+}
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_closure_engine(benchmark, case):
+    make_schema, make_sigma, target_text = CASES[case]
+    schema, sigma = make_schema(), make_sigma()
+    target = NFD.parse(target_text)
+    benchmark.group = f"implication {case}"
+
+    def decide():
+        return ClosureEngine(schema, sigma).implies(target)
+
+    verdict = benchmark(decide)
+    assert verdict is BruteForceProver(schema, sigma).implies(target)
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_brute_force(benchmark, case):
+    make_schema, make_sigma, target_text = CASES[case]
+    schema, sigma = make_schema(), make_sigma()
+    target = NFD.parse(target_text)
+    benchmark.group = f"implication {case}"
+
+    def decide():
+        return BruteForceProver(schema, sigma).implies(target)
+
+    benchmark(decide)

@@ -1,0 +1,71 @@
+"""E9 — Example A.2: the counterexample construction, deep nesting.
+
+Same protocol as E8 for the deep schema
+``R = {<A: {<B: {<C, D, E: {<F, G>}>}>}, H>}`` and the query
+``(R, {A:B:C}, Sigma)*``.
+"""
+
+from repro.generators import workloads
+from repro.inference import ClosureEngine, build_countermodel
+from repro.io import render_relation
+from repro.nfd import NFD, satisfies_all_fast, satisfies_fast
+from repro.paths import parse_path, relation_paths
+
+PAPER_CLOSURE = {"A:B:C", "A:B", "A:B:D", "A:B:E:F"}
+
+
+def test_a2_closure(benchmark, report):
+    schema = workloads.example_a2_schema()
+    sigma = workloads.example_a2_sigma()
+
+    def compute():
+        engine = ClosureEngine(schema, sigma)
+        return engine.closure(parse_path("R"), {parse_path("A:B:C")})
+
+    closed = benchmark(compute)
+    report("Example A.2 closure",
+           f"(R, {{A:B:C}}, Sigma)* = {sorted(map(str, closed))}\n"
+           f"paper:                  {sorted(PAPER_CLOSURE)}")
+    assert {str(p) for p in closed} == PAPER_CLOSURE
+
+
+def test_a2_construction(benchmark, report):
+    schema = workloads.example_a2_schema()
+    sigma = workloads.example_a2_sigma()
+    engine = ClosureEngine(schema, sigma)
+
+    instance = benchmark(lambda: build_countermodel(
+        engine, parse_path("R"), {parse_path("A:B:C")}))
+
+    report("Example A.2 constructed instance",
+           render_relation(instance.relation("R")))
+
+    rows = list(instance.relation("R"))
+    assert len(rows) == 2
+    # H is not in the closure: fresh per tuple (11 / 12 in the paper).
+    assert rows[0].get("H") != rows[1].get("H")
+    # A:B is in the closure: within each tuple the two A-elements exist
+    # and the B value is shared across tuples wherever C agrees -
+    # verified semantically below; here check the two-element A sets.
+    assert all(len(row.get("A")) == 2 for row in rows)
+
+
+def test_a2_lemma(benchmark):
+    schema = workloads.example_a2_schema()
+    sigma = workloads.example_a2_sigma()
+    engine = ClosureEngine(schema, sigma)
+    instance = build_countermodel(engine, parse_path("R"),
+                                  {parse_path("A:B:C")})
+    closed = engine.closure(parse_path("R"), {parse_path("A:B:C")})
+    all_paths = relation_paths(schema, "R")
+
+    def verify():
+        if not satisfies_all_fast(instance, sigma):
+            return False
+        for q in all_paths:
+            nfd = NFD(parse_path("R"), {parse_path("A:B:C")}, q)
+            if satisfies_fast(instance, nfd) != (q in closed):
+                return False
+        return True
+
+    assert benchmark(verify) is True

@@ -1,0 +1,80 @@
+"""E6 — Example 3.1: locality vs full-locality.
+
+The paper: from ``f1 = R:[A:B:C, A:D -> A:B:E]``, plain locality yields
+``R:[A, A:B:C, A:D -> A:B:E]`` but not ``R:[A:B, A:B:C -> A:B:E]``; the
+latter needs full-locality.  This bench reproduces both derivations,
+asserts the boundary, and benchmarks the rule applications.
+"""
+
+import pytest
+
+from repro.errors import RuleApplicationError
+from repro.generators import workloads
+from repro.inference import ClosureEngine, full_locality, rules
+from repro.nfd import NFD, parse_nfd
+from repro.paths import parse_path
+
+
+def test_locality_route(benchmark, report):
+    """What plain locality (+ push-in) reaches."""
+    f1 = workloads.example_3_1_nfd()
+
+    def derive():
+        local = rules.locality(f1)          # R:A:[B:C, D -> B:E]
+        return rules.push_in(local)         # R:[A, A:B:C, A:D -> A:B:E]
+
+    concluded = benchmark(derive)
+    report("Example 3.1 via locality",
+           f"{f1}\n  => {concluded}")
+    assert concluded == parse_nfd("R:[A, A:B:C, A:D -> A:B:E]")
+
+
+def test_full_locality_route(benchmark, report):
+    """What full-locality reaches that locality cannot."""
+    f1 = workloads.example_3_1_nfd()
+    target_prefix = parse_path("A:B")
+
+    concluded = benchmark(lambda: full_locality(f1, target_prefix))
+    report("Example 3.1 via full-locality",
+           f"{f1}\n  => {concluded}")
+    assert concluded == parse_nfd("R:[A:B, A:B:C -> A:B:E]")
+
+
+def test_the_boundary(benchmark):
+    """Plain locality cannot drop the deep path A:D when localizing the
+    inner B level: the pattern match fails."""
+    f1 = workloads.example_3_1_nfd()
+    # After localizing at A we hold R:A:[B:C, D -> B:E]; localizing that
+    # at B succeeds because D is a single label...
+    inner = rules.locality(rules.locality(f1))
+    assert inner == parse_nfd("R:A:B:[C -> E]")
+    # ...but a *deep* sibling blocks it:
+    blocked = parse_nfd("R:A:[B:C, Q:Z -> B:E]")
+    with pytest.raises(RuleApplicationError):
+        rules.locality(blocked)
+
+    def attempt():
+        try:
+            rules.locality(blocked)
+        except RuleApplicationError:
+            return False
+        return True
+
+    assert benchmark(attempt) is False
+
+
+def test_engine_has_full_locality_power(benchmark, report):
+    """The closure engine derives the full-locality consequence (it must
+    — the consequence is semantically implied; see DESIGN.md 3.2)."""
+    schema = workloads.example_3_1_schema()
+    f1 = workloads.example_3_1_nfd()
+    target = NFD.parse("R:[A:B, A:B:C -> A:B:E]")
+
+    def decide():
+        return ClosureEngine(schema, [f1]).implies(target)
+
+    verdict = benchmark(decide)
+    report("engine check",
+           f"f1 |- {target} ?  paper (full-locality): True   "
+           f"measured: {verdict}")
+    assert verdict is True

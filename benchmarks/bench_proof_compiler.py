@@ -1,0 +1,45 @@
+"""D7 (ours) — proof-certificate generation cost.
+
+Deciding implication is fast; compiling a machine-checked certificate
+re-runs every rule application.  This bench measures the overhead of a
+certifying answer over a bare boolean, for the paper's Section 3.1
+claim and for the introduction's Course inference.
+"""
+
+from repro.generators import workloads
+from repro.inference import ClosureEngine, compile_proof
+from repro.nfd import NFD
+
+
+def test_bare_decision(benchmark):
+    engine = ClosureEngine(workloads.section_3_1_schema(),
+                           workloads.section_3_1_sigma())
+    target = NFD.parse("R:A:[B -> E]")
+    engine.implies(target)  # warm the saturation
+    benchmark.group = "certify section 3.1"
+    assert benchmark(lambda: engine.implies(target)) is True
+
+
+def test_certified_decision(benchmark, report):
+    engine = ClosureEngine(workloads.section_3_1_schema(),
+                           workloads.section_3_1_sigma())
+    target = NFD.parse("R:A:[B -> E]")
+    engine.implies(target)
+    benchmark.group = "certify section 3.1"
+
+    proof = benchmark(lambda: compile_proof(engine, target))
+    report("compiled certificate (Section 3.1)",
+           f"{len(proof)} machine-checked steps; "
+           f"conclusion {proof.conclusion()}")
+    assert proof.conclusion() == target
+
+
+def test_certified_course_inference(benchmark):
+    engine = ClosureEngine(workloads.course_schema(),
+                           workloads.course_sigma())
+    target = NFD.parse("Course:[students:sid, time -> books]")
+    engine.implies(target)
+    benchmark.group = "certify course"
+
+    proof = benchmark(lambda: compile_proof(engine, target))
+    assert proof.conclusion() == target

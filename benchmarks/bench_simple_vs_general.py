@@ -1,0 +1,68 @@
+"""D3 — the 8-rule general system vs the 6-rule simple system.
+
+The engine accepts NFDs in either form: arbitrary base paths (the
+paper's preferred, more intuitive syntax) or canonical simple form
+(Section 3.2).  Both must decide identically — push-in/pull-out are
+lossless — and the bench measures the normalization overhead, which
+should be negligible.
+"""
+
+import pytest
+
+from repro.generators import workloads
+from repro.inference import ClosureEngine, to_simple_system
+from repro.nfd import NFD, to_simple
+
+QUERIES = [
+    "R:A:[B -> E]",
+    "R:A:[E:F, E:G -> E]",
+    "R:[A, A:E -> A:E:F]",
+    "R:A:[E -> B]",          # not implied
+    "R:[D -> A]",            # not implied
+]
+
+
+def test_general_form(benchmark, report):
+    schema = workloads.section_3_1_schema()
+    sigma = workloads.section_3_1_sigma()
+    targets = [NFD.parse(text) for text in QUERIES]
+    benchmark.group = "simple-vs-general"
+
+    def decide_all():
+        engine = ClosureEngine(schema, sigma)
+        return [engine.implies(t) for t in targets]
+
+    verdicts = benchmark(decide_all)
+    report("general (8-rule) verdicts",
+           "\n".join(f"  {q}: {v}" for q, v in zip(QUERIES, verdicts)))
+    assert verdicts == [True, True, True, False, False]
+
+
+def test_simple_form(benchmark, report):
+    schema = workloads.section_3_1_schema()
+    sigma = to_simple_system(workloads.section_3_1_sigma())
+    targets = [to_simple(NFD.parse(text)) for text in QUERIES]
+    benchmark.group = "simple-vs-general"
+
+    def decide_all():
+        engine = ClosureEngine(schema, sigma)
+        return [engine.implies(t) for t in targets]
+
+    verdicts = benchmark(decide_all)
+    report("simple (6-rule) verdicts",
+           "\n".join(f"  {q}: {v}" for q, v in zip(QUERIES, verdicts)))
+    assert verdicts == [True, True, True, False, False]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_forms_agree(benchmark, query):
+    """Per-query agreement, benchmarking the normalization itself."""
+    schema = workloads.section_3_1_schema()
+    sigma = workloads.section_3_1_sigma()
+    engine_general = ClosureEngine(schema, sigma)
+    engine_simple = ClosureEngine(schema, to_simple_system(sigma))
+    target = NFD.parse(query)
+
+    normalized = benchmark(lambda: to_simple(target))
+    assert engine_general.implies(target) == \
+        engine_simple.implies(normalized)

@@ -1,0 +1,30 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_*.py`` file regenerates one artifact of the paper (see the
+experiment index in DESIGN.md): it prints the same rows/series the paper
+shows, asserts the paper's claim about them, and times the operation
+that produces them with pytest-benchmark.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the regenerated tables inline; EXPERIMENTS.md records
+the checked outputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report():
+    """Print a titled block that survives ``-s`` runs."""
+
+    def _report(title: str, body: str) -> None:
+        print()
+        print(f"=== {title} ===")
+        print(body)
+
+    return _report

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Course example, end to end.
+
+Declares the nested Course schema, the five constraints from the
+introduction, checks an instance against them, and answers the
+introduction's motivating inference question: *given a student id and a
+time, is there a unique set of books used by that student at that time?*
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClosureEngine, Instance, NFD, parse_nfds, parse_schema
+from repro.io import render_relation
+from repro.nfd import find_violation, satisfies_all
+
+# ---------------------------------------------------------------------------
+# 1. Declare the nested schema in the paper's syntax.
+# ---------------------------------------------------------------------------
+schema = parse_schema("""
+    Course = {<cnum: string, time: int,
+               students: {<sid: int, age: int, grade: string>},
+               books: {<isbn: int, title: string>}>}
+""")
+
+# ---------------------------------------------------------------------------
+# 2. Declare the five constraints of the introduction as NFDs.
+# ---------------------------------------------------------------------------
+sigma = parse_nfds("""
+    # 1. cnum is a key
+    Course:[cnum -> time]
+    Course:[cnum -> students]
+    Course:[cnum -> books]
+    # 2. isbn determines title, consistently across the whole database
+    Course:[books:isbn -> books:title]
+    # 3. within one course, each student has a single grade
+    Course:students:[sid -> grade]
+    # 4. sid determines age, consistently across the whole database
+    Course:[students:sid -> students:age]
+    # 5. a student cannot take two courses at the same time
+    Course:[time, students:sid -> cnum]
+""")
+
+# ---------------------------------------------------------------------------
+# 3. Build an instance from plain Python data and check it.
+# ---------------------------------------------------------------------------
+instance = Instance(schema, {"Course": [
+    {"cnum": "cis550", "time": 10,
+     "students": [{"sid": 1001, "age": 27, "grade": "A"},
+                  {"sid": 2002, "age": 26, "grade": "B"}],
+     "books": [{"isbn": 101, "title": "Foundations of Databases"}]},
+    {"cnum": "cis500", "time": 12,
+     "students": [{"sid": 1001, "age": 27, "grade": "A"}],
+     "books": [{"isbn": 102, "title": "Principles of DB Systems"}]},
+]})
+
+print(render_relation(instance.relation("Course"), title="Course:"))
+print()
+print("Instance satisfies all five constraints:",
+      satisfies_all(instance, sigma))
+
+# A violating update: the same student at the same time in two courses.
+broken = instance.with_relation("Course", [
+    {"cnum": "cis550", "time": 10,
+     "students": [{"sid": 1001, "age": 27, "grade": "A"}],
+     "books": [{"isbn": 101, "title": "Foundations of Databases"}]},
+    {"cnum": "cis500", "time": 10,
+     "students": [{"sid": 1001, "age": 27, "grade": "B"}],
+     "books": [{"isbn": 102, "title": "Principles of DB Systems"}]},
+])
+violation = find_violation(
+    broken, NFD.parse("Course:[time, students:sid -> cnum]"))
+print()
+print("After the bad update:")
+print(violation.describe())
+
+# ---------------------------------------------------------------------------
+# 4. Logical implication: the introduction's inference, machine-checked.
+# ---------------------------------------------------------------------------
+engine = ClosureEngine(schema, sigma)
+question = NFD.parse("Course:[students:sid, time -> books]")
+print()
+print(f"Does Sigma imply {question}?", engine.implies(question))
+assert engine.implies(question)
+
+# ... and a question with a negative answer, plus the separating instance.
+from repro import find_countermodel  # noqa: E402
+
+non_question = NFD.parse("Course:[students:sid -> books]")
+witness = find_countermodel(engine, non_question)
+print(f"Does Sigma imply {non_question}?", witness is None)
+print()
+print("A separating instance (satisfies Sigma, violates the candidate):")
+print(render_relation(witness.relation("Course"), title="Course:"))

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""University registrar: constraint maintenance on a nested database.
+
+A registrar maintains the university's nested Courses database (the
+Section 2.1 example extended).  This script shows the daily workflow a
+downstream user would build on the library:
+
+1. key discovery — which attribute sets identify a school / a course;
+2. checking a batch of updates, with human-readable violation witnesses;
+3. the equal-or-disjoint consequence: schools cannot share course
+   numbers, so a cross-listing attempt is rejected;
+4. a minimal cover of the constraint set for efficient re-checking.
+
+Run:  python examples/university_registrar.py
+"""
+
+from repro import ClosureEngine, Instance, NFD, parse_nfds, parse_schema
+from repro.analysis import (
+    check_disjoint_or_equal,
+    implied_disjoint_or_equal,
+    local_minimal_keys,
+    minimal_cover,
+    minimal_keys,
+)
+from repro.io import render_relation
+from repro.nfd import find_violations, satisfies_all
+from repro.paths import parse_path
+
+schema = parse_schema("""
+    Courses = {<school: string,
+                dean: string,
+                scourses: {<cnum: string, time: int,
+                            credits: int>}>}
+""")
+
+sigma = parse_nfds("""
+    # school is the key
+    Courses:[school -> dean]
+    Courses:[school -> scourses]
+    # a course number determines its school (no cross-listing)
+    Courses:[scourses:cnum -> school]
+    # within a school, a course number determines time and credits
+    Courses:scourses:[cnum -> time]
+    Courses:scourses:[cnum -> credits]
+    # course numbers determine credits across the whole university
+    Courses:[scourses:cnum -> scourses:credits]
+""")
+
+engine = ClosureEngine(schema, sigma)
+
+# ---------------------------------------------------------------------------
+# 1. Key discovery.
+# ---------------------------------------------------------------------------
+print("Minimal keys of Courses:",
+      [sorted(map(str, key)) for key in
+       minimal_keys(schema, sigma, "Courses")])
+print("Minimal local keys of scourses:",
+      [sorted(map(str, key)) for key in
+       local_minimal_keys(schema, sigma,
+                          parse_path("Courses:scourses"))])
+
+# The no-cross-listing constraint has the equal-or-disjoint shape.
+print("scourses sets are pairwise equal-or-disjoint:",
+      implied_disjoint_or_equal(engine, parse_path("Courses"),
+                                parse_path("scourses")))
+
+# ---------------------------------------------------------------------------
+# 2. A batch update, checked with witnesses.
+# ---------------------------------------------------------------------------
+good = Instance(schema, {"Courses": [
+    {"school": "engineering", "dean": "dr. eng",
+     "scourses": [{"cnum": "cis550", "time": 10, "credits": 3},
+                  {"cnum": "cis500", "time": 12, "credits": 3}]},
+    {"school": "arts", "dean": "dr. art",
+     "scourses": [{"cnum": "phil100", "time": 10, "credits": 4}]},
+]})
+print()
+print(render_relation(good.relation("Courses"), title="Courses:"))
+print()
+print("Current database is consistent:", satisfies_all(good, sigma))
+assert check_disjoint_or_equal(good, parse_path("Courses"),
+                               parse_path("scourses"))
+
+# The arts school tries to cross-list cis550 — rejected with a witness.
+bad = good.with_relation("Courses", [
+    {"school": "engineering", "dean": "dr. eng",
+     "scourses": [{"cnum": "cis550", "time": 10, "credits": 3}]},
+    {"school": "arts", "dean": "dr. art",
+     "scourses": [{"cnum": "cis550", "time": 14, "credits": 3}]},
+])
+print()
+print("Attempted cross-listing of cis550:")
+for nfd in sigma:
+    for violation in find_violations(bad, nfd):
+        print(violation.describe())
+        print()
+
+# ---------------------------------------------------------------------------
+# 3. What follows from the constraints?  A registrar's questions.
+# ---------------------------------------------------------------------------
+questions = [
+    # a course number pins down the dean (via school):
+    "Courses:[scourses:cnum -> dean]",
+    # a course number pins down its time, university-wide:
+    "Courses:[scourses:cnum -> scourses:time]",
+    # ... but a time slot does not pin down a course:
+    "Courses:[scourses:time -> scourses:cnum]",
+]
+print()
+for text in questions:
+    print(f"implied? {text}: {engine.implies(NFD.parse(text))}")
+
+# ---------------------------------------------------------------------------
+# 4. Minimal cover for the nightly re-check job.
+# ---------------------------------------------------------------------------
+cover = minimal_cover(schema, sigma)
+print()
+print(f"Minimal cover ({len(cover)} of {len(sigma)} constraints):")
+for nfd in cover:
+    print("  ", nfd)

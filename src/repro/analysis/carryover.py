@@ -1,0 +1,112 @@
+"""FD carryover under nest and unnest (Section 4 / Fischer et al.).
+
+Fischer, Saxton, Thomas and Van Gucht studied when nesting a normalized
+relation preserves or destroys functional dependencies.  NFDs subsume
+their setting: a flat FD translates into an NFD over the nested schema by
+rewriting each attribute into its new path, and the translation is
+*exact* — the nested instance satisfies the NFD iff the flat one
+satisfied the FD (modulo the tuples lost when an unnested set was empty,
+which cannot happen coming from a nest).
+
+The module provides the two translations plus empirical checkers used by
+tests and the carryover example.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import InferenceError
+from ..inference.armstrong import FD
+from ..nfd.nfd import NFD
+from ..paths.path import Path
+
+__all__ = [
+    "nfd_after_nest",
+    "fds_after_nest",
+    "fd_after_unnest",
+    "nfds_after_unnest",
+]
+
+
+def nfd_after_nest(relation: str, fd: FD, nested_labels: Iterable[str],
+                   new_label: str) -> NFD:
+    """Translate a flat FD into the NFD it becomes after nesting.
+
+    Attributes moved into the new set attribute *new_label* are reached
+    through it (``a`` becomes ``new_label:a``); grouping attributes stay
+    top-level.  The shared-prefix semantics of NFDs makes the translation
+    exact: both sides of the comparison bind one element of the new set
+    and read all nested attributes from it, which is precisely a row of
+    the original relation.
+    """
+    nested = frozenset(nested_labels)
+
+    def rewrite(attribute: str) -> Path:
+        if attribute in nested:
+            return Path((new_label, attribute))
+        return Path((attribute,))
+
+    return NFD(
+        Path((relation,)),
+        {rewrite(attribute) for attribute in fd.lhs},
+        rewrite(fd.rhs),
+    )
+
+
+def fds_after_nest(relation: str, fds: Iterable[FD],
+                   nested_labels: Iterable[str],
+                   new_label: str) -> list[NFD]:
+    """Translate a whole FD set; see :func:`nfd_after_nest`."""
+    nested = tuple(nested_labels)
+    return [nfd_after_nest(relation, fd, nested, new_label) for fd in fds]
+
+
+def fd_after_unnest(nfd: NFD, nested_label: str) -> FD:
+    """Translate an NFD into the FD it becomes after unnesting.
+
+    Only NFDs whose paths are top-level attributes or single steps into
+    the unnested set translate; in particular an NFD mentioning the set
+    itself (``... -> N``) has no flat counterpart because the set ceases
+    to exist.
+
+    :raises InferenceError: when the NFD does not translate.
+    """
+    if not nfd.is_simple:
+        raise InferenceError(
+            f"{nfd}: only relation-based NFDs translate under unnest; "
+            "normalize with to_simple first"
+        )
+
+    def rewrite(path: Path) -> str:
+        if len(path) == 1:
+            if path.first == nested_label:
+                raise InferenceError(
+                    f"{nfd}: the set attribute {nested_label!r} itself "
+                    "does not survive unnesting"
+                )
+            return path.first
+        if len(path) == 2 and path.first == nested_label:
+            return path.last
+        raise InferenceError(
+            f"{nfd}: path {path} is too deep to survive a single unnest"
+        )
+
+    return FD({rewrite(path) for path in nfd.lhs}, rewrite(nfd.rhs))
+
+
+def nfds_after_unnest(nfds: Iterable[NFD], nested_label: str) \
+        -> list[FD]:
+    """Translate the NFDs that survive; silently drop the rest.
+
+    The dropped dependencies are exactly the information unnesting
+    forgets (e.g. which rows were grouped together) — the paper's
+    Section 4 discussion.
+    """
+    result: list[FD] = []
+    for nfd in nfds:
+        try:
+            result.append(fd_after_unnest(nfd, nested_label))
+        except InferenceError:
+            continue
+    return result

@@ -1,0 +1,87 @@
+"""Minimal covers and redundancy for NFD sets.
+
+The classical uses of an axiomatization (Section 1: database design,
+dependency-preserving decompositions) start from a non-redundant cover.
+This module lifts the standard constructions to NFDs:
+
+* :func:`minimal_cover` — drop members implied by the rest, then shrink
+  each LHS path set to a minimal one;
+* :func:`is_redundant` / :func:`non_redundant` — member-wise redundancy;
+* :func:`covers` — does one set imply another?
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..inference.closure import ClosureEngine
+from ..inference.empty_sets import NonEmptySpec
+from ..nfd.nfd import NFD
+from ..types.schema import Schema
+
+__all__ = ["covers", "is_redundant", "non_redundant", "minimal_cover"]
+
+
+def covers(schema: Schema, sigma: Iterable[NFD],
+           others: Iterable[NFD],
+           nonempty: NonEmptySpec | None = None) -> bool:
+    """True iff *sigma* implies every member of *others*."""
+    engine = ClosureEngine(schema, list(sigma), nonempty)
+    return engine.implies_all(others)
+
+
+def is_redundant(schema: Schema, sigma: list[NFD], index: int,
+                 nonempty: NonEmptySpec | None = None) -> bool:
+    """Is ``sigma[index]`` implied by the other members?"""
+    rest = sigma[:index] + sigma[index + 1:]
+    return ClosureEngine(schema, rest, nonempty).implies(sigma[index])
+
+
+def non_redundant(schema: Schema, sigma: Iterable[NFD],
+                  nonempty: NonEmptySpec | None = None) -> list[NFD]:
+    """A non-redundant subset equivalent to *sigma*.
+
+    Greedy removal in order; the result depends on member order (all
+    non-redundant covers of the same set are equivalent, not equal).
+    """
+    remaining = list(sigma)
+    index = 0
+    while index < len(remaining):
+        rest = remaining[:index] + remaining[index + 1:]
+        if ClosureEngine(schema, rest, nonempty).implies(remaining[index]):
+            remaining = rest
+        else:
+            index += 1
+    return remaining
+
+
+def _shrink_lhs(schema: Schema, sigma: list[NFD], index: int,
+                nonempty: NonEmptySpec | None) -> NFD:
+    """Minimize the LHS of ``sigma[index]`` keeping equivalence.
+
+    A path is dropped when the strengthened NFD (smaller LHS) is still
+    implied by the *current* whole set; strengthening never weakens the
+    set, so equivalence is preserved.
+    """
+    current = sigma[index]
+    for path in sorted(current.lhs, reverse=True):
+        candidate = current.with_lhs(current.lhs - {path})
+        engine = ClosureEngine(schema, sigma, nonempty)
+        if engine.implies(candidate):
+            current = candidate
+            sigma = sigma[:index] + [current] + sigma[index + 1:]
+    return current
+
+
+def minimal_cover(schema: Schema, sigma: Iterable[NFD],
+                  nonempty: NonEmptySpec | None = None) -> list[NFD]:
+    """A minimal cover: shrunken LHSs, then no redundant members.
+
+    The result is equivalent to *sigma* (tests verify via
+    :func:`repro.inference.implication.equivalent_sets`) and no member
+    can be removed or have its LHS shrunk further.
+    """
+    working = list(sigma)
+    for index in range(len(working)):
+        working[index] = _shrink_lhs(schema, working, index, nonempty)
+    return non_redundant(schema, working, nonempty)

@@ -1,0 +1,86 @@
+"""Key discovery for nested relations.
+
+The introduction's first constraint ("cnum is a key") is the conjunction
+of one NFD per sibling attribute.  This module finds minimal keys — both
+at the top level of a relation and locally inside any set-valued path —
+by querying the closure engine, and offers the converse construction:
+the NFDs declaring a chosen key.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from ..inference.closure import ClosureEngine
+from ..nfd.nfd import NFD
+from ..paths.path import Path
+from ..paths.typing import resolve_base_path
+from ..types.schema import Schema
+
+__all__ = ["minimal_keys", "is_key", "key_nfds", "local_minimal_keys"]
+
+
+def key_nfds(base: Path, key: Iterable[Path],
+             scope_labels: Iterable[str]) -> list[NFD]:
+    """The NFDs asserting that *key* is a key at *base*.
+
+    One NFD per attribute of the scope: ``base:[key -> attribute]``.
+    Attributes inside the key are skipped (they are trivial).
+    """
+    key_set = frozenset(key)
+    result = []
+    for label in scope_labels:
+        rhs = Path((label,))
+        if rhs in key_set:
+            continue
+        result.append(NFD(base, key_set, rhs))
+    return result
+
+
+def is_key(engine: ClosureEngine, base: Path,
+           candidate: Iterable[Path]) -> bool:
+    """Does *candidate* determine every top-level attribute at *base*?
+
+    Determining all top-level attributes pins the whole element: deeper
+    paths are reached through their top-level set, which is itself
+    determined.
+    """
+    scope = resolve_base_path(engine.schema, base)
+    closed = engine.closure(base, candidate)
+    return all(Path((label,)) in closed for label in scope.labels)
+
+
+def minimal_keys(schema: Schema, sigma: Iterable[NFD], relation: str,
+                 engine: ClosureEngine | None = None) \
+        -> list[frozenset[Path]]:
+    """All minimal keys of *relation* over its top-level attributes.
+
+    Exponential in attribute count (key discovery is NP-hard in general);
+    practical for the schema sizes of the paper's setting.
+    """
+    return local_minimal_keys(schema, sigma, Path((relation,)), engine)
+
+
+def local_minimal_keys(schema: Schema, sigma: Iterable[NFD], base: Path,
+                       engine: ClosureEngine | None = None) \
+        -> list[frozenset[Path]]:
+    """Minimal keys at an arbitrary base path (local keys).
+
+    For ``base = Course:students`` this answers "which attribute sets
+    identify a student within one course" — e.g. ``{sid}`` under the
+    constraint of Example 2.3.
+    """
+    working = engine if engine is not None \
+        else ClosureEngine(schema, list(sigma))
+    scope = resolve_base_path(schema, base)
+    attributes = [Path((label,)) for label in scope.labels]
+    keys: list[frozenset[Path]] = []
+    for size in range(1, len(attributes) + 1):
+        for combo in combinations(attributes, size):
+            candidate = frozenset(combo)
+            if any(key <= candidate for key in keys):
+                continue
+            if is_key(working, base, candidate):
+                keys.append(candidate)
+    return sorted(keys, key=lambda key: (len(key), sorted(map(str, key))))

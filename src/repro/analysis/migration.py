@@ -1,0 +1,104 @@
+"""Schema migration: which constraints survive a schema change?
+
+When a nested schema evolves — attributes added, removed, retyped, or
+moved between nesting levels — some NFDs stop being well-formed.  This
+module classifies a constraint set against the new schema and explains
+each casualty, so a migration can be reviewed constraint by constraint
+instead of failing at engine-construction time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import NFDError
+from ..nfd.nfd import NFD
+from ..paths.path import Path
+from ..paths.typing import relation_paths
+from ..types.schema import Schema
+
+__all__ = ["MigrationReport", "migrate_sigma", "schema_changes"]
+
+
+def schema_changes(old: Schema, new: Schema) -> dict[str, list[str]]:
+    """A structural summary: added/removed relations and paths.
+
+    Paths are reported absolutely (``R:students:sid``); a retyped path
+    appears under both ``removed_paths`` and ``added_paths`` only when
+    its position vanished, not for base-type changes (which keep NFDs
+    well-formed).
+    """
+    old_relations = set(old.relation_names)
+    new_relations = set(new.relation_names)
+
+    def all_paths(schema: Schema) -> set[Path]:
+        found: set[Path] = set()
+        for relation in schema.relation_names:
+            for p in relation_paths(schema, relation):
+                found.add(Path((relation,)).concat(p))
+        return found
+
+    old_paths = all_paths(old)
+    new_paths = all_paths(new)
+    return {
+        "added_relations": sorted(new_relations - old_relations),
+        "removed_relations": sorted(old_relations - new_relations),
+        "added_paths": sorted(str(p) for p in new_paths - old_paths),
+        "removed_paths": sorted(str(p) for p in old_paths - new_paths),
+    }
+
+
+class MigrationReport:
+    """Constraints partitioned by survival under the new schema."""
+
+    __slots__ = ("kept", "broken", "changes")
+
+    def __init__(self, kept: list[NFD], broken: list[tuple[NFD, str]],
+                 changes: dict[str, list[str]]):
+        self.kept = kept
+        #: ``(nfd, reason)`` pairs for constraints the new schema
+        #: cannot express.
+        self.broken = broken
+        self.changes = changes
+
+    @property
+    def clean(self) -> bool:
+        return not self.broken
+
+    def to_text(self) -> str:
+        lines: list[str] = []
+        for key in ("added_relations", "removed_relations",
+                    "added_paths", "removed_paths"):
+            values = self.changes[key]
+            if values:
+                label = key.replace("_", " ")
+                lines.append(f"{label}: {', '.join(values)}")
+        lines.append(f"kept constraints: {len(self.kept)}")
+        for nfd in self.kept:
+            lines.append(f"  {nfd}")
+        if self.broken:
+            lines.append(f"broken constraints: {len(self.broken)}")
+            for nfd, reason in self.broken:
+                lines.append(f"  {nfd}")
+                lines.append(f"    {reason}")
+        return "\n".join(lines)
+
+
+def migrate_sigma(old: Schema, new: Schema,
+                  sigma: Iterable[NFD]) -> MigrationReport:
+    """Classify *sigma* against the *new* schema.
+
+    A constraint is *kept* when it is still well-formed (the engine can
+    enforce it unchanged) and *broken* otherwise, with the
+    well-formedness error as the reason.
+    """
+    kept: list[NFD] = []
+    broken: list[tuple[NFD, str]] = []
+    for nfd in sigma:
+        try:
+            nfd.check_well_formed(new)
+        except NFDError as exc:
+            broken.append((nfd, str(exc)))
+        else:
+            kept.append(nfd)
+    return MigrationReport(kept, broken, schema_changes(old, new))

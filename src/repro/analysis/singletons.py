@@ -1,0 +1,106 @@
+"""Singleton-set and disjointness analyses (Section 2.1).
+
+Two set-theoretic consequences of NFDs that the paper highlights:
+
+* a set path ``x`` is forced to be a **singleton** when, for every
+  attribute ``Ai`` of its elements, ``x`` determines ``x:Ai`` — then all
+  elements agree on all attributes, so there is exactly one (the AceDB
+  "maximally singleton" attributes);
+* an NFD ``x0:[x1:x2 -> x1]`` forces any two values of ``x0:x1`` to be
+  **equal or disjoint** — e.g. schools cannot share course numbers in the
+  Courses example.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..inference.closure import ClosureEngine
+from ..nfd.nfd import NFD
+from ..paths.path import Path
+from ..paths.typing import resolve_base_path, set_paths, type_at
+from ..types.base import SetType
+from ..types.schema import Schema
+from ..values.build import Instance
+from ..values.navigate import iter_base_sets, iter_values
+from ..values.value import SetValue
+
+__all__ = [
+    "implied_singletons",
+    "is_implied_singleton",
+    "implied_disjoint_or_equal",
+    "check_disjoint_or_equal",
+]
+
+
+def is_implied_singleton(engine: ClosureEngine, base: Path,
+                         set_path: Path) -> bool:
+    """Is the set at ``base``-relative *set_path* forced to be a singleton?
+
+    True when ``base:[set_path -> set_path:Ai]`` is implied for every
+    attribute ``Ai`` — the premise pattern of the paper's singleton rule,
+    which (absent empty sets) pins the set to exactly one element.
+    """
+    scope = resolve_base_path(engine.schema, base)
+    path_type = type_at(scope, set_path)
+    if not isinstance(path_type, SetType):
+        return False
+    closed = engine.closure(base, {set_path})
+    return all(set_path.child(label) in closed
+               for label in path_type.element.labels)
+
+
+def implied_singletons(schema: Schema, sigma: Iterable[NFD],
+                       relation: str,
+                       engine: ClosureEngine | None = None) -> list[Path]:
+    """All set paths of *relation* forced to be singletons by *sigma*.
+
+    Paths are relative to the relation; the check uses the relation-name
+    base, i.e. the sets are singletons in every element of the relation.
+    """
+    working = engine if engine is not None \
+        else ClosureEngine(schema, list(sigma))
+    base = Path((relation,))
+    return [p for p in set_paths(schema, relation)
+            if is_implied_singleton(working, base, p)]
+
+
+def implied_disjoint_or_equal(engine: ClosureEngine, base: Path,
+                              set_path: Path) -> bool:
+    """Are two values of ``base:set_path`` forced to be equal or disjoint?
+
+    Holds when ``base:[set_path:A -> set_path]`` is implied for some
+    attribute ``A``: sharing one element then forces the whole sets to
+    coincide (the ``x0:[x1:x2 -> x1]`` pattern of Section 2.1).
+    """
+    scope = resolve_base_path(engine.schema, base)
+    path_type = type_at(scope, set_path)
+    if not isinstance(path_type, SetType):
+        return False
+    return any(
+        set_path in engine.closure(base, {set_path.child(label)})
+        for label in path_type.element.labels
+    )
+
+
+def check_disjoint_or_equal(instance: Instance, base: Path,
+                            set_path: Path) -> bool:
+    """Empirically verify equal-or-disjoint on an instance.
+
+    Collects every value of ``base:set_path`` and checks pairwise that
+    intersecting sets are equal.  Used by tests to confirm the semantic
+    reading of :func:`implied_disjoint_or_equal`.
+    """
+    observed: list[SetValue] = []
+    for base_set in iter_base_sets(instance, base):
+        for element in base_set:
+            for value in iter_values(element, set_path):
+                if isinstance(value, SetValue):
+                    observed.append(value)
+    for i, first in enumerate(observed):
+        for second in observed[i + 1:]:
+            if first == second:
+                continue
+            if first.elements & second.elements:
+                return False
+    return True

@@ -1,0 +1,174 @@
+"""Tableaux: the symbolic instances of the classical chase.
+
+The paper repeatedly points at the tableau chase (Maier, Mendelzon &
+Sagiv) as the *other* route to the implication problem, and names the
+chase's classical applications — lossless-join tests, view
+dependencies — as motivation for the axiomatization.  This module
+provides the flat substrate: tableaux over an attribute universe with
+distinguished (``a_X``) and nondistinguished (``b_i``) symbols, plus the
+symbol-equating machinery the FD chase uses.
+
+Symbols are immutable; a :class:`Tableau` is a mutable working object
+holding rows (attribute → symbol mappings) and supporting global symbol
+substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import InferenceError
+
+__all__ = ["Symbol", "distinguished", "nondistinguished", "Tableau"]
+
+
+class Symbol:
+    """A tableau symbol: distinguished, nondistinguished, or constant.
+
+    Ordering for merge priority: distinguished < nondistinguished, so
+    when two symbols are equated the distinguished one survives (the
+    classical convention); two constants that differ are a hard
+    contradiction.
+    """
+
+    __slots__ = ("kind", "name")
+
+    DISTINGUISHED = "a"
+    NONDISTINGUISHED = "b"
+    CONSTANT = "c"
+
+    def __init__(self, kind: str, name: str):
+        self.kind = kind
+        self.name = name
+
+    @property
+    def is_distinguished(self) -> bool:
+        return self.kind == Symbol.DISTINGUISHED
+
+    @property
+    def is_constant(self) -> bool:
+        return self.kind == Symbol.CONSTANT
+
+    def merge_priority(self) -> tuple:
+        rank = {Symbol.CONSTANT: 0, Symbol.DISTINGUISHED: 1,
+                Symbol.NONDISTINGUISHED: 2}[self.kind]
+        return (rank, self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Symbol) and self.kind == other.kind \
+            and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.name))
+
+    def __repr__(self) -> str:
+        return f"{self.kind}_{self.name}"
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.name}"
+
+
+def distinguished(attribute: str) -> Symbol:
+    """The distinguished symbol for *attribute* (``a_A``)."""
+    return Symbol(Symbol.DISTINGUISHED, attribute)
+
+
+def nondistinguished(index: int | str) -> Symbol:
+    """A fresh-by-name nondistinguished symbol (``b_i``)."""
+    return Symbol(Symbol.NONDISTINGUISHED, str(index))
+
+
+class Tableau:
+    """Rows of symbols over a fixed attribute tuple."""
+
+    def __init__(self, attributes: Iterable[str]):
+        self.attributes = tuple(attributes)
+        if len(set(self.attributes)) != len(self.attributes):
+            raise InferenceError("tableau attributes must be unique")
+        self.rows: list[dict[str, Symbol]] = []
+        self._fresh = 0
+        self.contradictory = False
+
+    def fresh(self) -> Symbol:
+        """A nondistinguished symbol unused in this tableau."""
+        self._fresh += 1
+        return nondistinguished(self._fresh)
+
+    def add_row(self, row: dict[str, Symbol]) -> None:
+        missing = set(self.attributes) - set(row)
+        if missing:
+            raise InferenceError(
+                f"row is missing attributes {sorted(missing)}"
+            )
+        self.rows.append(dict(row))
+
+    def add_component_row(self, component: Iterable[str]) -> None:
+        """The lossless-join convention: distinguished on *component*,
+        fresh nondistinguished elsewhere."""
+        component_set = set(component)
+        unknown = component_set - set(self.attributes)
+        if unknown:
+            raise InferenceError(
+                f"component mentions unknown attributes {sorted(unknown)}"
+            )
+        self.add_row({
+            attribute: distinguished(attribute)
+            if attribute in component_set else self.fresh()
+            for attribute in self.attributes
+        })
+
+    def equate(self, first: Symbol, second: Symbol) -> None:
+        """Identify two symbols throughout the tableau.
+
+        The survivor is chosen by merge priority (constants beat
+        distinguished beat nondistinguished); equating two distinct
+        constants marks the tableau contradictory.
+        """
+        if first == second:
+            return
+        if first.is_constant and second.is_constant:
+            self.contradictory = True
+            return
+        keep, drop = sorted((first, second),
+                            key=lambda s: s.merge_priority())
+        for row in self.rows:
+            for attribute, symbol in row.items():
+                if symbol == drop:
+                    row[attribute] = keep
+
+    def symbols(self) -> Iterator[Symbol]:
+        for row in self.rows:
+            yield from row.values()
+
+    def has_all_distinguished_row(self) -> bool:
+        """The lossless-join success condition."""
+        return any(
+            all(row[attribute] == distinguished(attribute)
+                for attribute in self.attributes)
+            for row in self.rows
+        )
+
+    def to_text(self) -> str:
+        """Render as an aligned grid (for the chase example scripts)."""
+        header = list(self.attributes)
+        body = [[str(row[attribute]) for attribute in header]
+                for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body))
+            if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [" | ".join(header[i].ljust(widths[i])
+                            for i in range(len(header)))]
+        lines.append("-+-".join("-" * w for w in widths))
+        for line in body:
+            lines.append(" | ".join(line[i].ljust(widths[i])
+                                    for i in range(len(header))))
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Tableau({len(self.rows)} rows over " \
+            f"{', '.join(self.attributes)})"

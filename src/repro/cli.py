@@ -1,0 +1,364 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+All commands operate on JSON *bundle* files as produced by
+:func:`repro.io.dump_bundle` — a schema, an NFD set, and optionally an
+instance::
+
+    {"schema": {"Course": "{<cnum: string, ...>}"},
+     "nfds": ["Course:[cnum -> time]", ...],
+     "instance": {"Course": [...]}}
+
+Commands:
+
+========  ==========================================================
+check     validate the bundle's instance; print violation witnesses
+implies   decide whether the bundle's NFDs imply a candidate
+closure   print the closure of a path set at a base path
+explain   print the justification tree for an implied candidate
+prove     compile a machine-checked derivation of an implication
+counter   build the Appendix-A countermodel for a non-implied NFD
+render    pretty-print the instance as nested tables
+keys      list the minimal keys of a relation
+diff      semantic diff of two constraint sets
+analyze   keys / singletons / redundancy / minimal-cover report
+report    render the whole bundle as a Markdown document
+repair    chase the instance into consistency, write a new bundle
+========  ==========================================================
+
+Commands that reason under the Section 3.2 empty-set rules accept
+``--nonempty PATH`` declarations (repeatable); a bundle may persist its
+own declarations under ``"nonempty"``, which explicit flags override.
+
+Every command returns a conventional exit status (0 success / holds,
+1 violation / does not hold, 2 usage error), so the CLI composes with
+shell scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path as FilePath
+
+from .analysis import minimal_keys
+from .chase import repair as chase_repair
+from .errors import ReproError
+from .inference import ClosureEngine, NonEmptySpec, build_countermodel
+from .io import dump_bundle, load_bundle, load_spec, render_instance
+from .nfd import find_violations, parse_nfd
+from .paths import parse_path
+
+__all__ = ["main", "build_parser"]
+
+
+def _load(path_text: str):
+    try:
+        content = FilePath(path_text).read_text()
+    except OSError as exc:
+        raise ReproError(f"cannot read bundle {path_text!r}: {exc}") \
+            from exc
+    return load_bundle(content)
+
+
+def _spec_from_args(args) -> NonEmptySpec | None:
+    """The NON-NULL spec: --nonempty flags win over the bundle's own.
+
+    Bundles may persist their declarations (see
+    :func:`repro.io.dump_bundle`); explicit flags override them so a
+    what-if query never requires editing the file.
+    """
+    declared = getattr(args, "nonempty", None)
+    if declared:
+        return NonEmptySpec({parse_path(text) for text in declared})
+    bundle = getattr(args, "bundle", None)
+    if bundle:
+        try:
+            return load_spec(FilePath(bundle).read_text())
+        except OSError:
+            return None
+    return None
+
+
+def _cmd_check(args) -> int:
+    schema, sigma, instance = _load(args.bundle)
+    if instance is None:
+        print("bundle has no instance to check", file=sys.stderr)
+        return 2
+    from .values import check_instance
+    check_instance(instance)
+    total = 0
+    for nfd in sigma:
+        for violation in find_violations(instance, nfd):
+            total += 1
+            print(violation.describe())
+            print()
+    if total:
+        print(f"{total} violation(s)")
+        return 1
+    print("instance satisfies all constraints")
+    return 0
+
+
+def _cmd_implies(args) -> int:
+    schema, sigma, _ = _load(args.bundle)
+    candidate = parse_nfd(args.nfd)
+    engine = ClosureEngine(schema, sigma, nonempty=_spec_from_args(args))
+    if engine.implies(candidate):
+        print(f"implied: {candidate}")
+        return 0
+    print(f"not implied: {candidate}")
+    return 1
+
+
+def _cmd_closure(args) -> int:
+    schema, sigma, _ = _load(args.bundle)
+    base = parse_path(args.base)
+    lhs = {parse_path(text) for text in args.paths}
+    engine = ClosureEngine(schema, sigma, nonempty=_spec_from_args(args))
+    closed = engine.closure(base, lhs)
+    lhs_text = ", ".join(sorted(map(str, lhs))) or "∅"
+    print(f"({base}, {{{lhs_text}}})* =")
+    for path in sorted(closed):
+        print(f"  {path}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    schema, sigma, _ = _load(args.bundle)
+    candidate = parse_nfd(args.nfd)
+    engine = ClosureEngine(schema, sigma, nonempty=_spec_from_args(args))
+    if not engine.implies(candidate):
+        print(f"not implied: {candidate}", file=sys.stderr)
+        return 1
+    print(engine.explain(candidate).to_text())
+    return 0
+
+
+def _cmd_prove(args) -> int:
+    from .inference import compile_proof
+
+    schema, sigma, _ = _load(args.bundle)
+    candidate = parse_nfd(args.nfd)
+    engine = ClosureEngine(schema, sigma, nonempty=_spec_from_args(args))
+    if not engine.implies(candidate):
+        print(f"not implied: {candidate}", file=sys.stderr)
+        return 1
+    proof = compile_proof(engine, candidate)
+    print("hypotheses:")
+    for index, nfd in enumerate(sigma):
+        print(f"  s{index + 1}. {nfd}")
+    print(proof.to_text())
+    return 0
+
+
+def _cmd_counter(args) -> int:
+    schema, sigma, _ = _load(args.bundle)
+    candidate = parse_nfd(args.nfd)
+    engine = ClosureEngine(schema, sigma)
+    if engine.implies(candidate):
+        print(f"implied — no countermodel exists: {candidate}",
+              file=sys.stderr)
+        return 1
+    witness = build_countermodel(engine, candidate.base, candidate.lhs)
+    if args.output:
+        FilePath(args.output).write_text(
+            dump_bundle(schema, sigma, witness))
+        print(f"countermodel written to {args.output}")
+    else:
+        print(render_instance(witness))
+    return 0
+
+
+def _cmd_render(args) -> int:
+    _, _, instance = _load(args.bundle)
+    if instance is None:
+        print("bundle has no instance to render", file=sys.stderr)
+        return 2
+    print(render_instance(instance))
+    return 0
+
+
+def _cmd_keys(args) -> int:
+    schema, sigma, _ = _load(args.bundle)
+    relation = args.relation or schema.relation_names[0]
+    keys = minimal_keys(schema, sigma, relation)
+    if not keys:
+        print(f"{relation}: no key among the top-level attributes")
+        return 1
+    for key in keys:
+        print(f"{relation}: {{{', '.join(sorted(map(str, key)))}}}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from .analysis import diff_sigmas
+
+    schema, old_sigma, _ = _load(args.old_bundle)
+    new_schema, new_sigma, _ = _load(args.new_bundle)
+    if new_schema != schema:
+        print("error: the two bundles declare different schemas",
+              file=sys.stderr)
+        return 2
+    diff = diff_sigmas(schema, old_sigma, new_sigma,
+                       nonempty=_spec_from_args(args))
+    print(diff.to_text())
+    return 0 if diff.equivalent else 1
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis import analyze_constraints
+
+    schema, sigma, _ = _load(args.bundle)
+    report = analyze_constraints(schema, sigma,
+                                 nonempty=_spec_from_args(args))
+    print(report.to_text())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .io import markdown_report
+
+    schema, sigma, instance = _load(args.bundle)
+    text = markdown_report(schema, sigma, instance,
+                           title=args.title,
+                           nonempty=_spec_from_args(args))
+    if args.output:
+        FilePath(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_repair(args) -> int:
+    schema, sigma, instance = _load(args.bundle)
+    if instance is None:
+        print("bundle has no instance to repair", file=sys.stderr)
+        return 2
+    fixed = chase_repair(instance, sigma)
+    output = args.output or args.bundle
+    FilePath(output).write_text(dump_bundle(schema, sigma, fixed))
+    changed = "unchanged" if fixed == instance else "repaired"
+    print(f"{changed}; written to {output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nested functional dependencies: checking, "
+                    "implication, countermodels (Hara & Davidson, "
+                    "PODS 1999).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def bundle_arg(sub):
+        sub.add_argument("bundle", help="JSON bundle file")
+
+    def nonempty_arg(sub):
+        sub.add_argument(
+            "--nonempty", action="append", metavar="PATH",
+            help="declare a set path (e.g. Course:students) non-empty; "
+                 "omit entirely to assume no empty sets (Section 3.1)",
+        )
+
+    sub = commands.add_parser("check", help="validate the instance")
+    bundle_arg(sub)
+    sub.set_defaults(handler=_cmd_check)
+
+    sub = commands.add_parser("implies", help="decide implication")
+    bundle_arg(sub)
+    sub.add_argument("nfd", help='candidate, e.g. "Course:[cnum -> time]"')
+    nonempty_arg(sub)
+    sub.set_defaults(handler=_cmd_implies)
+
+    sub = commands.add_parser("closure", help="compute (x0, X, Sigma)*")
+    bundle_arg(sub)
+    sub.add_argument("base", help="base path, e.g. Course or R:A")
+    sub.add_argument("paths", nargs="*", help="LHS paths")
+    nonempty_arg(sub)
+    sub.set_defaults(handler=_cmd_closure)
+
+    sub = commands.add_parser("explain", help="justify an implication")
+    bundle_arg(sub)
+    sub.add_argument("nfd")
+    nonempty_arg(sub)
+    sub.set_defaults(handler=_cmd_explain)
+
+    sub = commands.add_parser("prove",
+                              help="compile a machine-checked derivation")
+    bundle_arg(sub)
+    sub.add_argument("nfd")
+    nonempty_arg(sub)
+    sub.set_defaults(handler=_cmd_prove)
+
+    sub = commands.add_parser("counter",
+                              help="build an Appendix-A countermodel")
+    bundle_arg(sub)
+    sub.add_argument("nfd")
+    sub.add_argument("-o", "--output", help="write a bundle instead of "
+                                            "printing tables")
+    sub.set_defaults(handler=_cmd_counter)
+
+    sub = commands.add_parser("render", help="print nested tables")
+    bundle_arg(sub)
+    sub.set_defaults(handler=_cmd_render)
+
+    sub = commands.add_parser("keys", help="minimal keys of a relation")
+    bundle_arg(sub)
+    sub.add_argument("relation", nargs="?", default=None)
+    sub.set_defaults(handler=_cmd_keys)
+
+    sub = commands.add_parser("diff",
+                              help="semantic diff of two constraint sets")
+    sub.add_argument("old_bundle")
+    sub.add_argument("new_bundle")
+    nonempty_arg(sub)
+    sub.set_defaults(handler=_cmd_diff)
+
+    sub = commands.add_parser("analyze",
+                              help="keys, singletons, redundancy report")
+    bundle_arg(sub)
+    nonempty_arg(sub)
+    sub.set_defaults(handler=_cmd_analyze)
+
+    sub = commands.add_parser("report",
+                              help="render a Markdown report")
+    bundle_arg(sub)
+    sub.add_argument("--title", default="Constraint report")
+    sub.add_argument("-o", "--output", help="write to a file")
+    nonempty_arg(sub)
+    sub.set_defaults(handler=_cmd_report)
+
+    sub = commands.add_parser("repair",
+                              help="chase the instance into consistency")
+    bundle_arg(sub)
+    sub.add_argument("-o", "--output", help="output bundle "
+                                            "(default: in place)")
+    sub.set_defaults(handler=_cmd_repair)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # the reader (e.g. `| head`) closed the pipe: exit quietly, and
+        # detach stdout so the interpreter's final flush cannot raise
+        import os
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        except OSError:  # pragma: no cover - best effort
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Database design: normal forms, preservation, nesting plans."""
+
+from .bcnf import (
+    bcnf_decompose,
+    bcnf_violations,
+    is_bcnf,
+    is_superkey,
+    project_fds,
+)
+from .nested_design import DependencyPlacement, NestPlan, PlanReport
+from .preservation import preserves_dependencies, unpreserved_fds
+
+__all__ = [
+    "is_superkey",
+    "bcnf_violations",
+    "is_bcnf",
+    "project_fds",
+    "bcnf_decompose",
+    "preserves_dependencies",
+    "unpreserved_fds",
+    "NestPlan",
+    "PlanReport",
+    "DependencyPlacement",
+]

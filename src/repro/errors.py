@@ -1,0 +1,82 @@
+"""Exception hierarchy for the NFD library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses distinguish the layer
+that failed: type construction, parsing, value/instance construction, path
+resolution, NFD well-formedness, and inference.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class TypeConstructionError(ReproError):
+    """A nested relational type violated a structural invariant.
+
+    Raised for example when set and record constructors fail to alternate,
+    when a record repeats a label, or when a label is not an identifier.
+    """
+
+
+class SchemaError(ReproError):
+    """A database schema is malformed.
+
+    Raised when a relation is not a set of records at its outermost level,
+    when a relation name is duplicated, or when a lookup names an unknown
+    relation.
+    """
+
+
+class ParseError(ReproError):
+    """A textual type, path, or NFD expression could not be parsed.
+
+    Carries the position of the offending token when available.
+    """
+
+    def __init__(self, message: str, text: str | None = None,
+                 position: int | None = None):
+        self.text = text
+        self.position = position
+        if text is not None and position is not None:
+            pointer = " " * position + "^"
+            message = f"{message}\n  {text}\n  {pointer}"
+        super().__init__(message)
+
+
+class PathError(ReproError):
+    """A path expression is not well-typed with respect to a type."""
+
+
+class ValueError_(ReproError):
+    """A value violates the structure required by its intended type.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class InstanceError(ReproError):
+    """A database instance does not conform to its schema."""
+
+
+class NFDError(ReproError):
+    """An NFD is not well-formed over the given schema."""
+
+
+class InferenceError(ReproError):
+    """An inference operation received inconsistent inputs.
+
+    Raised for example when a rule is applied to premises that do not match
+    its pattern, or when an implication query mixes schemas.
+    """
+
+
+class RuleApplicationError(InferenceError):
+    """A specific inference rule could not be applied to given premises."""
+
+    def __init__(self, rule_name: str, reason: str):
+        self.rule_name = rule_name
+        self.reason = reason
+        super().__init__(f"cannot apply rule {rule_name!r}: {reason}")

@@ -1,0 +1,29 @@
+"""Generators: random schemas, NFDs, instances, and paper workloads."""
+
+from .instances import (
+    random_instance,
+    random_satisfying_instance,
+    random_value,
+)
+from .nfds import candidate_paths, random_nfd, random_sigma
+from .schemas import (
+    LabelSupply,
+    random_record,
+    random_relation_type,
+    random_schema,
+)
+from . import workloads
+
+__all__ = [
+    "random_schema",
+    "random_record",
+    "random_relation_type",
+    "LabelSupply",
+    "random_nfd",
+    "random_sigma",
+    "candidate_paths",
+    "random_value",
+    "random_instance",
+    "random_satisfying_instance",
+    "workloads",
+]

@@ -1,0 +1,82 @@
+"""Random NFDs over a schema.
+
+Used by the property-based tests (soundness/completeness sweeps) and the
+scaling benchmarks.  Generation picks a base path (biased toward the
+relation name, like most of the paper's examples), then LHS/RHS paths
+well-typed for that base.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..nfd.nfd import NFD
+from ..paths.path import Path
+from ..paths.typing import relation_paths, set_paths
+from ..types.schema import Schema
+
+__all__ = ["random_nfd", "random_sigma", "candidate_paths"]
+
+
+def candidate_paths(schema: Schema, relation: str,
+                    base_tail: Path) -> list[Path]:
+    """The non-empty paths usable in an NFD at base ``relation:base_tail``.
+
+    These are the relation's paths that properly extend the base tail,
+    re-expressed relative to it.
+    """
+    result = []
+    for path in relation_paths(schema, relation):
+        if base_tail.is_proper_prefix_of(path):
+            result.append(path.strip_prefix(base_tail))
+    return result
+
+
+def random_nfd(rng: random.Random, schema: Schema,
+               relation: str | None = None,
+               max_lhs: int = 3,
+               local_probability: float = 0.3,
+               allow_degenerate: bool = True) -> NFD:
+    """One random well-formed NFD.
+
+    With probability *local_probability* the base descends into a random
+    set-valued path (a local dependency); otherwise the base is the bare
+    relation name (a global dependency).
+    """
+    name = relation if relation is not None \
+        else rng.choice(schema.relation_names)
+    base_tail = Path(())
+    if rng.random() < local_probability:
+        nested = set_paths(schema, name)
+        if nested:
+            base_tail = rng.choice(nested)
+    pool = candidate_paths(schema, name, base_tail)
+    if not pool:
+        # The chosen base scopes no paths (cannot happen for the bare
+        # relation of a non-trivial schema); fall back to global.
+        base_tail = Path(())
+        pool = candidate_paths(schema, name, base_tail)
+    rhs = rng.choice(pool)
+    low = 0 if allow_degenerate else 1
+    lhs_size = min(rng.randint(low, max_lhs), len(pool))
+    lhs = rng.sample(pool, lhs_size) if lhs_size else []
+    return NFD(Path((name,)).concat(base_tail), lhs, rhs)
+
+
+def random_sigma(rng: random.Random, schema: Schema, count: int,
+                 max_lhs: int = 3, local_probability: float = 0.3,
+                 allow_degenerate: bool = False) -> list[NFD]:
+    """A list of *count* random NFDs (duplicates filtered, best effort)."""
+    seen: set[NFD] = set()
+    result: list[NFD] = []
+    attempts = 0
+    while len(result) < count and attempts < count * 20:
+        attempts += 1
+        nfd = random_nfd(rng, schema, max_lhs=max_lhs,
+                         local_probability=local_probability,
+                         allow_degenerate=allow_degenerate)
+        if nfd in seen or nfd.is_trivial():
+            continue
+        seen.add(nfd)
+        result.append(nfd)
+    return result

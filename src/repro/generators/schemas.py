@@ -1,0 +1,91 @@
+"""Random nested relational schemas.
+
+Schemas are generated from a seeded :class:`random.Random`, so every
+test and benchmark is reproducible.  Generation respects the strict
+model: sets of records, records of base/set fields, globally unique
+labels.  Parameters control fan-out and depth, which are the two knobs
+the scaling benchmarks sweep.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..types.base import INT, STRING, RecordType, SetType, Type
+from ..types.schema import Schema
+
+__all__ = ["random_record", "random_relation_type", "random_schema",
+           "LabelSupply"]
+
+
+class LabelSupply:
+    """Dispenses globally unique labels: A, B, ..., Z, A1, B1, ..."""
+
+    def __init__(self, prefix: str = ""):
+        self._prefix = prefix
+        self._count = 0
+
+    def next(self) -> str:
+        letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        index = self._count
+        self._count += 1
+        suffix = index // len(letters)
+        label = letters[index % len(letters)]
+        if suffix:
+            label = f"{label}{suffix}"
+        return f"{self._prefix}{label}"
+
+
+def random_record(rng: random.Random, labels: LabelSupply,
+                  max_fields: int, max_depth: int,
+                  set_probability: float = 0.4,
+                  string_probability: float = 0.2) -> RecordType:
+    """A random record type with 1..max_fields fields.
+
+    Each field is a set (recursing with one less depth) with probability
+    *set_probability* while depth remains, otherwise a base type.
+    """
+    field_count = rng.randint(1, max_fields)
+    fields: list[tuple[str, Type]] = []
+    for _ in range(field_count):
+        label = labels.next()
+        if max_depth > 0 and rng.random() < set_probability:
+            element = random_record(rng, labels, max_fields,
+                                    max_depth - 1, set_probability,
+                                    string_probability)
+            fields.append((label, SetType(element)))
+        else:
+            base = STRING if rng.random() < string_probability else INT
+            fields.append((label, base))
+    return RecordType(fields)
+
+
+def random_relation_type(rng: random.Random,
+                         labels: LabelSupply | None = None,
+                         max_fields: int = 4,
+                         max_depth: int = 2,
+                         set_probability: float = 0.4) -> SetType:
+    """A random set-of-records type suitable as a relation type."""
+    supply = labels if labels is not None else LabelSupply()
+    return SetType(random_record(rng, supply, max_fields, max_depth,
+                                 set_probability))
+
+
+def random_schema(rng: random.Random, relations: int = 1,
+                  max_fields: int = 4, max_depth: int = 2,
+                  set_probability: float = 0.4) -> Schema:
+    """A random schema with the given number of relations.
+
+    Labels are unique across the whole schema, honouring the paper's
+    no-repeated-labels assumption (relation names use a distinct
+    alphabet: R, S, T, ...).
+    """
+    supply = LabelSupply()
+    names = ["R", "S", "T", "U", "V", "W"]
+    declarations = {}
+    for index in range(relations):
+        name = names[index] if index < len(names) else f"R{index}"
+        declarations[name] = random_relation_type(
+            rng, supply, max_fields, max_depth, set_probability
+        )
+    return Schema(declarations)

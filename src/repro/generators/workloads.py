@@ -1,0 +1,411 @@
+"""Named workloads: every schema, instance, and NFD set from the paper.
+
+Each function returns freshly built objects so callers can mutate-by-copy
+safely.  The workloads are the inputs of the experiment benchmarks (see
+DESIGN.md's experiment index) and double as integration-test fixtures:
+
+* ``course_*`` — the running Course example (Sections 1-2);
+* ``figure1_*`` — the instance of Figure 1;
+* ``example_3_2_*`` — the empty-set counterexample of Example 3.2;
+* ``section_3_1_*`` — the schema and Sigma of the worked derivation;
+* ``example_3_1_*`` — the full-locality example;
+* ``example_a1_*`` / ``example_a2_*`` — the Appendix A constructions;
+* ``university_*`` — the Courses/scourses example of Section 2.1;
+* ``acedb_*`` — an AceDB-flavoured schema with singleton-set constraints;
+* ``warehouse_*`` — a two-source integration scenario motivated by the
+  introduction's data-warehouse discussion;
+* ``trial_*`` — a depth-4 biomedical schema (the "complex data models
+  are heavily used within biomedical ... applications" motivation),
+  used as the deep-nesting stress workload;
+* ``scaled_course_instance`` — a size-parameterized Course instance for
+  the satisfaction-scaling benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..nfd.nfd import NFD
+from ..nfd.parser import parse_nfds
+from ..types.parser import parse_schema
+from ..types.schema import Schema
+from ..values.build import Instance
+
+__all__ = [
+    "course_schema", "course_sigma", "course_instance",
+    "figure1_schema", "figure1_instance", "figure1_nfd",
+    "example_3_2_schema", "example_3_2_instance",
+    "section_3_1_schema", "section_3_1_sigma",
+    "example_3_1_schema", "example_3_1_nfd",
+    "example_a1_schema", "example_a1_sigma",
+    "example_a2_schema", "example_a2_sigma",
+    "university_schema", "university_sigma", "university_instance",
+    "trial_schema", "trial_sigma", "trial_instance",
+    "acedb_schema", "acedb_sigma", "acedb_instance",
+    "warehouse_schema", "warehouse_sigma", "warehouse_instance",
+    "scaled_course_instance",
+]
+
+
+# ---------------------------------------------------------------- Course
+
+def course_schema() -> Schema:
+    """The Course type of the introduction (cnum/time/students/books)."""
+    return parse_schema("""
+        Course = {<cnum: string, time: int,
+                   students: {<sid: int, age: int, grade: string>},
+                   books: {<isbn: int, title: string>}>}
+    """)
+
+
+def course_sigma() -> list[NFD]:
+    """The five constraints of the introduction, as NFDs (Examples 2.1-2.5)."""
+    return parse_nfds("""
+        # 1. cnum is a key
+        Course:[cnum -> time]
+        Course:[cnum -> students]
+        Course:[cnum -> books]
+        # 2. isbn determines title across the database
+        Course:[books:isbn -> books:title]
+        # 3. each student gets a single grade per course
+        Course:students:[sid -> grade]
+        # 4. sid determines age across the database
+        Course:[students:sid -> students:age]
+        # 5. a student cannot be in two courses at the same time
+        Course:[time, students:sid -> cnum]
+    """)
+
+
+def course_instance() -> Instance:
+    """The cis550/cis500 instance of Section 2, extended with the
+    age/books attributes so the full Sigma applies."""
+    return Instance(course_schema(), {"Course": [
+        {"cnum": "cis550", "time": 10,
+         "students": [{"sid": 1001, "age": 27, "grade": "A"},
+                      {"sid": 2002, "age": 26, "grade": "B"}],
+         "books": [{"isbn": 101, "title": "Foundations of Databases"}]},
+        {"cnum": "cis500", "time": 12,
+         "students": [{"sid": 1001, "age": 27, "grade": "A"}],
+         "books": [{"isbn": 102, "title": "Principles of DB Systems"},
+                   {"isbn": 101, "title": "Foundations of Databases"}]},
+    ]})
+
+
+def scaled_course_instance(rng: random.Random, courses: int,
+                           students_per_course: int,
+                           books_per_course: int = 3) -> Instance:
+    """A Course instance of controllable size satisfying course_sigma().
+
+    Students are drawn from a shared pool with fixed ages; books from a
+    shared catalogue with fixed titles; times are unique per course so
+    the scheduling constraint holds trivially.
+    """
+    student_pool = [(sid, 20 + sid % 30)
+                    for sid in range(students_per_course * 3)]
+    catalogue = [(isbn, f"title-{isbn}")
+                 for isbn in range(books_per_course * 5)]
+    grades = ["A", "B", "C", "D"]
+    rows = []
+    for index in range(courses):
+        chosen_students = rng.sample(student_pool,
+                                     min(students_per_course,
+                                         len(student_pool)))
+        chosen_books = rng.sample(catalogue,
+                                  min(books_per_course, len(catalogue)))
+        rows.append({
+            "cnum": f"cis{index:04d}",
+            "time": index,
+            "students": [
+                {"sid": sid, "age": age, "grade": rng.choice(grades)}
+                for sid, age in chosen_students
+            ],
+            "books": [
+                {"isbn": isbn, "title": title}
+                for isbn, title in chosen_books
+            ],
+        })
+    return Instance(course_schema(), {"Course": rows})
+
+
+# ---------------------------------------------------------------- Figure 1
+
+def figure1_schema() -> Schema:
+    return parse_schema("R = {<A, B: {<C, D>}, E: {<F, G>}>}")
+
+
+def figure1_instance() -> Instance:
+    """The two-tuple instance of Figure 1 (violates ``R:[B:C -> E:F]``)."""
+    return Instance(figure1_schema(), {"R": [
+        {"A": 1,
+         "B": [{"C": 1, "D": 3}],
+         "E": [{"F": 5, "G": 6}, {"F": 5, "G": 7}]},
+        {"A": 2,
+         "B": [{"C": 2, "D": 2}, {"C": 1, "D": 3}],
+         "E": [{"F": 3, "G": 4}, {"F": 4, "G": 4}]},
+    ]})
+
+
+def figure1_nfd() -> NFD:
+    return NFD.parse("R:[B:C -> E:F]")
+
+
+# ---------------------------------------------------------------- Example 3.2
+
+def example_3_2_schema() -> Schema:
+    return parse_schema("R = {<A, B: {<C>}, D, E>}")
+
+
+def example_3_2_instance() -> Instance:
+    """The table of Example 3.2: satisfies ``R:[A -> B:C]`` and
+    ``R:[B:C -> D]`` but not ``R:[A -> D]`` (transitivity fails), and
+    satisfies ``R:[B:C -> E]`` but not ``R:[B -> E]`` (prefix fails)."""
+    return Instance(example_3_2_schema(), {"R": [
+        {"A": 1, "B": [], "D": 2, "E": 3},
+        {"A": 1, "B": [], "D": 3, "E": 4},
+        {"A": 2, "B": [{"C": 3}], "D": 4, "E": 5},
+    ]})
+
+
+# ---------------------------------------------------------------- Section 3.1
+
+def section_3_1_schema() -> Schema:
+    """``R = {<A: {<B: {<C>}, E: {<F, G>}>}, D>}`` of the worked proof."""
+    return parse_schema("R = {<A: {<B: {<C>}, E: {<F, G>}>}, D>}")
+
+
+def section_3_1_sigma() -> list[NFD]:
+    """nfd1 and nfd2 of the worked derivation."""
+    return parse_nfds("""
+        R:[A:B:C, D -> A:E:F]
+        R:A:[B -> E:G]
+    """)
+
+
+# ---------------------------------------------------------------- Example 3.1
+
+def example_3_1_schema() -> Schema:
+    return parse_schema("R = {<A: {<B: {<C, E>}, D>}>}")
+
+
+def example_3_1_nfd() -> NFD:
+    """``f1 = R:[A:B:C, A:D -> A:B:E]`` of Example 3.1."""
+    return NFD.parse("R:[A:B:C, A:D -> A:B:E]")
+
+
+# ---------------------------------------------------------------- Appendix A
+
+def example_a1_schema() -> Schema:
+    return parse_schema(
+        "R = {<A, B: {<C>}, D, E: {<F, G>}, H: {<J, L>}, I, "
+        "M: {<N, O>}>}"
+    )
+
+
+def example_a1_sigma() -> list[NFD]:
+    return parse_nfds("""
+        R:[A -> B:C]
+        R:[B:C -> D]
+        R:[D -> E:F]
+        R:[A -> E:G]
+        R:[B:C -> H]
+        R:[I -> H:J]
+    """)
+
+
+def example_a2_schema() -> Schema:
+    return parse_schema(
+        "R = {<A: {<B: {<C, D, E: {<F, G>}>}>}, H>}"
+    )
+
+
+def example_a2_sigma() -> list[NFD]:
+    return parse_nfds("""
+        R:[A:B:C -> A:B]
+        R:[A:B:C -> A:B:E:F]
+        R:[H -> A:B:D]
+    """)
+
+
+# ---------------------------------------------------------------- University
+
+def university_schema() -> Schema:
+    """``Courses = {<school, scourses: {<cnum, time>}>}`` of Section 2.1."""
+    return parse_schema(
+        "Courses = {<school: string, scourses: {<cnum: string, "
+        "time: int>}>}"
+    )
+
+
+def university_sigma() -> list[NFD]:
+    """Schools do not share course numbers."""
+    return parse_nfds("Courses:[scourses:cnum -> school]")
+
+
+def university_instance() -> Instance:
+    return Instance(university_schema(), {"Courses": [
+        {"school": "engineering",
+         "scourses": [{"cnum": "cis550", "time": 10},
+                      {"cnum": "cis500", "time": 12}]},
+        {"school": "arts",
+         "scourses": [{"cnum": "phil100", "time": 10}]},
+    ]})
+
+
+# ---------------------------------------------------------------- AceDB
+
+def acedb_schema() -> Schema:
+    """An AceDB-flavoured gene record: every attribute is a set.
+
+    Empty sets model missing data; the constraints force ``name`` and
+    ``map_position`` to behave as singletons (Section 2.1's discussion).
+    """
+    return parse_schema("""
+        Gene = {<locus: string,
+                 name: {<value: string>},
+                 map_position: {<chromosome: string, offset: int>},
+                 references: {<pmid: int, year: int>}>}
+    """)
+
+
+def acedb_sigma() -> list[NFD]:
+    return parse_nfds("""
+        # locus is the key
+        Gene:[locus -> name]
+        Gene:[locus -> map_position]
+        Gene:[locus -> references]
+        # name/value is constant within a gene: name is a singleton
+        Gene:name:[∅ -> value]
+        # map_position is a singleton: both attributes locally constant
+        Gene:map_position:[∅ -> chromosome]
+        Gene:map_position:[∅ -> offset]
+        # a PubMed id has a single publication year, database-wide
+        Gene:[references:pmid -> references:year]
+    """)
+
+
+def acedb_instance() -> Instance:
+    return Instance(acedb_schema(), {"Gene": [
+        {"locus": "unc-22",
+         "name": [{"value": "twitchin"}],
+         "map_position": [{"chromosome": "IV", "offset": 12}],
+         "references": [{"pmid": 900, "year": 1989},
+                        {"pmid": 901, "year": 1991}]},
+        {"locus": "lin-12",
+         "name": [{"value": "lin-12"}],
+         "map_position": [{"chromosome": "III", "offset": 7}],
+         "references": [{"pmid": 900, "year": 1989}]},
+    ]})
+
+
+# ---------------------------------------------------------------- Trial
+
+def trial_schema() -> Schema:
+    """A depth-4 biomedical schema: trials → sites → cohorts → samples.
+
+    The deep-nesting stress workload: every analysis and decision
+    procedure is exercised four set levels down.
+    """
+    return parse_schema("""
+        Trial = {<trial_id: int,
+                  sites: {<site: string,
+                           cohorts: {<cohort: int,
+                                      samples: {<sample_id: int,
+                                                 assay: string,
+                                                 value: int>}>}>}>}
+    """)
+
+
+def trial_sigma() -> list[NFD]:
+    return parse_nfds(
+        "# trial_id is the key\n"
+        "Trial:[trial_id -> sites]\n"
+        "# a site name appears in one trial only\n"
+        "Trial:[sites:site -> trial_id]\n"
+        "# sample ids determine their assay, database-wide\n"
+        "Trial:[sites:cohorts:samples:sample_id -> "
+        "sites:cohorts:samples:assay]\n"
+        "# within one cohort, a sample id has one value\n"
+        "Trial:sites:cohorts:samples:[sample_id -> value]\n"
+    )
+
+
+def trial_instance() -> Instance:
+    return Instance(trial_schema(), {"Trial": [
+        {"trial_id": 1, "sites": [
+            {"site": "philadelphia", "cohorts": [
+                {"cohort": 1, "samples": [
+                    {"sample_id": 100, "assay": "rna", "value": 5},
+                    {"sample_id": 101, "assay": "rna", "value": 7},
+                ]},
+                {"cohort": 2, "samples": [
+                    {"sample_id": 100, "assay": "rna", "value": 9},
+                ]},
+            ]},
+        ]},
+        {"trial_id": 2, "sites": [
+            {"site": "boston", "cohorts": [
+                {"cohort": 1, "samples": [
+                    {"sample_id": 200, "assay": "dna", "value": 1},
+                ]},
+            ]},
+        ]},
+    ]})
+
+
+# ---------------------------------------------------------------- Warehouse
+
+def warehouse_schema() -> Schema:
+    """Two sources and a warehouse view over nested purchase data."""
+    return parse_schema("""
+        StoreA = {<order_id: int, customer: string,
+                   lines: {<sku: string, description: string,
+                            qty: int>}>} ;
+        StoreB = {<order_id: int, customer: string,
+                   lines: {<sku: string, description: string,
+                            qty: int>}>} ;
+        Warehouse = {<customer: string,
+                      orders: {<order_id: int,
+                                lines: {<sku: string,
+                                         description: string,
+                                         qty: int>}>}>}
+    """)
+
+
+def warehouse_sigma() -> list[NFD]:
+    return parse_nfds("""
+        # order ids are keys within each source
+        StoreA:[order_id -> customer]
+        StoreA:[order_id -> lines]
+        StoreB:[order_id -> customer]
+        StoreB:[order_id -> lines]
+        # skus have a single description within each source
+        StoreA:[lines:sku -> lines:description]
+        StoreB:[lines:sku -> lines:description]
+        # in the integrated view: order ids determine their line sets
+        Warehouse:[orders:order_id -> orders:lines]
+        # ... and a sku's description is consistent across the warehouse
+        Warehouse:[orders:lines:sku -> orders:lines:description]
+        # a line is unique per sku within one order
+        Warehouse:orders:lines:[sku -> qty]
+    """)
+
+
+def warehouse_instance() -> Instance:
+    lines_a = [{"sku": "widget", "description": "Widget", "qty": 2},
+               {"sku": "gadget", "description": "Gadget", "qty": 1}]
+    lines_b = [{"sku": "widget", "description": "Widget", "qty": 5}]
+    return Instance(warehouse_schema(), {
+        "StoreA": [
+            {"order_id": 1, "customer": "ada", "lines": lines_a},
+        ],
+        "StoreB": [
+            {"order_id": 2, "customer": "ada", "lines": lines_b},
+        ],
+        "Warehouse": [
+            {"customer": "ada",
+             "orders": [
+                 {"order_id": 1, "lines": lines_a},
+                 {"order_id": 2, "lines": lines_b},
+             ]},
+        ],
+    })

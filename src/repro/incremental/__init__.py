@@ -1,0 +1,5 @@
+"""Incremental constraint maintenance."""
+
+from .checker import Conflict, IncrementalChecker
+
+__all__ = ["IncrementalChecker", "Conflict"]

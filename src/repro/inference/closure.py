@@ -1,0 +1,515 @@
+"""The closure engine: computing ``(x0, X, Sigma)*`` (Theorem 3.1).
+
+The engine decides logical implication of NFDs by computing closures of
+path sets, generalizing the classical Armstrong closure to the nested
+setting.  It works internally on *simple* NFDs (base = relation name):
+``x0:[X -> q]`` is derivable iff its canonical simple form is
+(push-in/pull-out, Section 2.3), so every query is first translated via
+:func:`repro.nfd.simple_form.to_simple`'s prefix expansion.
+
+For one relation the engine saturates a family of closure queries
+``CL(L) = {q : R:[L -> q] derivable}``:
+
+* **reflexivity** seeds ``CL(L)`` with ``L``;
+* **transitivity + prefix** — for every *usable* NFD ``[M -> r]``, add
+  ``r`` when every ``p in M`` is *covered*: ``p in CL(L)``, or some
+  non-empty proper prefix ``p' in CL(L)`` with ``p'`` not a prefix of
+  ``r`` (iterated applications of the prefix rule collapse to this single
+  test because a prefix of a prefix of ``r`` would itself prefix ``r``);
+* **full-locality** — every usable NFD whose RHS extends a set path ``x``
+  contributes a localized variant ``[{x} u (M under x) -> r]``, sound
+  without empty sets because an NFD with RHS under ``x`` already forces
+  within-``x`` agreement via the diagonal pair of Definition 2.4 (see the
+  discussion of Example 3.1; localized variants subsume the paper's
+  locality rule and, combined with coverage, its full-locality);
+* **singleton** — for every set path ``s`` of element type
+  ``{<A1..An>}`` and every split ``s = ybar:x``, the NFD
+  ``[prefixes(ybar), s:A1..s:An -> s]`` becomes usable once every
+  ``s:Ai`` lies in ``CL(prefixes(ybar) u {s})`` — the simple-form image
+  of the paper's singleton premises at base ``R:ybar``.
+
+All queries of a relation share the usable-NFD pool and are saturated to
+a global fixpoint; monotonicity over the finite path set guarantees
+termination.
+
+Passing a :class:`~repro.inference.empty_sets.NonEmptySpec` switches the
+engine to the Section 3.2 rules: prefix shortening requires the shortened
+positions to be declared non-empty, and intermediates of a transitivity
+step (and paths dropped by localization) must follow the conclusion's RHS
+or traverse only declared-non-empty sets.  With ``NonEmptySpec.all_nonempty()``
+(the default) the gates all pass and the engine implements the plain
+Section 3.1 system, which Theorem 3.1 proves sound and complete.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import InferenceError, NFDError
+from ..nfd.nfd import NFD
+from ..nfd.simple_form import to_simple
+from ..paths.path import Path
+from ..paths.typing import relation_paths, set_paths, type_at
+from ..types.base import SetType
+from ..types.schema import Schema
+from .empty_sets import NonEmptySpec
+
+__all__ = ["ClosureEngine"]
+
+
+class _Usable:
+    """A simple NFD ``[lhs -> rhs]`` in the engine's working pool.
+
+    ``origin`` is one of ``"sigma"``, ``"localized"``, ``"singleton"``;
+    ``detail`` carries the provenance: the index into Sigma, a
+    ``(source usable, localization prefix)`` pair, or the singleton
+    candidate, respectively.  Provenance feeds ``ClosureEngine.explain``.
+    """
+
+    __slots__ = ("lhs", "rhs", "origin", "detail")
+
+    def __init__(self, lhs: frozenset[Path], rhs: Path, origin: str,
+                 detail=None):
+        self.lhs = lhs
+        self.rhs = rhs
+        self.origin = origin
+        self.detail = detail
+
+    def key(self) -> tuple[frozenset[Path], Path]:
+        return (self.lhs, self.rhs)
+
+    def describe(self, sigma) -> str:
+        inner = ", ".join(str(p) for p in sorted(self.lhs)) or "∅"
+        body = f"[{inner} -> {self.rhs}]"
+        if self.origin == "sigma":
+            return f"{body} (Sigma member {sigma[self.detail]})"
+        if self.origin == "localized":
+            source, prefix = self.detail
+            return (f"{body} (full-locality at {prefix} of "
+                    f"{source.describe(sigma)})")
+        if self.origin == "singleton":
+            return f"{body} (singleton rule on {self.rhs})"
+        return body  # pragma: no cover - no other origins exist
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(p) for p in sorted(self.lhs)) or "∅"
+        return f"_Usable([{inner} -> {self.rhs}] from {self.origin})"
+
+
+class _SingletonCandidate:
+    """A gated singleton NFD for set path ``s`` at split base ``ybar``."""
+
+    __slots__ = ("set_path", "split", "premise_lhs", "targets", "usable")
+
+    def __init__(self, set_path: Path, split: Path,
+                 premise_lhs: frozenset[Path],
+                 targets: frozenset[Path], usable: _Usable):
+        self.set_path = set_path
+        self.split = split
+        self.premise_lhs = premise_lhs
+        self.targets = targets
+        self.usable = usable
+
+    def key(self) -> tuple[Path, Path]:
+        return (self.set_path, self.split)
+
+
+class ClosureEngine:
+    """Closure computation and implication for a schema and NFD set.
+
+    Example::
+
+        engine = ClosureEngine(schema, nfds)
+        engine.implies(NFD.parse("R:A:[B -> E]"))       # True/False
+        engine.closure(parse_path("R:A"), {parse_path("B")})
+
+    The engine caches its saturation state, so asking many queries against
+    the same ``(schema, Sigma)`` is cheap after the first.
+    """
+
+    def __init__(self, schema: Schema, sigma: Iterable[NFD],
+                 nonempty: NonEmptySpec | None = None):
+        self.schema = schema
+        self.nonempty = nonempty if nonempty is not None \
+            else NonEmptySpec.all_nonempty()
+        self.sigma = tuple(sigma)
+        for nfd in self.sigma:
+            nfd.check_well_formed(schema)
+
+        # Per-relation state.
+        self._usable: dict[str, list[_Usable]] = {
+            name: [] for name in schema.relation_names
+        }
+        self._usable_keys: dict[str, set] = {
+            name: set() for name in schema.relation_names
+        }
+        self._queries: dict[str, dict[frozenset[Path], set[Path]]] = {
+            name: {} for name in schema.relation_names
+        }
+        self._candidates: dict[str, list[_SingletonCandidate]] = {
+            name: [] for name in schema.relation_names
+        }
+        self._activated: dict[str, set] = {
+            name: set() for name in schema.relation_names
+        }
+        self._paths: dict[str, frozenset[Path]] = {
+            name: frozenset(relation_paths(schema, name))
+            for name in schema.relation_names
+        }
+
+        # provenance: (query key, derived path) -> (usable, used paths)
+        self._provenance: dict[str, dict] = {
+            name: {} for name in schema.relation_names
+        }
+
+        for index, nfd in enumerate(self.sigma):
+            simple = to_simple(nfd)
+            self._add_usable(
+                simple.relation,
+                _Usable(simple.lhs, simple.rhs, "sigma", index))
+        self._build_singleton_candidates()
+
+    # -- pool construction -------------------------------------------------
+
+    def _add_usable(self, relation: str, usable: _Usable) -> None:
+        """Add a usable NFD plus its admissible localized variants."""
+        if usable.key() in self._usable_keys[relation]:
+            return
+        self._usable_keys[relation].add(usable.key())
+        self._usable[relation].append(usable)
+        for variant in self._localizations(relation, usable):
+            if variant.key() not in self._usable_keys[relation]:
+                self._usable_keys[relation].add(variant.key())
+                self._usable[relation].append(variant)
+
+    def _localizations(self, relation: str, usable: _Usable) \
+            -> list[_Usable]:
+        """Localized variants ``[{x} u (lhs under x) -> rhs]``.
+
+        One variant per non-empty proper prefix ``x`` of the RHS.  In
+        non-empty-gated mode a variant is admitted only when every
+        dropped LHS path follows the RHS or is always defined.
+        """
+        variants: list[_Usable] = []
+        rhs = usable.rhs
+        for length in range(1, len(rhs)):
+            x = rhs[:length]
+            kept = {p for p in usable.lhs if x.is_proper_prefix_of(p)}
+            dropped = usable.lhs - kept - {x}
+            if not self.nonempty.declares_everything:
+                admissible = all(
+                    p.follows(rhs) or
+                    self.nonempty.always_defined(relation, p)
+                    for p in dropped
+                )
+                if not admissible:
+                    continue
+            variants.append(_Usable(frozenset(kept) | {x}, rhs,
+                                    "localized", (usable, x)))
+        return variants
+
+    def _build_singleton_candidates(self) -> None:
+        for relation in self.schema.relation_names:
+            element = self.schema.element_type(relation)
+            for s in set_paths(self.schema, relation):
+                s_type = type_at(element, s)
+                assert isinstance(s_type, SetType)
+                attributes = s_type.element.labels
+                attribute_paths = frozenset(
+                    s.child(label) for label in attributes
+                )
+                for split_length in range(len(s)):
+                    ybar = s[:split_length]
+                    prefix_paths = frozenset(
+                        ybar[:k] for k in range(1, len(ybar) + 1)
+                    )
+                    candidate = _SingletonCandidate(
+                        s, ybar,
+                        premise_lhs=prefix_paths | {s},
+                        targets=attribute_paths,
+                        usable=None,
+                    )
+                    candidate.usable = _Usable(
+                        prefix_paths | attribute_paths, s, "singleton",
+                        candidate,
+                    )
+                    self._candidates[relation].append(candidate)
+
+    # -- saturation ----------------------------------------------------------
+
+    def _ensure(self, relation: str, key: frozenset[Path]) -> set[Path]:
+        queries = self._queries[relation]
+        if key not in queries:
+            queries[key] = set(key)
+        return queries[key]
+
+    def _covered(self, relation: str, path: Path, closure_set: set[Path],
+                 rhs: Path) -> Path | None:
+        """Coverage check for one LHS member; returns the path used.
+
+        Returns *path* itself when it is in the closure, a shortened
+        prefix when the prefix rule applies, or None when uncovered.
+        Shortening to ``p[:k]`` requires (a) ``p[:k]`` in the closure,
+        (b) ``p[:k]`` not a prefix of *rhs*, and in gated mode (c) every
+        shortening result ``p[:j]``, ``k <= j < len(p)``, declared
+        non-empty.
+        """
+        if path in closure_set:
+            return path
+        gate_ok = True
+        for k in range(len(path) - 1, 0, -1):
+            shortened = path[:k]
+            if not self.nonempty.declares_everything:
+                if not self.nonempty.is_declared(relation, shortened):
+                    gate_ok = False
+            if not gate_ok:
+                return None
+            if shortened in closure_set and \
+                    not shortened.is_prefix_of(rhs):
+                return shortened
+        return None
+
+    def _apply_usable(self, relation: str, key: frozenset[Path],
+                      closure_set: set[Path], usable: _Usable) -> bool:
+        """Try one transitivity step; returns True if the closure grew."""
+        if usable.rhs in closure_set:
+            return False
+        used: list[Path] = []
+        member_pairs: list[tuple[Path, Path]] = []
+        for member in usable.lhs:
+            found = self._covered(relation, member, closure_set,
+                                  usable.rhs)
+            if found is None:
+                return False
+            used.append(found)
+            member_pairs.append((member, found))
+        if not self.nonempty.declares_everything:
+            # Section 3.2 transitivity gate on the intermediates.
+            for intermediate in used:
+                if intermediate in key:
+                    continue
+                if intermediate.follows(usable.rhs):
+                    continue
+                if self.nonempty.always_defined(relation, intermediate):
+                    continue
+                return False
+        closure_set.add(usable.rhs)
+        self._provenance[relation][(key, usable.rhs)] = \
+            (usable, tuple(member_pairs))
+        return True
+
+    def _saturate(self, relation: str) -> None:
+        queries = self._queries[relation]
+        candidates = self._candidates[relation]
+        activated = self._activated[relation]
+        while True:
+            changed = False
+            for candidate in candidates:
+                if candidate.key() in activated:
+                    continue
+                premise_closure = self._ensure(relation,
+                                               candidate.premise_lhs)
+                if candidate.targets <= premise_closure:
+                    activated.add(candidate.key())
+                    self._add_usable(relation, candidate.usable)
+                    changed = True
+            usable_pool = self._usable[relation]
+            for key in list(queries):
+                closure_set = queries[key]
+                for usable in usable_pool:
+                    if self._apply_usable(relation, key, closure_set,
+                                          usable):
+                        changed = True
+            if not changed:
+                return
+
+    # -- public API -----------------------------------------------------------
+
+    def closure_simple(self, relation: str, lhs: Iterable[Path]) \
+            -> frozenset[Path]:
+        """``CL(L)`` at a relation-name base: all derivable RHS paths.
+
+        The result contains the seed paths themselves (reflexivity) and
+        is restricted to well-typed paths of the relation.
+        """
+        if relation not in self.schema:
+            raise InferenceError(f"unknown relation {relation!r}")
+        key = frozenset(lhs)
+        for path in key:
+            if path not in self._paths[relation]:
+                raise InferenceError(
+                    f"path {path} is not well-typed in relation "
+                    f"{relation!r}"
+                )
+        self._ensure(relation, key)
+        self._saturate(relation)
+        return frozenset(self._queries[relation][key])
+
+    def closure(self, base: Path, lhs: Iterable[Path]) \
+            -> frozenset[Path]:
+        """``(x0, X, Sigma)*`` relative to the base path *x0*.
+
+        Returns the relative paths ``q`` such that ``x0:[X -> q]`` is
+        derivable, computed through the simple-form translation::
+
+            x0:[X -> q]  <=>  R:[prefixes(ybar), ybar:X -> ybar:q]
+
+        In gated (Section 3.2) mode the backward direction of that
+        equivalence — pull-out — needs its own definedness gate: with
+        empty sets, Definition 2.4's trivially-true clause can excuse a
+        *simple-form* pair because of an undefined branch in one element
+        of the base set while the *local* form still constrains a
+        sibling element.  A simple-form derivation therefore only
+        transfers to the local reading when every LHS path and the
+        conclusion traverse only sets declared non-empty (inside the
+        base's elements); NFDs stated at this exact base in Sigma are
+        additionally honoured directly (augmentation is sound under
+        empty sets).
+        """
+        relation = base.first
+        ybar = base.tail
+        lhs_set = frozenset(lhs)
+        prefix_paths = {ybar[:k] for k in range(1, len(ybar) + 1)}
+        simple_lhs = prefix_paths | {ybar.concat(x) for x in lhs_set}
+        simple_closure = self.closure_simple(relation, simple_lhs)
+        result = frozenset(
+            p.strip_prefix(ybar) for p in simple_closure
+            if ybar.is_proper_prefix_of(p)
+        )
+        if self.nonempty.declares_everything or ybar.is_empty:
+            return result
+        # Base-chain gate: a set at depth >= 2 of the chain can be empty
+        # in one branch while a sibling branch carries a live local
+        # constraint, so those positions must be declared non-empty.
+        # The first level is exempt: one branch point per tuple means
+        # emptiness there kills the tuple's local constraints entirely,
+        # which the simple form's excusal matches exactly.
+        chain_defined = all(
+            self.nonempty.is_declared(relation, ybar[:k])
+            for k in range(2, len(ybar) + 1)
+        )
+        lhs_defined = chain_defined and all(
+            self.nonempty.always_defined(relation, p, base_tail=ybar)
+            for p in lhs_set
+        )
+        gated: set[Path] = set()
+        for q in result:
+            if q in lhs_set:
+                gated.add(q)  # reflexivity needs no gate
+            elif lhs_defined and self.nonempty.always_defined(
+                    relation, q, base_tail=ybar):
+                gated.add(q)
+            elif self._stated_at_base(base, lhs_set, q):
+                gated.add(q)
+        return frozenset(gated)
+
+    def _stated_at_base(self, base: Path, lhs_set: frozenset[Path],
+                        q: Path) -> bool:
+        """Is ``base:[lhs -> q]`` a (possibly augmented) Sigma member?"""
+        return any(
+            nfd.base == base and nfd.rhs == q and nfd.lhs <= lhs_set
+            for nfd in self.sigma
+        )
+
+    def implies(self, nfd: NFD) -> bool:
+        """Decide ``Sigma |= nfd`` (Definition 3.1) via the closure."""
+        try:
+            nfd.check_well_formed(self.schema)
+        except NFDError as exc:
+            raise InferenceError(str(exc)) from exc
+        return nfd.rhs in self.closure(nfd.base, nfd.lhs)
+
+    def implies_all(self, nfds: Iterable[NFD]) -> bool:
+        """True iff every NFD in *nfds* is implied."""
+        return all(self.implies(nfd) for nfd in nfds)
+
+    def usable_pool(self, relation: str) -> list[tuple[frozenset[Path],
+                                                       Path, str]]:
+        """Introspection: the current usable-NFD pool (for debugging)."""
+        return [(u.lhs, u.rhs, u.origin) for u in self._usable[relation]]
+
+    # -- explanations ------------------------------------------------------------
+
+    def explain(self, nfd: NFD) -> "Explanation":
+        """A human-readable justification of why *nfd* is implied.
+
+        Reconstructs the saturation steps from the engine's provenance:
+        each derived path points at the usable NFD that produced it
+        (a Sigma member, a full-locality variant, or a gated singleton
+        NFD) and, recursively, at the justifications of the paths its
+        LHS needed.  Raises :class:`InferenceError` when the NFD is not
+        implied.
+        """
+        if not self.implies(nfd):
+            raise InferenceError(
+                f"{nfd} is not implied; ask find_countermodel for a "
+                "separating instance instead"
+            )
+        relation = nfd.relation
+        simple = to_simple(nfd)
+        key = frozenset(simple.lhs)
+        return Explanation(self, nfd, relation, key, simple.rhs)
+
+
+class Explanation:
+    """A lazy justification tree over the engine's provenance."""
+
+    def __init__(self, engine: ClosureEngine, nfd: NFD, relation: str,
+                 key: frozenset[Path], target: Path):
+        self.engine = engine
+        self.nfd = nfd
+        self.relation = relation
+        self.key = key
+        self.target = target
+
+    def to_text(self) -> str:
+        lines = [f"{self.nfd} holds:"]
+        if len(self.nfd.base) > 1:
+            simple = to_simple(self.nfd)
+            lines.append(
+                f"  in simple form (push-in): {simple}"
+            )
+        seen: set[tuple] = set()
+        self._justify(self.target, self.key, 1, lines, seen)
+        return "\n".join(lines)
+
+    def _justify(self, path: Path, key: frozenset[Path], depth: int,
+                 lines: list[str], seen: set[tuple]) -> None:
+        pad = "  " * depth
+        slot = (key, path)
+        if path in key:
+            lines.append(f"{pad}{path} is given (reflexivity)")
+            return
+        if slot in seen:
+            lines.append(f"{pad}{path}: shown above")
+            return
+        seen.add(slot)
+        record = self.engine._provenance[self.relation].get(slot)
+        if record is None:  # pragma: no cover - defensive
+            lines.append(f"{pad}{path}: (no recorded step)")
+            return
+        usable, member_pairs = record
+        lines.append(
+            f"{pad}{path} by transitivity with "
+            f"{usable.describe(self.engine.sigma)}"
+        )
+        if usable.origin == "singleton":
+            candidate = usable.detail
+            lines.append(
+                f"{pad}  singleton premises: every attribute of "
+                f"{candidate.set_path} is determined by the set "
+                f"(closure of {sorted(map(str, candidate.premise_lhs))})"
+            )
+        for member, used in member_pairs:
+            if used != member:
+                lines.append(
+                    f"{pad}  {member} covered via its prefix {used} "
+                    "(prefix rule)"
+                )
+            self._justify(used, key, depth + 1, lines, seen)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def __repr__(self) -> str:
+        return f"Explanation(of={self.nfd})"

@@ -1,0 +1,222 @@
+"""The Appendix-A counterexample construction (completeness witness).
+
+Given a closure ``(x0, X, Sigma)*``, the construction builds an instance
+``I`` that satisfies ``Sigma`` but violates ``x0:[X -> y]`` for every
+well-typed ``y`` outside the closure — the heart of the completeness
+direction of Theorem 3.1.  The shape follows the paper's pseudo-code:
+
+* one global token value ``val`` is shared by *all* closure paths
+  (``value(p) := assignVal(val, p)``), so any two bindings agree wherever
+  the closure forces agreement;
+* ``assignX_0`` builds a singleton chain from the relation down to the
+  base path and places *two* elements in the base set: the pair
+  ``(v1, v2)`` that agrees on the closure and differs (via fresh values)
+  everywhere else;
+* ``assignNew`` gives unconstrained positions fresh values, except that a
+  set all of whose attributes lie in the closure receives a second row
+  (``newRow``) agreeing exactly on the *locally constant* paths
+  ``(p, ∅)*`` — without it, such a set would accidentally collapse to a
+  singleton and satisfy dependencies the closure does not imply.
+
+The construction requires infinite base-type domains; ``bool`` paths make
+it raise :class:`InferenceError`.  Instances are built without empty
+sets, matching the Section 3 assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import InferenceError
+from ..nfd.nfd import NFD
+from ..paths.path import Path
+from ..paths.typing import type_at
+from ..types.base import BaseType, SetType, Type
+from ..values.build import Instance
+from ..values.value import Atom, Record, SetValue, Value
+from .closure import ClosureEngine
+
+__all__ = ["CountermodelBuilder", "build_countermodel",
+           "find_countermodel"]
+
+
+class CountermodelBuilder:
+    """Builds Appendix-A instances against one :class:`ClosureEngine`."""
+
+    def __init__(self, engine: ClosureEngine):
+        self.engine = engine
+        self.schema = engine.schema
+        self._fresh = 0
+        self._values: dict[Path, Value] = {}
+        self._closure: frozenset[Path] = frozenset()
+        self._token = 0
+
+    # -- machinery ----------------------------------------------------------
+
+    def _type_of(self, path: Path) -> Type:
+        relation = path.first
+        if len(path) == 1:
+            return self.schema.relation_type(relation)
+        return type_at(self.schema.element_type(relation), path.tail)
+
+    def _new_value(self, base_type: BaseType) -> Atom:
+        self._fresh += 1
+        if base_type.name == "int":
+            return Atom(self._fresh)
+        if base_type.name == "string":
+            return Atom(f"v{self._fresh}")
+        raise InferenceError(
+            "the countermodel construction needs an infinite domain; "
+            "bool-typed paths are not supported (the paper assumes "
+            "infinite base domains)"
+        )
+
+    def _token_value(self, base_type: BaseType) -> Atom:
+        if base_type.name == "int":
+            return Atom(self._token)
+        if base_type.name == "string":
+            return Atom(f"v{self._token}")
+        raise InferenceError(
+            "the countermodel construction needs an infinite domain; "
+            "bool-typed paths are not supported"
+        )
+
+    def _value(self, path: Path) -> Value:
+        """The paper's global ``value(p)``, computed lazily and memoized."""
+        if path not in self._values:
+            self._values[path] = self._assign_val(path)
+        return self._values[path]
+
+    # -- the paper's four functions ------------------------------------------
+
+    def _assign_val(self, path: Path) -> Value:
+        """``assignVal(val, p)``: the shared-token value of a path."""
+        path_type = self._type_of(path)
+        if isinstance(path_type, BaseType):
+            return self._token_value(path_type)
+        assert isinstance(path_type, SetType)
+        element = path_type.element
+        rows = []
+        for _ in range(2):
+            fields = []
+            for label in element.labels:
+                child = path.child(label)
+                if child in self._closure:
+                    fields.append((label, self._value(child)))
+                else:
+                    fields.append((label, self._assign_new(child)))
+            rows.append(Record(fields))
+        # When every attribute lies in the closure the two rows coincide
+        # and the set is a singleton, exactly as in Example A.1's B.
+        return SetValue(rows)
+
+    def _assign_new(self, path: Path) -> Value:
+        """``assignNew(p)``: fresh values for an unconstrained position."""
+        path_type = self._type_of(path)
+        if isinstance(path_type, BaseType):
+            return self._new_value(path_type)
+        assert isinstance(path_type, SetType)
+        element = path_type.element
+        fields = []
+        all_in_closure = True
+        for label in element.labels:
+            child = path.child(label)
+            if child in self._closure:
+                fields.append((label, self._value(child)))
+            else:
+                all_in_closure = False
+                fields.append((label, self._assign_new(child)))
+        first_row = Record(fields)
+        if all_in_closure:
+            same_val = self._locally_constant(path)
+            return SetValue({first_row, self._new_row(path, same_val)})
+        return SetValue({first_row})
+
+    def _locally_constant(self, path: Path) -> frozenset[Path]:
+        """``(p, ∅)*``: the paths forced constant within the set at *p*."""
+        relative = self.engine.closure(path, ())
+        return frozenset(path.concat(q) for q in relative)
+
+    def _new_row(self, path: Path, same_val: frozenset[Path]) -> Record:
+        """``newRow(p, sameVal)``: agree on *same_val*, fresh elsewhere."""
+        element_type = self._type_of(path)
+        assert isinstance(element_type, SetType)
+        fields = []
+        for label in element_type.element.labels:
+            child = path.child(label)
+            if child in same_val:
+                fields.append((label, self._value(child)))
+                continue
+            child_type = self._type_of(child)
+            if isinstance(child_type, BaseType):
+                fields.append((label, self._new_value(child_type)))
+            else:
+                fields.append(
+                    (label, SetValue({self._new_row(child, same_val)}))
+                )
+        return Record(fields)
+
+    def _assign_x0(self, path: Path, base: Path) -> SetValue:
+        """``assignX_0(p)``: singleton chain down to the base, then split."""
+        if path == base:
+            result = self._assign_val(path)
+            assert isinstance(result, SetValue)
+            return result
+        path_type = self._type_of(path)
+        assert isinstance(path_type, SetType)
+        fields = []
+        for label in path_type.element.labels:
+            child = path.child(label)
+            if child.is_prefix_of(base):
+                fields.append((label, self._assign_x0(child, base)))
+            else:
+                fields.append((label, self._assign_new(child)))
+        return SetValue({Record(fields)})
+
+    # -- public API -----------------------------------------------------------
+
+    def build(self, base: Path, lhs: Iterable[Path]) -> Instance:
+        """Construct the instance for the query ``(base, lhs)``.
+
+        The result satisfies every NFD of the engine's ``Sigma`` and
+        violates ``base:[lhs -> y]`` for every well-typed ``y`` not in
+        the closure (Lemma A.1); the test suite verifies both claims
+        semantically.
+        """
+        lhs_set = frozenset(lhs)
+        relative_closure = self.engine.closure(base, lhs_set)
+        self._closure = frozenset(base.concat(q) for q in relative_closure)
+        self._values = {}
+        self._fresh = 0
+        self._token = 0
+        self._fresh = self._token  # fresh values start above the token
+
+        relations: dict[str, SetValue] = {}
+        target = base.first
+        relations[target] = self._assign_x0(Path((target,)), base)
+        for name in self.schema.relation_names:
+            if name == target:
+                continue
+            other = self._assign_new(Path((name,)))
+            assert isinstance(other, SetValue)
+            relations[name] = other
+        return Instance(self.schema, relations)
+
+
+def build_countermodel(engine: ClosureEngine, base: Path,
+                       lhs: Iterable[Path]) -> Instance:
+    """One-shot convenience wrapper around :class:`CountermodelBuilder`."""
+    return CountermodelBuilder(engine).build(base, lhs)
+
+
+def find_countermodel(engine: ClosureEngine, nfd: NFD) -> Instance | None:
+    """An instance separating ``Sigma`` from *nfd*, or None if implied.
+
+    When the closure does not contain the NFD's RHS, the Appendix-A
+    instance is the separator; when it does, Theorem 3.1 (soundness) says
+    none exists.
+    """
+    nfd.check_well_formed(engine.schema)
+    if engine.implies(nfd):
+        return None
+    return build_countermodel(engine, nfd.base, nfd.lhs)

@@ -1,0 +1,174 @@
+"""Derivations: machine-checked proof scripts over the NFD rules.
+
+A :class:`Derivation` is a sequence of named steps.  Each step records the
+rule used, the premises (given NFDs or earlier steps, referenced by
+label), the parameters, and the concluded NFD.  Steps are *checked on
+construction* by re-running the rule, so a Derivation that exists is a
+valid proof.  :meth:`Derivation.to_text` renders the proof in the style of
+the worked example in Section 3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import InferenceError
+from ..nfd.nfd import NFD
+from ..paths.path import Path
+from ..types.schema import Schema
+from . import rules
+
+__all__ = ["Derivation", "Step"]
+
+
+class Step:
+    """One proof step: ``conclusion`` derived by ``rule`` from premises."""
+
+    __slots__ = ("label", "rule", "premise_labels", "conclusion", "note")
+
+    def __init__(self, label: str, rule: str,
+                 premise_labels: tuple[str, ...], conclusion: NFD,
+                 note: str = ""):
+        self.label = label
+        self.rule = rule
+        self.premise_labels = premise_labels
+        self.conclusion = conclusion
+        self.note = note
+
+    def __repr__(self) -> str:
+        return f"Step({self.label}: {self.conclusion} by {self.rule})"
+
+
+class Derivation:
+    """A checked sequence of rule applications.
+
+    Usage mirrors the paper's proofs::
+
+        d = Derivation(schema, {"nfd1": f1, "nfd2": f2})
+        d.locality("1", "nfd1")
+        d.prefix("2", "1", long_path=parse_path("B:C"))
+        ...
+        d.conclusion("8")   # the proven NFD
+
+    Premises of each step are referenced by the label of an earlier step
+    or of a hypothesis.  Every application re-runs the rule, so an invalid
+    script raises immediately.
+    """
+
+    def __init__(self, schema: Schema,
+                 hypotheses: dict[str, NFD] | None = None):
+        self.schema = schema
+        self._facts: dict[str, NFD] = {}
+        self._steps: list[Step] = []
+        for label, nfd in (hypotheses or {}).items():
+            nfd.check_well_formed(schema)
+            self._facts[label] = nfd
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def fact(self, label: str) -> NFD:
+        """Look up a hypothesis or a previously concluded step."""
+        try:
+            return self._facts[label]
+        except KeyError:
+            raise InferenceError(
+                f"unknown premise label {label!r}; known labels: "
+                f"{', '.join(self._facts)}"
+            ) from None
+
+    @property
+    def steps(self) -> list[Step]:
+        return list(self._steps)
+
+    def conclusion(self, label: str | None = None) -> NFD:
+        """The NFD proved by step *label* (default: the last step)."""
+        if label is not None:
+            return self.fact(label)
+        if not self._steps:
+            raise InferenceError("the derivation has no steps yet")
+        return self._steps[-1].conclusion
+
+    def _record(self, label: str, rule: str,
+                premise_labels: Iterable[str], conclusion: NFD,
+                note: str = "") -> NFD:
+        if label in self._facts:
+            raise InferenceError(f"step label {label!r} is already used")
+        conclusion.check_well_formed(self.schema)
+        step = Step(label, rule, tuple(premise_labels), conclusion, note)
+        self._steps.append(step)
+        self._facts[label] = conclusion
+        return conclusion
+
+    # -- the eight rules ---------------------------------------------------
+
+    def reflexivity(self, label: str, base: Path,
+                    lhs: Iterable[Path], member: Path) -> NFD:
+        concluded = rules.reflexivity(base, lhs, member)
+        return self._record(label, "reflexivity", (), concluded)
+
+    def augmentation(self, label: str, premise: str,
+                     extra: Iterable[Path]) -> NFD:
+        concluded = rules.augmentation(self.fact(premise), extra)
+        return self._record(label, "augmentation", (premise,), concluded)
+
+    def transitivity(self, label: str, premises: Sequence[str],
+                     bridge: str) -> NFD:
+        concluded = rules.transitivity(
+            [self.fact(p) for p in premises], self.fact(bridge)
+        )
+        return self._record(label, "transitivity",
+                            tuple(premises) + (bridge,), concluded)
+
+    def push_in(self, label: str, premise: str) -> NFD:
+        concluded = rules.push_in(self.fact(premise))
+        return self._record(label, "push-in", (premise,), concluded)
+
+    def pull_out(self, label: str, premise: str) -> NFD:
+        concluded = rules.pull_out(self.fact(premise))
+        return self._record(label, "pull-out", (premise,), concluded)
+
+    def locality(self, label: str, premise: str) -> NFD:
+        concluded = rules.locality(self.fact(premise))
+        return self._record(label, "locality", (premise,), concluded)
+
+    def singleton(self, label: str, premises: Sequence[str]) -> NFD:
+        concluded = rules.singleton(
+            [self.fact(p) for p in premises], self.schema
+        )
+        return self._record(label, "singleton", tuple(premises), concluded)
+
+    def prefix(self, label: str, premise: str, long_path: Path) -> NFD:
+        concluded = rules.prefix(self.fact(premise), long_path)
+        return self._record(label, "prefix", (premise,), concluded)
+
+    # -- the Section 3.2 extension used by compiled proofs -----------------
+
+    def full_locality(self, label: str, premise: str, x: Path) -> NFD:
+        """Full-locality (Section 3.2's six-rule system; see DESIGN.md
+        3.2.1 for why compiled proofs need it)."""
+        from .simple_rules import full_locality as _full_locality
+        concluded = _full_locality(self.fact(premise), x)
+        return self._record(label, "full-locality", (premise,),
+                            concluded)
+
+    # -- rendering ---------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Render the proof in the numbered style of Section 3.1."""
+        lines: list[str] = []
+        for step in self._steps:
+            if step.premise_labels:
+                premises = " of " + ", ".join(
+                    f"({p})" for p in step.premise_labels
+                )
+            else:
+                premises = ""
+            line = (f"{step.label}. {step.conclusion}  "
+                    f"by {step.rule}{premises}")
+            if step.note:
+                line += f"  -- {step.note}"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._steps)

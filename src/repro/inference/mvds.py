@@ -1,0 +1,159 @@
+"""Multivalued dependencies: the second classical comparison point.
+
+The paper's abstract positions NFDs against "existing notions of
+functional, multi-valued, or join dependencies".  This module supplies
+the multivalued side of that comparison for flat relations:
+
+* :class:`MVD` — ``X ->> Y`` with the standard exchange semantics;
+* :func:`satisfies_mvd` — the tuple-exchange check, and its classical
+  equivalence with binary lossless joins (tested against the chase);
+* :func:`dependency_basis` — Beeri's refinement algorithm for the mixed
+  FD+MVD implication problem;
+* :func:`implies_mvd` / :func:`implies_fd_mixed` — membership via the
+  basis: ``X ->> Y`` follows iff ``Y − X`` is a union of basis blocks;
+  ``X -> A`` follows iff ``A ∈ X`` or ``{A}`` is a singleton block and
+  ``A`` appears on the right of some given FD.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import InferenceError
+from .armstrong import FD
+
+__all__ = ["MVD", "satisfies_mvd", "dependency_basis", "implies_mvd",
+           "implies_fd_mixed"]
+
+
+class MVD:
+    """A multivalued dependency ``X ->> Y``."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Iterable[str], rhs: Iterable[str]):
+        object.__setattr__(self, "lhs", frozenset(lhs))
+        object.__setattr__(self, "rhs", frozenset(rhs))
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("MVD is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MVD) and self.lhs == other.lhs and \
+            self.rhs == other.rhs
+
+    def __hash__(self) -> int:
+        return hash(("MVD", self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        left = ", ".join(sorted(self.lhs)) or "∅"
+        right = ", ".join(sorted(self.rhs)) or "∅"
+        return f"MVD({left} ->> {right})"
+
+
+def satisfies_mvd(rows: Sequence[Mapping[str, object]],
+                  attributes: Sequence[str], mvd: MVD) -> bool:
+    """The exchange semantics: for tuples ``t1, t2`` agreeing on ``X``,
+    the tuple taking ``X ∪ Y`` from ``t1`` and the rest from ``t2`` is
+    also present."""
+    lhs = sorted(mvd.lhs)
+    swap = sorted(mvd.rhs - mvd.lhs)
+    rest = sorted(set(attributes) - mvd.lhs - mvd.rhs)
+    present = {tuple(sorted(row.items())) for row in rows}
+    by_lhs: dict[tuple, list[Mapping[str, object]]] = {}
+    for row in rows:
+        by_lhs.setdefault(tuple(row[a] for a in lhs), []).append(row)
+    for group in by_lhs.values():
+        for t1 in group:
+            for t2 in group:
+                exchanged = dict(t2)
+                for attribute in swap:
+                    exchanged[attribute] = t1[attribute]
+                if tuple(sorted(exchanged.items())) not in present:
+                    return False
+    return True
+
+
+def dependency_basis(attributes: Sequence[str], lhs: Iterable[str],
+                     fds: Iterable[FD], mvds: Iterable[MVD]) \
+        -> list[frozenset[str]]:
+    """Beeri's dependency basis of ``X`` under mixed FDs and MVDs.
+
+    Starts from the single block ``R − X`` and refines: a dependency
+    ``W ->> Z`` (an FD contributes ``W ->> {A}``) splits any block that
+    meets both ``Z`` and its complement and is disjoint from ``W``.
+    The result partitions ``R − X``.
+    """
+    universe = tuple(dict.fromkeys(attributes))
+    x_set = frozenset(lhs)
+    unknown = x_set - set(universe)
+    if unknown:
+        raise InferenceError(f"unknown attributes {sorted(unknown)}")
+    generators = [(mvd.lhs, mvd.rhs) for mvd in mvds]
+    generators += [(fd.lhs, frozenset({fd.rhs})) for fd in fds]
+    blocks: list[frozenset[str]] = []
+    start = frozenset(universe) - x_set
+    if start:
+        blocks.append(start)
+    changed = True
+    while changed:
+        changed = False
+        for w, z in generators:
+            next_blocks: list[frozenset[str]] = []
+            for block in blocks:
+                if block & w:
+                    next_blocks.append(block)
+                    continue
+                inside = block & z
+                outside = block - z
+                if inside and outside:
+                    next_blocks.append(inside)
+                    next_blocks.append(outside)
+                    changed = True
+                else:
+                    next_blocks.append(block)
+            blocks = next_blocks
+    return sorted(set(blocks), key=lambda b: (len(b), sorted(b)))
+
+
+def implies_mvd(attributes: Sequence[str], fds: Iterable[FD],
+                mvds: Iterable[MVD], candidate: MVD) -> bool:
+    """``F ∪ M |= X ->> Y`` iff ``Y − X`` is a union of basis blocks."""
+    basis = dependency_basis(attributes, candidate.lhs, fds, mvds)
+    remainder = candidate.rhs - candidate.lhs
+    covered: set[str] = set()
+    for block in basis:
+        if block <= remainder:
+            covered |= block
+    return covered == remainder
+
+
+def implies_fd_mixed(attributes: Sequence[str], fds: Iterable[FD],
+                     mvds: Iterable[MVD], candidate: FD) -> bool:
+    """``F ∪ M |= X -> A`` via the coalescence fixpoint.
+
+    Grow the set of attributes functionally determined by ``X``: the
+    coalescence rule (``X ->> Y``, ``Z -> A``, ``A ∈ Y``, ``Z ∩ Y = ∅``
+    gives ``X -> A``) fires whenever a basis block ``B`` of the current
+    closure contains some FD's RHS and is disjoint from its LHS — this
+    subsumes the classical Armstrong step (``V ⊆ closure`` makes ``V``
+    disjoint from every block), so the fixpoint is the full mixed FD
+    closure.  Validated in the tests against Armstrong closure on the
+    pure-FD fragment and against random models on the mixed one.
+    """
+    fd_list = list(fds)
+    mvd_list = list(mvds)
+    known = set(candidate.lhs)
+    changed = True
+    while changed:
+        changed = False
+        basis = dependency_basis(attributes, known, fd_list, mvd_list)
+        for fd in fd_list:
+            if fd.rhs in known:
+                continue
+            for block in basis:
+                if fd.rhs in block and not (fd.lhs & block):
+                    known.add(fd.rhs)
+                    changed = True
+                    break
+    return candidate.rhs in known

@@ -1,0 +1,241 @@
+"""The eight NFD inference rules (Section 3.1) as syntactic rule objects.
+
+Each rule is a function that takes its premises (NFDs) and parameters
+(paths, a schema where the rule is type-dependent) and returns the
+conclusion NFD, or raises :class:`RuleApplicationError` when the premises
+do not match the rule's pattern.  The functions are deliberately *checked*
+pattern matches: a derivation built from them is machine-verified step by
+step, which is how the worked proof of Section 3.1 is reproduced.
+
+Rules:
+
+========== ==========================================================
+reflexivity  ``x in X  =>  x0:[X -> x]``
+augmentation ``x0:[X -> z]  =>  x0:[X Y -> z]``
+transitivity ``x0:[X -> xi] (i=1..n), x0:[x1..xn -> y]  =>  x0:[X -> y]``
+push-in      ``x0:y:[X -> z]  =>  x0:[y, y:X -> y:z]``
+pull-out     ``x0:[y, y:X -> y:z]  =>  x0:y:[X -> z]``
+locality     ``x0:[A:X, B1..Bk -> A:z]  =>  x0:A:[X -> z]``
+singleton    ``x0:[x -> x:Ai] for all attributes Ai of x
+             =>  x0:[x:A1..x:An -> x]``
+prefix       ``x0:[x1:A, x2..xk -> y], x1 nonempty, x1 not prefix of y
+             =>  x0:[x1, x2..xk -> y]``
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import RuleApplicationError
+from ..nfd.nfd import NFD
+from ..nfd.simple_form import pull_out as _pull_out_impl
+from ..nfd.simple_form import push_in as _push_in_impl
+from ..paths.path import Path
+from ..paths.typing import resolve_base_path, type_at
+from ..types.base import RecordType, SetType
+from ..types.schema import Schema
+
+__all__ = [
+    "reflexivity",
+    "augmentation",
+    "transitivity",
+    "push_in",
+    "pull_out",
+    "locality",
+    "singleton",
+    "prefix",
+    "RULE_NAMES",
+]
+
+RULE_NAMES = (
+    "reflexivity",
+    "augmentation",
+    "transitivity",
+    "push-in",
+    "pull-out",
+    "locality",
+    "singleton",
+    "prefix",
+)
+
+
+def reflexivity(base: Path, lhs: Iterable[Path], member: Path) -> NFD:
+    """``x in X  =>  x0:[X -> x]``."""
+    lhs_set = frozenset(lhs)
+    if member not in lhs_set:
+        raise RuleApplicationError(
+            "reflexivity", f"{member} is not a member of the LHS"
+        )
+    return NFD(base, lhs_set, member)
+
+
+def augmentation(premise: NFD, extra: Iterable[Path]) -> NFD:
+    """``x0:[X -> z]  =>  x0:[X Y -> z]``."""
+    return premise.augment(extra)
+
+
+def transitivity(premises: Sequence[NFD], bridge: NFD) -> NFD:
+    """``x0:[X -> xi] (i), x0:[x1..xn -> y]  =>  x0:[X -> y]``.
+
+    *premises* are the NFDs deriving each path of *bridge*'s LHS from the
+    common set ``X``; they must share base and LHS, and their RHS paths
+    must cover the bridge's LHS exactly.  The degenerate bridge with an
+    empty LHS needs no premises and yields ``x0:[X -> y]`` for any ``X``
+    — callers pass at least one premise or use ``augmentation`` instead.
+    """
+    if not premises:
+        raise RuleApplicationError(
+            "transitivity",
+            "at least one premise of the form x0:[X -> xi] is required "
+            "(apply augmentation to a degenerate NFD instead)"
+        )
+    base = premises[0].base
+    lhs = premises[0].lhs
+    for premise in premises:
+        if premise.base != base:
+            raise RuleApplicationError(
+                "transitivity",
+                f"premises mix base paths {base} and {premise.base}"
+            )
+        if premise.lhs != lhs:
+            raise RuleApplicationError(
+                "transitivity",
+                "premises must share the same LHS X; found "
+                f"{sorted(map(str, lhs))} and "
+                f"{sorted(map(str, premise.lhs))}"
+            )
+    if bridge.base != base:
+        raise RuleApplicationError(
+            "transitivity",
+            f"bridge base {bridge.base} differs from premise base {base}"
+        )
+    derived = {premise.rhs for premise in premises}
+    if bridge.lhs - derived - lhs:
+        missing = sorted(map(str, bridge.lhs - derived - lhs))
+        raise RuleApplicationError(
+            "transitivity",
+            f"bridge LHS paths {missing} are derived by no premise "
+            "(paths already in X are allowed via reflexivity)"
+        )
+    return NFD(base, lhs, bridge.rhs)
+
+
+def push_in(premise: NFD) -> NFD:
+    """``x0:y:[X -> z]  =>  x0:[y, y:X -> y:z]``."""
+    try:
+        return _push_in_impl(premise)
+    except Exception as exc:
+        raise RuleApplicationError("push-in", str(exc)) from exc
+
+
+def pull_out(premise: NFD) -> NFD:
+    """``x0:[y, y:X -> y:z]  =>  x0:y:[X -> z]``."""
+    try:
+        return _pull_out_impl(premise)
+    except Exception as exc:
+        raise RuleApplicationError("pull-out", str(exc)) from exc
+
+
+def locality(premise: NFD) -> NFD:
+    """``x0:[A:X, B1..Bk -> A:z]  =>  x0:A:[X -> z]``.
+
+    ``A`` is the first label of the RHS; every longer LHS path must extend
+    ``A`` and the remaining LHS paths must be single labels (which are
+    constant within one element of ``x0`` and can therefore be dropped
+    when localizing).
+    """
+    if len(premise.rhs) < 2:
+        raise RuleApplicationError(
+            "locality",
+            f"the RHS {premise.rhs} must traverse into a set-valued "
+            "attribute A"
+        )
+    attribute = Path((premise.rhs.first,))
+    inner_lhs: set[Path] = set()
+    for path in premise.lhs:
+        if attribute.is_proper_prefix_of(path):
+            inner_lhs.add(path.strip_prefix(attribute))
+        elif len(path) == 1:
+            continue  # a single label B, dropped by the rule
+        else:
+            raise RuleApplicationError(
+                "locality",
+                f"LHS path {path} neither extends {attribute} nor is a "
+                "single label"
+            )
+    return NFD(premise.base.concat(attribute), inner_lhs,
+               premise.rhs.strip_prefix(attribute))
+
+
+def singleton(premises: Sequence[NFD], schema: Schema) -> NFD:
+    """``x0:[x -> x:Ai] for every attribute Ai of x  =>``
+    ``x0:[x:A1..x:An -> x]``.
+
+    Type-dependent: *schema* supplies the record type of ``x``'s elements,
+    and the premises must cover *all* of its attributes.
+    """
+    if not premises:
+        raise RuleApplicationError("singleton", "no premises given")
+    base = premises[0].base
+    first_lhs = premises[0].lhs
+    if len(first_lhs) != 1:
+        raise RuleApplicationError(
+            "singleton", "premises must have the single LHS path x"
+        )
+    x = next(iter(first_lhs))
+    covered: set[str] = set()
+    for premise in premises:
+        if premise.base != base or premise.lhs != first_lhs:
+            raise RuleApplicationError(
+                "singleton",
+                "premises must share the base path and the LHS {x}"
+            )
+        if premise.rhs.parent != x:
+            raise RuleApplicationError(
+                "singleton",
+                f"premise RHS {premise.rhs} is not of the form x:Ai with "
+                f"x = {x}"
+            )
+        covered.add(premise.rhs.last)
+    scope = resolve_base_path(schema, base)
+    x_type = type_at(scope, x)
+    if not isinstance(x_type, SetType):
+        raise RuleApplicationError(
+            "singleton", f"{x} is not set-valued in the schema"
+        )
+    element: RecordType = x_type.element
+    missing = set(element.labels) - covered
+    if missing:
+        raise RuleApplicationError(
+            "singleton",
+            f"premises cover attributes {sorted(covered)} but {x} also "
+            f"has {sorted(missing)}; all attributes are required"
+        )
+    return NFD(base, {x.child(label) for label in element.labels}, x)
+
+
+def prefix(premise: NFD, long_path: Path) -> NFD:
+    """``x0:[x1:A, rest -> y]  =>  x0:[x1, rest -> y]``.
+
+    *long_path* selects which LHS path ``x1:A`` to shorten; its parent
+    ``x1`` must be non-empty and must not be a prefix of the RHS.
+    """
+    if long_path not in premise.lhs:
+        raise RuleApplicationError(
+            "prefix", f"{long_path} is not an LHS path of the premise"
+        )
+    if len(long_path) < 2:
+        raise RuleApplicationError(
+            "prefix",
+            f"{long_path} has no proper non-empty prefix to shorten to"
+        )
+    shortened = long_path.parent
+    if shortened.is_prefix_of(premise.rhs):
+        raise RuleApplicationError(
+            "prefix",
+            f"{shortened} is a prefix of the RHS {premise.rhs}; the rule "
+            "would be unsound"
+        )
+    new_lhs = (premise.lhs - {long_path}) | {shortened}
+    return NFD(premise.base, new_lhs, premise.rhs)

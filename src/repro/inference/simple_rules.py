@@ -1,0 +1,86 @@
+"""The six-rule system for simple NFDs (Section 3.2).
+
+When NFDs are restricted to relation-name bases, push-in and pull-out
+disappear and locality must be strengthened to **full-locality**:
+
+    x0:[x:X, Y -> x:z],  x not a proper prefix of any y in Y
+    =>  x0:[x, x:X -> x:z]
+
+Full-locality combines pull-out and locality: it drops *arbitrary* paths
+outside ``x`` (not just single labels) at the price of adding ``x`` itself
+to the LHS.  Example 3.1 of the paper shows a derivation possible with
+full-locality but not with plain locality.
+
+This module provides the rule itself, the conversion of any NFD set to
+the simple system, and a checker that a derivation uses only the six
+simple rules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import RuleApplicationError
+from ..nfd.nfd import NFD
+from ..nfd.simple_form import to_simple
+from ..paths.path import Path
+from .derivation import Derivation
+
+__all__ = [
+    "full_locality",
+    "to_simple_system",
+    "SIMPLE_RULE_NAMES",
+    "uses_only_simple_rules",
+]
+
+SIMPLE_RULE_NAMES = (
+    "reflexivity",
+    "augmentation",
+    "transitivity",
+    "full-locality",
+    "singleton",
+    "prefix",
+)
+
+
+def full_locality(premise: NFD, x: Path) -> NFD:
+    """``x0:[x:X, Y -> x:z]  =>  x0:[x, x:X -> x:z]``.
+
+    *x* must be a non-empty proper prefix of the RHS, and no LHS path may
+    have ``x`` as a proper prefix unless it is kept (all such paths *are*
+    kept, so the side condition "x is not a proper prefix of any y in Y"
+    holds by construction of the partition).
+    """
+    if x.is_empty:
+        raise RuleApplicationError(
+            "full-locality", "x must be a non-empty path"
+        )
+    if not x.is_proper_prefix_of(premise.rhs):
+        raise RuleApplicationError(
+            "full-locality",
+            f"{x} is not a proper prefix of the RHS {premise.rhs}"
+        )
+    kept = {p for p in premise.lhs if x.is_proper_prefix_of(p)}
+    return NFD(premise.base, kept | {x}, premise.rhs)
+
+
+def to_simple_system(sigma: Iterable[NFD]) -> list[NFD]:
+    """Convert every NFD to its canonical simple form.
+
+    The conversion is lossless (Section 2.3), so reasoning in the
+    six-rule system over the result is equivalent to reasoning in the
+    eight-rule system over the original set.
+    """
+    return [to_simple(nfd) for nfd in sigma]
+
+
+def uses_only_simple_rules(derivation: Derivation) -> bool:
+    """True iff the derivation avoids push-in/pull-out/locality.
+
+    Derivations in the simple system express locality reasoning through
+    ``full-locality`` steps (recorded as transitivity over localized
+    facts by the closure engine); the structural rules are the signature
+    of the eight-rule system.
+    """
+    forbidden = {"push-in", "pull-out", "locality"}
+    return all(step.rule not in forbidden for step in derivation.steps)

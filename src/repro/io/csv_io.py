@@ -1,0 +1,104 @@
+"""CSV ingestion: from flat files to nested, constrained relations.
+
+The common adoption path for this library starts from flat exports.
+:func:`load_csv` reads a CSV into a flat relation (typed by a record of
+base types), after which a :class:`~repro.design.nested_design.NestPlan`
+shapes it and carries its FDs — see ``examples/schema_designer.py`` for
+the full pipeline.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable
+
+from ..errors import ParseError
+from ..types.base import BaseType, RecordType, SetType
+from ..types.schema import Schema
+from ..values.build import Instance
+
+__all__ = ["load_csv", "dump_csv"]
+
+
+def _convert(text: str, base: BaseType):
+    if base.name == "int":
+        try:
+            return int(text)
+        except ValueError as exc:
+            raise ParseError(f"expected an int, got {text!r}") from exc
+    if base.name == "bool":
+        lowered = text.strip().lower()
+        if lowered in ("true", "1", "yes"):
+            return True
+        if lowered in ("false", "0", "no"):
+            return False
+        raise ParseError(f"expected a bool, got {text!r}")
+    return text
+
+
+def load_csv(text: str, relation: str,
+             types: dict[str, str] | None = None) -> Instance:
+    """Parse CSV text into a single flat relation.
+
+    The first row is the header.  *types* maps column names to base-type
+    names (``int``/``string``/``bool``); unmapped columns default to
+    ``string``.  Returns an instance of the one-relation schema
+    ``{relation: {<col1: t1, ...>}}``.
+
+    :raises ParseError: on an empty file, unknown type names, or cells
+        that do not convert.
+    """
+    reader = csv.reader(io.StringIO(text))
+    rows = [row for row in reader if row]
+    if not rows:
+        raise ParseError("the CSV has no header row")
+    header = [column.strip() for column in rows[0]]
+    type_map: dict[str, BaseType] = {}
+    for column in header:
+        name = (types or {}).get(column, "string")
+        if name not in ("int", "string", "bool"):
+            raise ParseError(
+                f"unknown type {name!r} for column {column!r}"
+            )
+        type_map[column] = BaseType(name)
+    record = RecordType([(column, type_map[column])
+                         for column in header])
+    schema = Schema({relation: SetType(record)})
+    data = []
+    for line_number, row in enumerate(rows[1:], start=2):
+        if len(row) != len(header):
+            raise ParseError(
+                f"line {line_number}: expected {len(header)} cells, "
+                f"got {len(row)}"
+            )
+        data.append({
+            column: _convert(cell.strip(), type_map[column])
+            for column, cell in zip(header, row)
+        })
+    return Instance(schema, {relation: data})
+
+
+def dump_csv(instance: Instance, relation: str) -> str:
+    """Serialize a flat relation back to CSV (header + sorted rows).
+
+    :raises ParseError: if the relation has nested attributes.
+    """
+    element = instance.schema.element_type(relation)
+    for label, field_type in element.fields:
+        if not isinstance(field_type, BaseType):
+            raise ParseError(
+                f"attribute {label!r} is nested; unnest before dumping "
+                "to CSV"
+            )
+    header = list(element.labels)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(header)
+    rendered = sorted(
+        [[row.get(column).value for column in header]
+         for row in instance.relation(relation)],
+        key=repr,
+    )
+    writer.writerows(rendered)
+    return buffer.getvalue()

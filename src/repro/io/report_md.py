@@ -1,0 +1,89 @@
+"""Markdown reports for bundles: schema, constraints, analysis, data.
+
+One call renders everything a reviewer wants to see about a
+``(schema, Sigma, instance)`` bundle as a self-contained Markdown
+document — the schema in both syntaxes, the constraint set with its
+analysis (keys, singletons, redundancy), and the instance as fenced
+nested tables with its violation status.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..analysis.report import analyze_constraints
+from ..inference.empty_sets import NonEmptySpec
+from ..nfd.nfd import NFD
+from ..nfd.violations import find_violations
+from ..types.printer import format_type, format_type_tree
+from ..types.schema import Schema
+from ..values.build import Instance
+from .tables import render_relation
+
+__all__ = ["markdown_report"]
+
+
+def markdown_report(schema: Schema, sigma: Iterable[NFD],
+                    instance: Instance | None = None,
+                    title: str = "Constraint report",
+                    nonempty: NonEmptySpec | None = None) -> str:
+    """Render the bundle as a Markdown document."""
+    sigma_list = list(sigma)
+    lines: list[str] = [f"# {title}", ""]
+
+    lines.append("## Schema")
+    lines.append("")
+    for name, rel_type in schema.items():
+        lines.append(f"### `{name}`")
+        lines.append("")
+        lines.append("```")
+        lines.append(f"{name} = {format_type_tree(rel_type)}")
+        lines.append("```")
+        lines.append("")
+
+    lines.append("## Constraints")
+    lines.append("")
+    if sigma_list:
+        for nfd in sigma_list:
+            lines.append(f"- `{nfd}`")
+    else:
+        lines.append("*(none declared)*")
+    lines.append("")
+
+    report = analyze_constraints(schema, sigma_list, nonempty=nonempty)
+    lines.append("## Analysis")
+    lines.append("")
+    lines.append("```")
+    lines.append(report.to_text())
+    lines.append("```")
+    lines.append("")
+
+    if instance is not None:
+        lines.append("## Instance")
+        lines.append("")
+        total_violations = 0
+        for name, relation in instance.relations():
+            lines.append(f"### `{name}` ({len(relation)} tuples)")
+            lines.append("")
+            lines.append("```")
+            lines.append(render_relation(relation))
+            lines.append("```")
+            lines.append("")
+        for nfd in sigma_list:
+            for violation in find_violations(instance, nfd):
+                total_violations += 1
+                lines.append(f"**Violation:** `{violation.nfd}` — "
+                             f"{violation.describe().splitlines()[1].strip()} "
+                             f"maps `{violation.nfd.rhs}` to both "
+                             f"`{violation.rhs_value1}` and "
+                             f"`{violation.rhs_value2}`.")
+                lines.append("")
+        if total_violations == 0:
+            lines.append("The instance **satisfies** every declared "
+                         "constraint.")
+        else:
+            lines.append(f"The instance has **{total_violations} "
+                         "violation(s)**.")
+        lines.append("")
+
+    return "\n".join(lines)

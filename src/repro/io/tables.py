@@ -1,0 +1,114 @@
+"""Paper-style ASCII rendering of nested relations.
+
+The paper displays nested instances as tables whose set-valued columns
+contain sub-tables with their own headers (Figure 1, the Appendix A
+examples).  :func:`render_relation` reproduces that layout::
+
+        A | B     | E
+          | C | D | F | G
+        --+---+---+---+---
+        1 | 1 | 3 | 5 | 6
+          |       | 5 | 7
+
+Cells are rendered recursively: atoms become their literal text, nested
+sets become stacked sub-rows under a sub-header.  Rows of a set are
+ordered deterministically (the :class:`SetValue` iteration order).
+"""
+
+from __future__ import annotations
+
+from ..errors import ValueError_
+from ..values.build import Instance
+from ..values.value import Atom, Record, SetValue, Value
+
+__all__ = ["render_relation", "render_instance"]
+
+
+class _Block:
+    """A rectangle of text: a list of equal-width lines."""
+
+    __slots__ = ("lines", "width")
+
+    def __init__(self, lines: list[str]):
+        self.width = max((len(line) for line in lines), default=0)
+        self.lines = [line.ljust(self.width) for line in lines]
+
+    @property
+    def height(self) -> int:
+        return len(self.lines)
+
+    def padded(self, width: int, height: int) -> list[str]:
+        lines = [line.ljust(width) for line in self.lines]
+        while len(lines) < height:
+            lines.append(" " * width)
+        return lines
+
+
+def _value_block(value: Value) -> _Block:
+    if isinstance(value, Atom):
+        return _Block([str(value)])
+    if isinstance(value, SetValue):
+        return _set_block(value)
+    if isinstance(value, Record):
+        # A bare record (outside a set) renders as a one-row table.
+        return _set_block(SetValue({value}))
+    raise ValueError_(f"not a Value: {value!r}")
+
+
+def _set_block(set_value: SetValue) -> _Block:
+    if set_value.is_empty:
+        return _Block(["∅"])
+    elements = list(set_value)
+    if not all(isinstance(element, Record) for element in elements):
+        # A set of atoms (not schema-legal, but values allow it): braces.
+        return _Block(["{" + ", ".join(str(e) for e in elements) + "}"])
+    labels: list[str] = []
+    for element in elements:
+        for label in element.labels:  # type: ignore[union-attr]
+            if label not in labels:
+                labels.append(label)
+    header = [_Block([label]) for label in labels]
+    rows: list[list[_Block]] = []
+    for element in elements:
+        row = []
+        for label in labels:
+            if element.has(label):  # type: ignore[union-attr]
+                row.append(_value_block(element.get(label)))
+            else:
+                row.append(_Block(["-"]))
+        rows.append(row)
+    widths = [
+        max(header[i].width, *(row[i].width for row in rows))
+        for i in range(len(labels))
+    ]
+    lines: list[str] = []
+    lines.append(" | ".join(
+        header[i].padded(widths[i], 1)[0] for i in range(len(labels))
+    ))
+    lines.append("-+-".join("-" * widths[i] for i in range(len(labels))))
+    for row in rows:
+        height = max(cell.height for cell in row)
+        padded = [cell.padded(widths[i], height)
+                  for i, cell in enumerate(row)]
+        for line_index in range(height):
+            lines.append(" | ".join(
+                padded[i][line_index] for i in range(len(labels))
+            ))
+    return _Block(lines)
+
+
+def render_relation(set_value: SetValue, title: str | None = None) -> str:
+    """Render one relation as a nested ASCII table."""
+    block = _set_block(set_value)
+    if title is None:
+        return "\n".join(block.lines)
+    return "\n".join([title, *block.lines])
+
+
+def render_instance(instance: Instance) -> str:
+    """Render every relation of an instance, separated by blank lines."""
+    parts = [
+        render_relation(value, title=f"{name}:")
+        for name, value in instance.relations()
+    ]
+    return "\n\n".join(parts)

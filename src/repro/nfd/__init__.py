@@ -1,0 +1,42 @@
+"""Nested functional dependencies: syntax, semantics, and logic form."""
+
+from .fast_satisfy import satisfies_all_fast, satisfies_fast
+from .logic import Equality, NFDFormula, Quantifier, Term, translate
+from .logic_eval import evaluate, holds_fol
+from .nfd import NFD
+from .parser import parse_nfd, parse_nfd_family, parse_nfds
+from .satisfy import satisfies, satisfies_all
+from .simple_form import (
+    deepest_form,
+    equivalent_modulo_form,
+    pull_out,
+    push_in,
+    to_simple,
+)
+from .violations import Violation, find_violation, find_violations
+
+__all__ = [
+    "NFD",
+    "parse_nfd",
+    "parse_nfds",
+    "parse_nfd_family",
+    "satisfies",
+    "satisfies_all",
+    "satisfies_fast",
+    "satisfies_all_fast",
+    "translate",
+    "NFDFormula",
+    "Quantifier",
+    "Equality",
+    "Term",
+    "evaluate",
+    "holds_fol",
+    "Violation",
+    "find_violation",
+    "find_violations",
+    "push_in",
+    "pull_out",
+    "to_simple",
+    "deepest_form",
+    "equivalent_modulo_form",
+]

@@ -1,0 +1,46 @@
+"""Hash-grouped NFD satisfaction checker.
+
+Same semantics as :mod:`repro.nfd.satisfy` (Definition 2.4 with the
+trivially-true clause), but instead of enumerating pairs of base elements
+it groups every binding of every (fully defined) element of a base set by
+its antecedent key and requires all RHS values within a group to agree.
+
+This is equivalent to the pairwise definition: a cross-side conflict for
+some pair ``(v1, v2)`` is exactly a key group containing two different RHS
+values contributed by ``v1`` and ``v2`` (possibly the same element — the
+diagonal pair is part of the definition).  The grouping turns the
+quadratic pair scan into a linear pass over bindings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..values.build import Instance
+from ..values.navigate import iter_base_sets
+from ..values.value import Value
+from .nfd import NFD
+from .satisfy import defined_elements, keyed_bindings, traversed_prefixes
+
+__all__ = ["satisfies_fast", "satisfies_all_fast"]
+
+
+def satisfies_fast(instance: Instance, nfd: NFD) -> bool:
+    """Decide ``I |= f`` by hash grouping; agrees with ``satisfies``."""
+    paths = sorted(nfd.all_paths)
+    prefixes = traversed_prefixes(paths)
+    for base_set in iter_base_sets(instance, nfd.base):
+        by_key: dict[tuple, Value] = {}
+        for element in defined_elements(base_set, paths):
+            for key, rhs_value in keyed_bindings(nfd, element, prefixes):
+                seen = by_key.get(key)
+                if seen is None:
+                    by_key[key] = rhs_value
+                elif seen != rhs_value:
+                    return False
+    return True
+
+
+def satisfies_all_fast(instance: Instance, nfds: Iterable[NFD]) -> bool:
+    """True iff the instance satisfies every NFD in *nfds*."""
+    return all(satisfies_fast(instance, nfd) for nfd in nfds)

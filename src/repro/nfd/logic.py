@@ -1,0 +1,223 @@
+"""Translation of NFDs to first-order logic (Section 2.2).
+
+An NFD becomes a universally quantified implication: one variable chain
+for the base path (two variables at its last level), two variables per
+traversed set label elsewhere (one per compared side), an antecedent
+equating the LHS paths across sides, and a consequent equating the RHS.
+
+The formula is represented by a small dedicated AST
+(:class:`Quantifier`, :class:`Equality`, :class:`NFDFormula`) rather than
+a general-purpose logic, because every NFD translation has exactly this
+shape.  :func:`translate` builds it; :meth:`NFDFormula.to_text` renders it
+in the paper's notation; :mod:`repro.nfd.logic_eval` evaluates it against
+an instance.
+"""
+
+from __future__ import annotations
+
+from ..paths.path import Path
+from .nfd import NFD
+from .satisfy import traversed_prefixes
+
+__all__ = ["Term", "Equality", "Quantifier", "NFDFormula", "translate"]
+
+
+class Term:
+    """A projection ``var.field``, e.g. ``c1.cnum``."""
+
+    __slots__ = ("var", "field")
+
+    def __init__(self, var: str, field: str):
+        self.var = var
+        self.field = field
+
+    def __str__(self) -> str:
+        return f"{self.var}.{self.field}"
+
+    def __repr__(self) -> str:
+        return f"Term({self.var!r}, {self.field!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Term) and self.var == other.var and \
+            self.field == other.field
+
+    def __hash__(self) -> int:
+        return hash((self.var, self.field))
+
+
+class Equality:
+    """An equation between two terms."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Term, right: Term):
+        self.left = left
+        self.right = right
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+    def __repr__(self) -> str:
+        return f"Equality({self.left!r}, {self.right!r})"
+
+
+class Quantifier:
+    """A universal quantifier ``∀var ∈ range``.
+
+    The range is either a relation (``source_var`` is None and ``field``
+    is the relation name) or a set-valued projection of an earlier
+    variable (``source_var.field``).
+    """
+
+    __slots__ = ("var", "source_var", "field")
+
+    def __init__(self, var: str, source_var: str | None, field: str):
+        self.var = var
+        self.source_var = source_var
+        self.field = field
+
+    @property
+    def range_text(self) -> str:
+        if self.source_var is None:
+            return self.field
+        return f"{self.source_var}.{self.field}"
+
+    def __str__(self) -> str:
+        return f"∀{self.var} ∈ {self.range_text}"
+
+    def __repr__(self) -> str:
+        return f"Quantifier({self.var!r}, {self.source_var!r}, " \
+            f"{self.field!r})"
+
+
+class NFDFormula:
+    """The full translation: quantifier prefix + implication body."""
+
+    __slots__ = ("nfd", "quantifiers", "antecedent", "consequent")
+
+    def __init__(self, nfd: NFD, quantifiers: list[Quantifier],
+                 antecedent: list[Equality], consequent: Equality):
+        self.nfd = nfd
+        self.quantifiers = quantifiers
+        self.antecedent = antecedent
+        self.consequent = consequent
+
+    def to_text(self) -> str:
+        """Render in the paper's multi-line notation."""
+        lines: list[str] = []
+        # Group quantifiers two per line where they share a source level,
+        # mirroring the paper's layout.
+        current: list[str] = []
+        current_level: str | None = None
+        for quantifier in self.quantifiers:
+            level = quantifier.field
+            if current and level != current_level:
+                lines.append(" ".join(current))
+                current = []
+            current.append(str(quantifier))
+            current_level = level
+        if current:
+            lines.append(" ".join(current))
+        if self.antecedent:
+            body_antecedent = " ∧ ".join(str(eq) for eq in self.antecedent)
+        else:
+            body_antecedent = "true"
+        lines.append(f"({body_antecedent} → {self.consequent})")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def __repr__(self) -> str:
+        return f"NFDFormula(of={self.nfd})"
+
+
+def _allocate_names(labels: list[str]) -> list[str]:
+    """Choose a short variable stem per label occurrence.
+
+    The paper writes ``c`` for ``Course`` and ``s1, s2`` for ``students``;
+    we follow suit, falling back to the full lowercased label and then an
+    underscore-counter suffix when stems collide.  Returns one stem per
+    input position (a relation name may coincide with an attribute
+    label, so stems cannot be keyed by label text).
+    """
+    names: list[str] = []
+    used: set[str] = set()
+
+    def reserve(stem: str) -> bool:
+        # a stem occupies its bare form and both side-suffixed forms,
+        # so chain variables can never collide with side variables
+        forms = (stem, f"{stem}1", f"{stem}2")
+        if any(form in used for form in forms):
+            return False
+        used.update(forms)
+        return True
+
+    for label in labels:
+        candidate = label[0].lower()
+        if not reserve(candidate):
+            candidate = label.lower()
+            counter = 2
+            base_candidate = candidate
+            while not reserve(candidate):
+                # the trailing underscore keeps stems unambiguous once
+                # the side index (1/2) is appended
+                candidate = f"{base_candidate}{counter}_"
+                counter += 1
+        names.append(candidate)
+    return names
+
+
+def translate(nfd: NFD) -> NFDFormula:
+    """Build the logic formula for *nfd* per Section 2.2.
+
+    Variables are keyed by path position, which coincides with the
+    paper's label-keyed ``var`` function under its no-repeated-labels
+    assumption but stays correct without it.
+    """
+    base_labels = list(nfd.base.labels)
+    prefixes = traversed_prefixes(sorted(nfd.all_paths))
+    inner_labels = [p.last for p in prefixes]
+    names = _allocate_names(base_labels + inner_labels)
+    base_names = names[:len(base_labels)]
+    prefix_names = names[len(base_labels):]
+
+    quantifiers: list[Quantifier] = []
+
+    # Base chain: one variable per level except the last, which gets two.
+    chain_var: str | None = None
+    for label, stem in zip(base_labels[:-1], base_names[:-1]):
+        quantifiers.append(Quantifier(stem, chain_var, label))
+        chain_var = stem
+    last_label = base_labels[-1]
+    last_stem = base_names[-1]
+    side_roots = (f"{last_stem}1", f"{last_stem}2")
+    for side_root in side_roots:
+        quantifiers.append(Quantifier(side_root, chain_var, last_label))
+
+    # Per-side variables for each traversed prefix, parents first.  The
+    # variable for a prefix of length 1 hangs off the side root.
+    side_vars: dict[tuple[Path, int], str] = {}
+
+    def var_for(prefix: Path, side: int) -> str:
+        if prefix.is_empty:
+            return side_roots[side]
+        return side_vars[(prefix, side)]
+
+    for prefix, stem in zip(prefixes, prefix_names):
+        for side in (0, 1):
+            var = f"{stem}{side + 1}"
+            side_vars[(prefix, side)] = var
+            quantifiers.append(
+                Quantifier(var, var_for(prefix.parent, side), prefix.last)
+            )
+
+    def term_for(path: Path, side: int) -> Term:
+        return Term(var_for(path.parent, side), path.last)
+
+    antecedent = [
+        Equality(term_for(path, 0), term_for(path, 1))
+        for path in nfd.sorted_lhs()
+    ]
+    consequent = Equality(term_for(nfd.rhs, 0), term_for(nfd.rhs, 1))
+    return NFDFormula(nfd, quantifiers, antecedent, consequent)

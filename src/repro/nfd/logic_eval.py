@@ -1,0 +1,86 @@
+"""Direct evaluation of translated NFD formulas on instances.
+
+This gives a *second, independent* satisfaction semantics: the pure
+first-order reading of Section 2.2, where quantification over an empty
+set is vacuously true branch-by-branch.  On instances without empty sets
+it provably coincides with Definition 2.4 (implemented in
+:mod:`repro.nfd.satisfy`); with empty sets, Definition 2.4's
+trivially-true clause can excuse pairs this evaluator still checks, so
+this semantics is the stronger of the two.  The property-based test suite
+pins both facts down.
+"""
+
+from __future__ import annotations
+
+from ..errors import InferenceError
+from ..values.build import Instance
+from ..values.value import Record, SetValue, Value
+from .logic import Equality, NFDFormula, translate
+from .nfd import NFD
+
+__all__ = ["evaluate", "holds_fol"]
+
+
+def _term_value(env: dict[str, Value], equality_side) -> Value:
+    record = env[equality_side.var]
+    if not isinstance(record, Record):
+        raise InferenceError(
+            f"variable {equality_side.var!r} is bound to a non-record "
+            f"value {record}; the formula does not match the instance"
+        )
+    return record.get(equality_side.field)
+
+
+def _body_holds(formula: NFDFormula, env: dict[str, Value]) -> bool:
+    for equality in formula.antecedent:
+        if _term_value(env, equality.left) != _term_value(env,
+                                                          equality.right):
+            return True  # antecedent false -> implication true
+    consequent: Equality = formula.consequent
+    return _term_value(env, consequent.left) == \
+        _term_value(env, consequent.right)
+
+
+def evaluate(formula: NFDFormula, instance: Instance) -> bool:
+    """Evaluate the quantified implication on *instance*.
+
+    Quantifiers are processed in order; each binds its variable to every
+    element of its range (a relation or a set-valued projection of an
+    earlier variable).  Empty ranges make the remaining formula vacuously
+    true for that branch.
+    """
+
+    quantifiers = formula.quantifiers
+
+    def recurse(index: int, env: dict[str, Value]) -> bool:
+        if index == len(quantifiers):
+            return _body_holds(formula, env)
+        quantifier = quantifiers[index]
+        if quantifier.source_var is None:
+            domain: SetValue = instance.relation(quantifier.field)
+        else:
+            source = env[quantifier.source_var]
+            if not isinstance(source, Record):
+                raise InferenceError(
+                    f"variable {quantifier.source_var!r} is bound to a "
+                    f"non-record value {source}"
+                )
+            projected = source.get(quantifier.field)
+            if not isinstance(projected, SetValue):
+                raise InferenceError(
+                    f"range {quantifier.range_text} is not set-valued"
+                )
+            domain = projected
+        for element in domain:
+            env[quantifier.var] = element
+            if not recurse(index + 1, env):
+                return False
+        env.pop(quantifier.var, None)
+        return True
+
+    return recurse(0, {})
+
+
+def holds_fol(instance: Instance, nfd: NFD) -> bool:
+    """Translate *nfd* and evaluate it: the pure FOL semantics."""
+    return evaluate(translate(nfd), instance)

@@ -1,0 +1,160 @@
+"""Nested functional dependencies (Definition 2.3).
+
+An NFD is written ``x0:[x1, ..., xm-1 -> xm]``:
+
+* ``x0`` — the *base path*: a relation name optionally followed by
+  set-valued labels.  A bare relation name gives a *global* dependency;
+  a longer base path scopes the dependency *locally* to each set reached
+  by the base (Section 2.3);
+* ``x1..xm-1`` — the left-hand side: a (possibly empty) set of non-empty
+  paths relative to the base;
+* ``xm`` — the right-hand side: a single non-empty path relative to the
+  base.  The degenerate form ``x0:[∅ -> xm]`` asserts that ``xm`` is
+  constant within each base set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import NFDError, PathError
+from ..paths.path import Path
+from ..paths.typing import resolve_base_path, type_at
+from ..types.schema import Schema
+
+__all__ = ["NFD"]
+
+
+class NFD:
+    """An NFD ``base:[lhs -> rhs]`` with structural equality.
+
+    The LHS is stored as a frozenset of paths, so syntactically reordered
+    dependencies compare equal.  Construction validates only *shape*
+    (non-empty base, non-empty member paths); schema conformance is a
+    separate concern checked by :meth:`check_well_formed` so that NFDs can
+    be built and manipulated before a schema exists.
+    """
+
+    __slots__ = ("base", "lhs", "rhs")
+
+    def __init__(self, base: Path, lhs: Iterable[Path], rhs: Path):
+        lhs_set = frozenset(lhs)
+        if base.is_empty:
+            raise NFDError("an NFD base path must at least name a relation")
+        for path in lhs_set:
+            if path.is_empty:
+                raise NFDError(
+                    "LHS paths must be non-empty (use an empty LHS set "
+                    "for the degenerate constant form)"
+                )
+        if rhs.is_empty:
+            raise NFDError("the RHS path must be non-empty")
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "lhs", lhs_set)
+        object.__setattr__(self, "rhs", rhs)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("NFD is immutable")
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def relation(self) -> str:
+        """The relation the NFD ranges over (first label of the base)."""
+        return self.base.first
+
+    @property
+    def all_paths(self) -> frozenset[Path]:
+        """LHS plus RHS paths."""
+        return self.lhs | {self.rhs}
+
+    @property
+    def is_simple(self) -> bool:
+        """True if the base path is just a relation name (Section 3.2)."""
+        return len(self.base) == 1
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True for the constant form ``x0:[∅ -> xm]``."""
+        return not self.lhs
+
+    def sorted_lhs(self) -> list[Path]:
+        """The LHS paths in deterministic (lexicographic) order."""
+        return sorted(self.lhs)
+
+    # -- validation -------------------------------------------------------
+
+    def check_well_formed(self, schema: Schema) -> None:
+        """Raise :class:`NFDError` unless the NFD is well-formed.
+
+        Checks that the base path resolves to a set in *schema* and that
+        every LHS/RHS path is well-typed relative to the base's element
+        record (Definition 2.3).
+        """
+        try:
+            scope = resolve_base_path(schema, self.base)
+        except PathError as exc:
+            raise NFDError(f"{self}: bad base path: {exc}") from exc
+        for path in sorted(self.all_paths):
+            try:
+                type_at(scope, path)
+            except PathError as exc:
+                raise NFDError(f"{self}: bad path {path}: {exc}") from exc
+
+    def is_well_formed(self, schema: Schema) -> bool:
+        """True iff :meth:`check_well_formed` passes."""
+        try:
+            self.check_well_formed(schema)
+        except NFDError:
+            return False
+        return True
+
+    def is_trivial(self) -> bool:
+        """True if the NFD follows from reflexivity alone (rhs in lhs)."""
+        return self.rhs in self.lhs
+
+    # -- derived forms ----------------------------------------------------
+
+    def with_lhs(self, lhs: Iterable[Path]) -> "NFD":
+        """Return a copy with a different LHS."""
+        return NFD(self.base, lhs, self.rhs)
+
+    def with_rhs(self, rhs: Path) -> "NFD":
+        """Return a copy with a different RHS."""
+        return NFD(self.base, self.lhs, rhs)
+
+    def augment(self, extra: Iterable[Path]) -> "NFD":
+        """Augmentation: add paths to the LHS (always sound)."""
+        return NFD(self.base, self.lhs | frozenset(extra), self.rhs)
+
+    # -- identity ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NFD) and self.base == other.base and \
+            self.lhs == other.lhs and self.rhs == other.rhs
+
+    def __hash__(self) -> int:
+        return hash(("NFD", self.base, self.lhs, self.rhs))
+
+    def __lt__(self, other: "NFD") -> bool:
+        if not isinstance(other, NFD):
+            return NotImplemented
+        return (self.base, sorted(self.lhs), self.rhs) < \
+            (other.base, sorted(other.lhs), other.rhs)
+
+    def __repr__(self) -> str:
+        return f"NFD.parse({str(self)!r})"
+
+    def __str__(self) -> str:
+        lhs = ", ".join(str(path) for path in self.sorted_lhs())
+        if not lhs:
+            lhs = "∅"
+        return f"{self.base}:[{lhs} -> {self.rhs}]"
+
+    # -- parsing (delegates to the parser module) -------------------------
+
+    @staticmethod
+    def parse(text: str) -> "NFD":
+        """Parse the concrete syntax; see :mod:`repro.nfd.parser`."""
+        from .parser import parse_nfd
+        return parse_nfd(text)

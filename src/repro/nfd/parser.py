@@ -1,0 +1,156 @@
+"""Parser for the paper's NFD syntax.
+
+Accepted forms (whitespace-insensitive)::
+
+    Course:[cnum -> time]                      # global, relation base
+    Course:[time, students:sid -> cnum]        # multiple LHS paths
+    Course:students:[sid -> grade]             # local, nested base path
+    R:A:E:[∅ -> F]                             # degenerate constant form
+    R:A:E:[-> F]                               # same, LHS omitted
+    R:[0 -> F]                                 # same, ASCII zero for ∅
+
+The arrow may be written ``->`` or ``→``.  Everything before the ``[`` is
+the base path; paths are colon-separated label sequences.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from ..paths.path import Path, parse_path
+from .nfd import NFD
+
+__all__ = ["parse_nfd", "parse_nfds", "parse_nfd_family"]
+
+_EMPTY_LHS_MARKERS = {"", "∅", "0", "ε"}
+
+
+def parse_nfd(text: str) -> NFD:
+    """Parse a single NFD from its concrete syntax.
+
+    :raises ParseError: with the offending position on malformed input.
+    """
+    stripped = text.strip()
+    open_bracket = stripped.find("[")
+    if open_bracket < 0:
+        raise ParseError("missing '[' in NFD", text, len(text) - 1)
+    if not stripped.endswith("]"):
+        raise ParseError("NFD must end with ']'", text, len(text) - 1)
+
+    base_text = stripped[:open_bracket].strip()
+    if base_text.endswith(":"):
+        base_text = base_text[:-1]
+    if not base_text:
+        raise ParseError("missing base path before '['", text, 0)
+    try:
+        base = parse_path(base_text)
+    except ParseError as exc:
+        raise ParseError(f"bad base path: {exc}", text, 0) from exc
+    if base.is_empty:
+        raise ParseError("the base path cannot be empty", text, 0)
+
+    body = stripped[open_bracket + 1:-1]
+    arrow = _find_arrow(body)
+    if arrow is None:
+        raise ParseError("missing '->' in NFD body", text, open_bracket + 1)
+    arrow_start, arrow_end = arrow
+    lhs_text = body[:arrow_start].strip()
+    rhs_text = body[arrow_end:].strip()
+
+    lhs: list[Path] = []
+    if lhs_text not in _EMPTY_LHS_MARKERS:
+        for part in lhs_text.split(","):
+            part = part.strip()
+            if part in _EMPTY_LHS_MARKERS and len(lhs_text.split(",")) == 1:
+                continue
+            try:
+                path = parse_path(part)
+            except ParseError as exc:
+                raise ParseError(f"bad LHS path {part!r}: {exc}",
+                                 text, open_bracket + 1) from exc
+            if path.is_empty:
+                raise ParseError(
+                    f"empty LHS path in {text!r}; write '∅ ->' for a "
+                    "degenerate NFD", text, open_bracket + 1,
+                )
+            lhs.append(path)
+
+    if not rhs_text:
+        raise ParseError("missing RHS path after '->'", text,
+                         len(stripped) - 1)
+    if "," in rhs_text:
+        raise ParseError(
+            "the RHS of an NFD is a single path (the paper restricts "
+            "RHS sets because decomposition fails with empty sets)",
+            text, open_bracket + 1 + arrow_end,
+        )
+    try:
+        rhs = parse_path(rhs_text)
+    except ParseError as exc:
+        raise ParseError(f"bad RHS path {rhs_text!r}: {exc}",
+                         text, open_bracket + 1 + arrow_end) from exc
+
+    return NFD(base, lhs, rhs)
+
+
+def _find_arrow(body: str) -> tuple[int, int] | None:
+    """Locate the arrow token; return (start, end) indices or None."""
+    ascii_pos = body.find("->")
+    unicode_pos = body.find("→")
+    if ascii_pos >= 0 and (unicode_pos < 0 or ascii_pos < unicode_pos):
+        return ascii_pos, ascii_pos + 2
+    if unicode_pos >= 0:
+        return unicode_pos, unicode_pos + 1
+    return None
+
+
+def parse_nfd_family(text: str) -> list[NFD]:
+    """Parse ``x0:[X -> y1, y2, ...]`` into one NFD per RHS path.
+
+    Sugar for declaring several dependencies with a shared LHS, e.g. a
+    key: ``Course:[cnum -> time, students, books]``.  The expansion is
+    the classical decomposition rule, which the paper notes is only
+    *uniformly* valid in the absence of empty sets — as a family of
+    separately-stated NFDs the expansion is always faithful to what was
+    written, so this is a purely syntactic convenience.
+    """
+    stripped = text.strip()
+    open_bracket = stripped.find("[")
+    if open_bracket < 0 or not stripped.endswith("]"):
+        # let parse_nfd produce the precise error
+        return [parse_nfd(text)]
+    body = stripped[open_bracket + 1:-1]
+    arrow = _find_arrow(body)
+    if arrow is None:
+        return [parse_nfd(text)]
+    __, arrow_end = arrow
+    rhs_text = body[arrow_end:]
+    prefix = stripped[:open_bracket + 1] + body[:arrow_end]
+    result = []
+    for part in rhs_text.split(","):
+        part = part.strip()
+        if not part:
+            raise ParseError(f"empty RHS path in family {text!r}",
+                             text, open_bracket)
+        result.append(parse_nfd(f"{prefix} {part}]"))
+    return result
+
+
+def parse_nfds(text: str) -> list[NFD]:
+    """Parse several NFDs, one per non-empty line.
+
+    Lines starting with ``#`` are comments.  Convenient for declaring a
+    whole constraint set::
+
+        parse_nfds('''
+            # cnum is a key
+            Course:[cnum -> time]
+            Course:[cnum -> students]
+        ''')
+    """
+    result: list[NFD] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        result.append(parse_nfd(line))
+    return result

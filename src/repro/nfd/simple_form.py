@@ -1,0 +1,102 @@
+"""Push-in / pull-out normalization between NFD forms (Sections 2.3, 3.2).
+
+An NFD with an arbitrary base path is equivalent to a *simple* NFD whose
+base is just the relation name:
+
+    x0:y:[X -> z]   <=>   x0:[y, y:X -> y:z]        (push-in / pull-out)
+
+Iterating push-in over every base level yields the canonical simple form
+
+    R:y1:...:yk:[X -> z]  <=>  R:[y1, y1:y2, ..., y1..yk, ybar:X -> ybar:z]
+
+with ``ybar = y1:...:yk`` and every non-empty prefix of ``ybar`` on the
+LHS.  The inference engine works on simple forms internally; this module
+provides the lossless conversions and an equivalence test.
+"""
+
+from __future__ import annotations
+
+from ..errors import InferenceError
+from ..paths.path import Path
+from .nfd import NFD
+
+__all__ = ["push_in", "pull_out", "to_simple", "deepest_form",
+           "equivalent_modulo_form"]
+
+
+def push_in(nfd: NFD) -> NFD:
+    """One application of the push-in rule: shorten the base by one label.
+
+    ``x0:y:[X -> z]`` becomes ``x0:[y, y:X -> y:z]``.
+
+    :raises InferenceError: if the base is already a bare relation name.
+    """
+    if nfd.is_simple:
+        raise InferenceError(
+            f"{nfd} already has a relation-name base; push-in does not "
+            "apply"
+        )
+    y = Path((nfd.base.last,))
+    new_lhs = {y} | {y.concat(path) for path in nfd.lhs}
+    return NFD(nfd.base.parent, new_lhs, y.concat(nfd.rhs))
+
+
+def pull_out(nfd: NFD) -> NFD:
+    """One application of the pull-out rule: extend the base by one label.
+
+    Applies to ``x0:[y, y:X -> y:z]`` where ``y`` is a single label, every
+    other LHS path extends ``y``, and the RHS extends ``y`` properly.
+
+    :raises InferenceError: if the NFD does not have that shape.
+    """
+    if len(nfd.rhs) < 2:
+        raise InferenceError(
+            f"{nfd}: the RHS must extend the pulled label; pull-out does "
+            "not apply"
+        )
+    y = Path((nfd.rhs.first,))
+    if y not in nfd.lhs:
+        raise InferenceError(
+            f"{nfd}: pull-out needs {y} itself on the LHS"
+        )
+    rest = nfd.lhs - {y}
+    for path in rest:
+        if not y.is_proper_prefix_of(path):
+            raise InferenceError(
+                f"{nfd}: LHS path {path} does not extend {y}; pull-out "
+                "does not apply"
+            )
+    new_lhs = {path.strip_prefix(y) for path in rest}
+    return NFD(nfd.base.concat(y), new_lhs, nfd.rhs.strip_prefix(y))
+
+
+def to_simple(nfd: NFD) -> NFD:
+    """The canonical simple form: push in until the base is a relation."""
+    current = nfd
+    while not current.is_simple:
+        current = push_in(current)
+    return current
+
+
+def deepest_form(nfd: NFD) -> NFD:
+    """Pull out as many levels as possible (most local equivalent form).
+
+    This is the form the paper calls more intuitive: a maximally scoped
+    base path with the inter-set prefix machinery stripped away.
+    """
+    current = nfd
+    while True:
+        try:
+            current = pull_out(current)
+        except InferenceError:
+            return current
+
+
+def equivalent_modulo_form(first: NFD, second: NFD) -> bool:
+    """True iff the two NFDs have the same canonical simple form.
+
+    This is the provable equivalence of Section 2.3 (push-in/pull-out are
+    mutually inverse); it is a *syntactic* equivalence, strictly finer
+    than logical equivalence under a set of NFDs.
+    """
+    return to_simple(first) == to_simple(second)

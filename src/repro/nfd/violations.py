@@ -1,0 +1,107 @@
+"""Violation witnesses: *why* an instance fails an NFD.
+
+:func:`find_violation` returns the first witness found;
+:func:`find_violations` enumerates all of them (useful for constraint
+repair and for the warehouse-integration example).  A witness pins down
+the base-set binding, the two compared elements, the agreeing LHS values,
+and the two differing RHS values — enough for a human to audit the claim
+and for tests to assert precisely which rows clash.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..paths.path import Path
+from ..values.build import Instance
+from ..values.navigate import iter_base_sets
+from ..values.value import Record, Value
+from .nfd import NFD
+from .satisfy import (
+    defined_elements,
+    iter_bindings,
+    traversed_prefixes,
+    value_at_binding,
+)
+
+__all__ = ["Violation", "find_violation", "find_violations"]
+
+
+class Violation:
+    """A single witness that an instance violates an NFD."""
+
+    __slots__ = ("nfd", "base_index", "element1", "element2",
+                 "lhs_values", "rhs_value1", "rhs_value2")
+
+    def __init__(self, nfd: NFD, base_index: int, element1: Record,
+                 element2: Record, lhs_values: tuple[Value, ...],
+                 rhs_value1: Value, rhs_value2: Value):
+        self.nfd = nfd
+        #: Index of the base set (in base-chain enumeration order) in
+        #: which the clash occurs; 0 for simple NFDs.
+        self.base_index = base_index
+        self.element1 = element1
+        self.element2 = element2
+        #: The agreed values of the (sorted) LHS paths.
+        self.lhs_values = lhs_values
+        self.rhs_value1 = rhs_value1
+        self.rhs_value2 = rhs_value2
+
+    def describe(self) -> str:
+        """A human-readable account of the clash."""
+        lhs_paths = self.nfd.sorted_lhs()
+        agreed = ", ".join(
+            f"{path} = {value}"
+            for path, value in zip(lhs_paths, self.lhs_values)
+        ) or "(empty antecedent)"
+        return (
+            f"violation of {self.nfd}:\n"
+            f"  antecedent: {agreed}\n"
+            f"  but {self.nfd.rhs} = {self.rhs_value1} in one binding and "
+            f"{self.rhs_value2} in another\n"
+            f"  elements: {self.element1}\n"
+            f"         vs {self.element2}"
+        )
+
+    def __repr__(self) -> str:
+        return (f"Violation(nfd={self.nfd}, rhs {self.rhs_value1} != "
+                f"{self.rhs_value2})")
+
+
+def find_violations(instance: Instance, nfd: NFD) -> Iterator[Violation]:
+    """Yield every violation witness, grouped per base set.
+
+    Within one base set, each conflicting antecedent key yields one
+    witness per clashing RHS pair discovered (first conflicting pair per
+    key, to keep the output proportional to the number of distinct
+    problems rather than quadratic in duplicates).
+    """
+    paths = sorted(nfd.all_paths)
+    prefixes = traversed_prefixes(paths)
+    lhs_paths = nfd.sorted_lhs()
+    for base_index, base_set in enumerate(iter_base_sets(instance,
+                                                         nfd.base)):
+        # key -> (first rhs value seen, element that produced it)
+        by_key: dict[tuple, tuple[Value, Record]] = {}
+        reported: set[tuple] = set()
+        for element in defined_elements(base_set, paths):
+            for binding in iter_bindings(element, prefixes):
+                key = tuple(value_at_binding(p, binding)
+                            for p in lhs_paths)
+                rhs_value = value_at_binding(nfd.rhs, binding)
+                seen = by_key.get(key)
+                if seen is None:
+                    by_key[key] = (rhs_value, element)
+                elif seen[0] != rhs_value and key not in reported:
+                    reported.add(key)
+                    yield Violation(
+                        nfd, base_index, seen[1], element, key,
+                        seen[0], rhs_value,
+                    )
+
+
+def find_violation(instance: Instance, nfd: NFD) -> Violation | None:
+    """Return the first violation witness, or None if the NFD holds."""
+    for violation in find_violations(instance, nfd):
+        return violation
+    return None

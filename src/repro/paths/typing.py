@@ -1,0 +1,162 @@
+"""Well-typedness of path expressions (Definition 2.1, Definition A.1).
+
+A path ``A1:...:Ak`` is resolved against a *record* type: ``A1`` must be a
+field; if more labels follow, the field must be set-valued (traversal into
+an element) and resolution continues in the element record type.  The last
+label may have any type.
+
+Schema-level helpers implement ``Paths(SC)`` and ``Paths_SC(R)`` from
+Definition A.1: the set of paths ``R p'`` with ``p'`` well-typed with
+respect to the relation type.
+"""
+
+from __future__ import annotations
+
+from ..errors import PathError
+from ..types.base import RecordType, SetType, Type
+from ..types.schema import Schema
+from .path import Path
+
+__all__ = [
+    "type_at",
+    "is_well_typed",
+    "is_set_path",
+    "relation_paths",
+    "schema_paths",
+    "set_paths",
+    "base_label_paths",
+    "resolve_base_path",
+]
+
+
+def type_at(record: RecordType, path: Path) -> Type:
+    """Resolve *path* inside *record* and return the type it reaches.
+
+    The empty path resolves to *record* itself.
+
+    :raises PathError: if the path is not well-typed, with a message that
+        pinpoints the offending label.
+    """
+    current: Type = record
+    for position, label in enumerate(path.labels):
+        if isinstance(current, SetType):
+            # Implicit traversal into a set element between labels.
+            current = current.element
+        if not isinstance(current, RecordType):
+            traversed = ":".join(path.labels[:position])
+            raise PathError(
+                f"path {path} is not well-typed: after {traversed!r} the "
+                f"type is {current}, which has no field {label!r}"
+            )
+        if not current.has_field(label):
+            raise PathError(
+                f"path {path} is not well-typed: record {current} has no "
+                f"field {label!r}"
+            )
+        field_type = current.field(label)
+        if position < len(path.labels) - 1 and not isinstance(
+                field_type, SetType):
+            raise PathError(
+                f"path {path} is not well-typed: field {label!r} has base "
+                f"type {field_type} but the path continues past it"
+            )
+        current = field_type
+    return current
+
+
+def is_well_typed(record: RecordType, path: Path) -> bool:
+    """True iff *path* resolves inside *record*."""
+    try:
+        type_at(record, path)
+    except PathError:
+        return False
+    return True
+
+
+def is_set_path(record: RecordType, path: Path) -> bool:
+    """True iff *path* is well-typed and reaches a set-valued position."""
+    try:
+        return isinstance(type_at(record, path), SetType)
+    except PathError:
+        return False
+
+
+def relation_paths(schema: Schema, relation: str) -> list[Path]:
+    """All non-empty well-typed paths inside relation *relation*.
+
+    These are the paths *relative to* the relation's element records — the
+    path ``students:sid`` rather than ``Course:students:sid``.  They are
+    returned in depth-first declaration order (stable across runs).
+    """
+    element = schema.element_type(relation)
+    found: list[Path] = []
+
+    def recurse(record: RecordType, prefix: Path) -> None:
+        for label, field_type in record.fields:
+            here = prefix.child(label)
+            found.append(here)
+            if isinstance(field_type, SetType):
+                recurse(field_type.element, here)
+
+    recurse(element, Path(()))
+    return found
+
+
+def schema_paths(schema: Schema) -> list[Path]:
+    """``Paths(SC)`` from Definition A.1: paths ``R p'`` over all relations.
+
+    Each returned path starts with a relation name; the bare relation name
+    itself is included.
+    """
+    found: list[Path] = []
+    for relation in schema.relation_names:
+        found.append(Path((relation,)))
+        for rel_path in relation_paths(schema, relation):
+            found.append(Path((relation,)).concat(rel_path))
+    return found
+
+
+def set_paths(schema: Schema, relation: str) -> list[Path]:
+    """The relative paths in *relation* that reach set-valued positions."""
+    element = schema.element_type(relation)
+    return [p for p in relation_paths(schema, relation)
+            if isinstance(type_at(element, p), SetType)]
+
+
+def base_label_paths(schema: Schema, relation: str) -> list[Path]:
+    """The relative paths in *relation* that reach base-typed positions."""
+    element = schema.element_type(relation)
+    return [p for p in relation_paths(schema, relation)
+            if not isinstance(type_at(element, p), SetType)]
+
+
+def resolve_base_path(schema: Schema, base: Path) -> RecordType:
+    """Resolve an NFD base path ``R:A:...`` to the record type it scopes.
+
+    The base path of an NFD names a relation followed by set-valued labels
+    (Definition 2.3); the NFD's inner paths are well-typed with respect to
+    the *element record* of the set the base path reaches.  Returns that
+    record type.
+
+    :raises PathError: if the base path is empty, names an unknown
+        relation, or traverses a non-set position.
+    """
+    if base.is_empty:
+        raise PathError("an NFD base path must at least name a relation")
+    relation = base.first
+    if relation not in schema:
+        raise PathError(
+            f"base path {base} does not start with a relation name; "
+            f"schema declares {', '.join(schema.relation_names)}"
+        )
+    element = schema.element_type(relation)
+    rest = base.tail
+    if rest.is_empty:
+        return element
+    reached = type_at(element, rest)
+    if not isinstance(reached, SetType):
+        raise PathError(
+            f"base path {base} must reach a set-valued position, but "
+            f"{rest} has type {reached}"
+        )
+    return reached.element

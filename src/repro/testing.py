@@ -1,0 +1,157 @@
+"""Public hypothesis strategies for downstream test suites.
+
+Anyone building on this library needs the same generators its own
+property tests use: random schemas, instances, NFDs, and coherent
+bundles of all three.  This module exposes them as first-class
+hypothesis strategies (hypothesis is imported lazily, so the library
+itself keeps its zero-dependency core).
+
+Example::
+
+    from hypothesis import given
+    from repro.testing import schemas, schema_with_instance
+
+    @given(schema_with_instance())
+    def test_my_tool(case):
+        schema, instance = case
+        ...
+
+Strategies are seeded through a drawn integer, so shrinking drives the
+shapes smaller via the library's own deterministic generators.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+__all__ = [
+    "schemas",
+    "nfd_sets",
+    "instances",
+    "schema_with_instance",
+    "schema_with_sigma",
+    "full_bundles",
+]
+
+
+def _require_hypothesis():
+    try:
+        from hypothesis import strategies
+    except ImportError as exc:  # pragma: no cover - optional dependency
+        raise ImportError(
+            "repro.testing requires hypothesis; install with "
+            "pip install 'repro[test]'"
+        ) from exc
+    return strategies
+
+
+def schemas(max_fields: int = 3, max_depth: int = 2,
+            set_probability: float = 0.5) -> Any:
+    """A strategy producing random single-relation schemas."""
+    st = _require_hypothesis()
+    from .generators import random_schema
+
+    return st.integers(min_value=0, max_value=1_000_000).map(
+        lambda seed: random_schema(
+            random.Random(seed), relations=1, max_fields=max_fields,
+            max_depth=max_depth, set_probability=set_probability,
+        )
+    )
+
+
+def schema_with_sigma(max_nfds: int = 4, max_lhs: int = 2,
+                      local_probability: float = 0.3) -> Any:
+    """A strategy producing ``(schema, [NFD, ...])`` pairs.
+
+    The NFD list can be empty for degenerate schemas (e.g. a single
+    attribute, where every expressible NFD is trivial).
+    """
+    st = _require_hypothesis()
+    from .generators import random_schema, random_sigma
+
+    def build(seed: int):
+        rng = random.Random(seed)
+        schema = random_schema(rng, relations=1, max_fields=3,
+                               max_depth=2, set_probability=0.5)
+        sigma = random_sigma(rng, schema,
+                             count=rng.randint(1, max_nfds),
+                             max_lhs=max_lhs,
+                             local_probability=local_probability)
+        return schema, sigma
+
+    return st.integers(min_value=0, max_value=1_000_000).map(build)
+
+
+def nfd_sets(schema, count: int = 4, max_lhs: int = 2) -> Any:
+    """A strategy producing NFD lists over a *fixed* schema."""
+    st = _require_hypothesis()
+    from .generators import random_sigma
+
+    return st.integers(min_value=0, max_value=1_000_000).map(
+        lambda seed: random_sigma(random.Random(seed), schema,
+                                  count=count, max_lhs=max_lhs)
+    )
+
+
+def instances(schema, tuples: int = 2, domain: int = 3,
+              empty_probability: float = 0.0) -> Any:
+    """A strategy producing instances of a *fixed* schema."""
+    st = _require_hypothesis()
+    from .generators import random_instance
+
+    return st.integers(min_value=0, max_value=1_000_000).map(
+        lambda seed: random_instance(
+            random.Random(seed), schema, tuples=tuples, domain=domain,
+            empty_probability=empty_probability,
+        )
+    )
+
+
+def schema_with_instance(tuples: int = 2, domain: int = 3,
+                         empty_probability: float = 0.0) -> Any:
+    """A strategy producing ``(schema, instance)`` pairs."""
+    st = _require_hypothesis()
+    from .generators import random_instance, random_schema
+
+    def build(seed: int):
+        rng = random.Random(seed)
+        schema = random_schema(rng, relations=1, max_fields=3,
+                               max_depth=2, set_probability=0.5)
+        instance = random_instance(rng, schema, tuples=tuples,
+                                   domain=domain,
+                                   empty_probability=empty_probability)
+        return schema, instance
+
+    return st.integers(min_value=0, max_value=1_000_000).map(build)
+
+
+def full_bundles(satisfying: bool = False) -> Any:
+    """A strategy producing ``(schema, sigma, instance)`` triples.
+
+    With ``satisfying=True`` the instance is rejection-sampled to
+    satisfy sigma; draws where sampling fails yield ``instance=None``
+    (filter or skip in the consumer).
+    """
+    st = _require_hypothesis()
+    from .generators import (
+        random_instance,
+        random_satisfying_instance,
+        random_schema,
+        random_sigma,
+    )
+
+    def build(seed: int):
+        rng = random.Random(seed)
+        schema = random_schema(rng, relations=1, max_fields=3,
+                               max_depth=2, set_probability=0.5)
+        sigma = random_sigma(rng, schema, count=rng.randint(1, 3))
+        if satisfying:
+            instance = random_satisfying_instance(
+                rng, schema, sigma, tuples=2, domain=2,
+                max_attempts=80)
+        else:
+            instance = random_instance(rng, schema, tuples=2, domain=2)
+        return schema, sigma, instance
+
+    return st.integers(min_value=0, max_value=1_000_000).map(build)

@@ -1,0 +1,51 @@
+"""Nested relational type system.
+
+Public surface:
+
+* :class:`~repro.types.base.BaseType`, :class:`~repro.types.base.SetType`,
+  :class:`~repro.types.base.RecordType` — the type constructors, with
+  ``INT``, ``STRING``, ``BOOL`` singletons;
+* :class:`~repro.types.schema.Schema` — relation name → type mapping;
+* :func:`~repro.types.parser.parse_type`,
+  :func:`~repro.types.parser.parse_schema` — the concrete syntax;
+* :func:`~repro.types.printer.format_type` and friends — rendering;
+* :mod:`~repro.types.visitor` — structural folds.
+"""
+
+from .base import (
+    BOOL,
+    INT,
+    STRING,
+    BaseType,
+    RecordType,
+    SetType,
+    Type,
+    check_no_repeated_labels,
+    is_valid_label,
+)
+from .parser import parse_schema, parse_type
+from .printer import format_schema, format_type, format_type_tree
+from .schema import Schema
+from .visitor import TypeVisitor, count_nodes, fold_type, set_paths_of_type
+
+__all__ = [
+    "BaseType",
+    "SetType",
+    "RecordType",
+    "Type",
+    "INT",
+    "STRING",
+    "BOOL",
+    "Schema",
+    "parse_type",
+    "parse_schema",
+    "format_type",
+    "format_type_tree",
+    "format_schema",
+    "TypeVisitor",
+    "fold_type",
+    "count_nodes",
+    "set_paths_of_type",
+    "check_no_repeated_labels",
+    "is_valid_label",
+]

@@ -1,0 +1,280 @@
+"""Nested relational types.
+
+The paper's type grammar (Section 2)::
+
+    tau ::= b | {tau} | <A1: tau1, ..., An: taun>
+
+with the *strict* nested relational discipline: set and record constructors
+alternate.  Concretely,
+
+* the element type of a set must be a record type,
+* every field of a record must be a base type or a set type (never a
+  record directly), and
+* labels within a record are unique; the paper additionally assumes that a
+  label is not repeated anywhere in a type, which
+  :func:`check_no_repeated_labels` enforces for schema types.
+
+Types are immutable and hashable, so they can be used as dictionary keys
+and compared structurally.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import TypeConstructionError
+
+__all__ = [
+    "Type",
+    "BaseType",
+    "SetType",
+    "RecordType",
+    "INT",
+    "STRING",
+    "BOOL",
+    "check_no_repeated_labels",
+    "is_valid_label",
+]
+
+#: Names accepted as base types by the parser and constructors.
+BASE_TYPE_NAMES = ("int", "string", "bool")
+
+
+def is_valid_label(label: str) -> bool:
+    """Return True if *label* is usable as an attribute or relation name.
+
+    Labels are non-empty identifiers: a letter or underscore followed by
+    letters, digits, or underscores.  The path separator ``:`` and the
+    bracket characters used by the concrete syntax are thereby excluded.
+    """
+    if not label:
+        return False
+    return label.isidentifier()
+
+
+class Type:
+    """Abstract base class of all nested relational types."""
+
+    __slots__ = ()
+
+    def is_base(self) -> bool:
+        return isinstance(self, BaseType)
+
+    def is_set(self) -> bool:
+        return isinstance(self, SetType)
+
+    def is_record(self) -> bool:
+        return isinstance(self, RecordType)
+
+    # Subclasses implement structural equality/hash and __repr__.
+
+    def walk(self) -> Iterator["Type"]:
+        """Yield this type and every type nested inside it, pre-order."""
+        yield self
+
+    def depth(self) -> int:
+        """Return the set-nesting depth of the type.
+
+        A base type has depth 0; a set adds one level; a record's depth is
+        the maximum depth of its fields.
+        """
+        return 0
+
+
+class BaseType(Type):
+    """An atomic type: ``int``, ``string``, or ``bool``.
+
+    The paper keeps the set of base types abstract; three concrete ones
+    suffice for every example and for the completeness construction (which
+    only needs one infinite domain).
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if name not in BASE_TYPE_NAMES:
+            raise TypeConstructionError(
+                f"unknown base type {name!r}; expected one of "
+                f"{', '.join(BASE_TYPE_NAMES)}"
+            )
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("BaseType is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BaseType) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("BaseType", self.name))
+
+    def __repr__(self) -> str:
+        return f"BaseType({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Shared singletons for the three base types.
+INT = BaseType("int")
+STRING = BaseType("string")
+BOOL = BaseType("bool")
+
+
+class SetType(Type):
+    """A set type ``{tau}`` whose element type must be a record type.
+
+    The strict alternation discipline of the paper forbids sets of sets and
+    sets of base types at schema level; however the paper's own examples
+    use ``{b}`` *values* in the completeness construction, and relations
+    themselves are sets of records.  We therefore allow a set of records
+    only, matching the formal grammar ("the notation {w} represents a set
+    with elements of type w, where w must be a record type").
+    """
+
+    __slots__ = ("element",)
+
+    def __init__(self, element: Type):
+        if not isinstance(element, RecordType):
+            raise TypeConstructionError(
+                "the element type of a set must be a record type "
+                f"(got {element!r}); set and record constructors alternate "
+                "in the strict nested relational model"
+            )
+        object.__setattr__(self, "element", element)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("SetType is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetType) and self.element == other.element
+
+    def __hash__(self) -> int:
+        return hash(("SetType", self.element))
+
+    def __repr__(self) -> str:
+        return f"SetType({self.element!r})"
+
+    def __str__(self) -> str:
+        return "{" + str(self.element) + "}"
+
+    def walk(self) -> Iterator[Type]:
+        yield self
+        yield from self.element.walk()
+
+    def depth(self) -> int:
+        return 1 + self.element.depth()
+
+
+class RecordType(Type):
+    """A record type ``<A1: tau1, ..., An: taun>``.
+
+    Field order is preserved for display but ignored for equality and
+    hashing, mirroring the usual treatment of records as label-indexed
+    products.  Every field type must be a base type or a set type.
+    """
+
+    __slots__ = ("fields", "_by_label")
+
+    def __init__(self, fields):
+        """Create a record type.
+
+        :param fields: an iterable of ``(label, type)`` pairs, or a mapping
+            from label to type.
+        """
+        if hasattr(fields, "items"):
+            pairs = tuple(fields.items())
+        else:
+            pairs = tuple(fields)
+        seen: set[str] = set()
+        for label, field_type in pairs:
+            if not is_valid_label(label):
+                raise TypeConstructionError(
+                    f"invalid record label {label!r}: labels must be "
+                    "identifiers"
+                )
+            if label in seen:
+                raise TypeConstructionError(
+                    f"repeated label {label!r} in record type"
+                )
+            seen.add(label)
+            if not isinstance(field_type, (BaseType, SetType)):
+                raise TypeConstructionError(
+                    f"field {label!r} must have a base or set type, not "
+                    f"{field_type!r}; records directly inside records are "
+                    "not allowed in the strict nested relational model"
+                )
+        if not pairs:
+            raise TypeConstructionError("record types must have at least "
+                                        "one field")
+        object.__setattr__(self, "fields", pairs)
+        object.__setattr__(self, "_by_label", dict(pairs))
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("RecordType is immutable")
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """The record's labels, in declaration order."""
+        return tuple(label for label, _ in self.fields)
+
+    def field(self, label: str) -> Type:
+        """Return the type of *label*.
+
+        :raises TypeConstructionError: if the label is absent.
+        """
+        try:
+            return self._by_label[label]
+        except KeyError:
+            raise TypeConstructionError(
+                f"record type has no field {label!r}; fields are "
+                f"{', '.join(self.labels)}"
+            ) from None
+
+    def has_field(self, label: str) -> bool:
+        return label in self._by_label
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecordType):
+            return False
+        return self._by_label == other._by_label
+
+    def __hash__(self) -> int:
+        return hash(("RecordType", frozenset(self._by_label.items())))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{label}={t!r}" for label, t in self.fields)
+        return f"RecordType({inner})"
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{label}: {t}" for label, t in self.fields)
+        return f"<{inner}>"
+
+    def walk(self) -> Iterator[Type]:
+        yield self
+        for _, field_type in self.fields:
+            yield from field_type.walk()
+
+    def depth(self) -> int:
+        return max(t.depth() for _, t in self.fields)
+
+
+def check_no_repeated_labels(t: Type) -> None:
+    """Enforce the paper's global no-repeated-labels assumption.
+
+    Section 2 assumes "there are no repeated labels in a type"; e.g.
+    ``<A: int, B: {<A: int>}>`` is not allowed.  This lets the logic
+    translation key its variables by label alone.  The check walks the
+    whole type and raises :class:`TypeConstructionError` on a duplicate.
+    """
+    seen: set[str] = set()
+    for sub in t.walk():
+        if isinstance(sub, RecordType):
+            for label in sub.labels:
+                if label in seen:
+                    raise TypeConstructionError(
+                        f"label {label!r} is repeated in the type; the "
+                        "paper's model requires globally unique labels "
+                        "within a relation type"
+                    )
+                seen.add(label)

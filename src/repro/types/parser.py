@@ -1,0 +1,191 @@
+"""Parser for the paper's concrete type syntax.
+
+Grammar (whitespace-insensitive)::
+
+    type    ::= base | set | record
+    base    ::= "int" | "string" | "bool"
+    set     ::= "{" record "}"
+    record  ::= "<" field ("," field)* ">"
+    field   ::= LABEL (":" type)?
+
+A field without a type annotation defaults to ``int``, which lets the
+paper's abbreviated examples such as ``{<A, B: {<C>}, D>}`` be written
+verbatim.
+
+Entry points: :func:`parse_type` for a single type and
+:func:`parse_schema` for a multi-relation declaration of the form
+``R1 = {<...>}; R2 = {<...>}``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from .base import BOOL, INT, STRING, RecordType, SetType, Type
+from .schema import Schema
+
+__all__ = ["parse_type", "parse_schema"]
+
+_BASE_TYPES = {"int": INT, "string": STRING, "str": STRING, "bool": BOOL}
+
+_PUNCTUATION = "{}<>:,=;"
+
+
+class _Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int):
+        self.kind = kind          # "label" or one of the punctuation chars
+        self.text = text
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Token({self.kind!r}, {self.text!r}, {self.position})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(_Token(ch, ch, i))
+            i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            tokens.append(_Token("label", text[start:i], start))
+            continue
+        raise ParseError(f"unexpected character {ch!r}", text, i)
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token stream helpers -------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.text,
+                             len(self.text))
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind!r} but found {token.text!r}",
+                self.text, token.position,
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+    # -- grammar productions --------------------------------------------
+
+    def parse_type(self) -> Type:
+        token = self._peek()
+        if token is None:
+            raise ParseError("expected a type", self.text, len(self.text))
+        if token.kind == "{":
+            return self.parse_set()
+        if token.kind == "<":
+            return self.parse_record()
+        if token.kind == "label":
+            self._next()
+            base = _BASE_TYPES.get(token.text)
+            if base is None:
+                raise ParseError(
+                    f"unknown base type {token.text!r}; expected int, "
+                    "string, or bool",
+                    self.text, token.position,
+                )
+            return base
+        raise ParseError(f"expected a type but found {token.text!r}",
+                         self.text, token.position)
+
+    def parse_set(self) -> SetType:
+        self._expect("{")
+        element = self.parse_record()
+        self._expect("}")
+        return SetType(element)
+
+    def parse_record(self) -> RecordType:
+        self._expect("<")
+        fields: list[tuple[str, Type]] = []
+        while True:
+            label = self._expect("label")
+            token = self._peek()
+            if token is not None and token.kind == ":":
+                self._next()
+                field_type = self.parse_type()
+            else:
+                field_type = INT
+            fields.append((label.text, field_type))
+            token = self._next()
+            if token.kind == ">":
+                break
+            if token.kind != ",":
+                raise ParseError(
+                    f"expected ',' or '>' but found {token.text!r}",
+                    self.text, token.position,
+                )
+        return RecordType(fields)
+
+    def parse_schema(self) -> Schema:
+        relations: dict[str, Type] = {}
+        while not self.at_end():
+            name = self._expect("label")
+            self._expect("=")
+            relations[name.text] = self.parse_type()
+            token = self._peek()
+            if token is not None and token.kind == ";":
+                self._next()
+        return Schema(relations)
+
+
+def parse_type(text: str) -> Type:
+    """Parse a single type expression.
+
+    >>> parse_type("{<sid: int, grade: string>}").is_set()
+    True
+    >>> parse_type("{<A, B: {<C>}>}")  # unannotated fields default to int
+    SetType(RecordType(A=BaseType('int'), B=SetType(RecordType(C=BaseType('int')))))
+    """
+    parser = _Parser(text)
+    result = parser.parse_type()
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError(f"trailing input {token.text!r}", text,
+                         token.position)
+    return result
+
+
+def parse_schema(text: str) -> Schema:
+    """Parse a schema declaration.
+
+    Relations are separated by optional semicolons::
+
+        parse_schema("R = {<A, B: {<C>}>}; S = {<D: string>}")
+    """
+    parser = _Parser(text)
+    return parser.parse_schema()

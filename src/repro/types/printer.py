@@ -1,0 +1,67 @@
+"""Pretty-printing of types and schemas.
+
+Two renderings are provided:
+
+* :func:`format_type` — the compact single-line concrete syntax accepted by
+  :func:`repro.types.parser.parse_type`;
+* :func:`format_type_tree` — an indented multi-line rendering that mirrors
+  the layout the paper uses when displaying nested schemas.
+"""
+
+from __future__ import annotations
+
+from .base import BaseType, RecordType, SetType, Type
+from .schema import Schema
+
+__all__ = ["format_type", "format_type_tree", "format_schema"]
+
+
+def format_type(t: Type) -> str:
+    """Render *t* in the concrete syntax (round-trips with the parser)."""
+    if isinstance(t, BaseType):
+        return t.name
+    if isinstance(t, SetType):
+        return "{" + format_type(t.element) + "}"
+    if isinstance(t, RecordType):
+        inner = ", ".join(
+            f"{label}: {format_type(field)}" for label, field in t.fields
+        )
+        return f"<{inner}>"
+    raise TypeError(f"not a Type: {t!r}")
+
+
+def format_type_tree(t: Type, indent: int = 0) -> str:
+    """Render *t* over multiple lines with two-space indentation.
+
+    Sets open on the current line and records list one field per line,
+    giving a readable view of deeply nested schemas::
+
+        {<
+          cnum: string,
+          students: {<
+            sid: int,
+            grade: string
+          >}
+        >}
+    """
+    pad = "  " * indent
+    if isinstance(t, BaseType):
+        return t.name
+    if isinstance(t, SetType):
+        return "{" + format_type_tree(t.element, indent) + "}"
+    if isinstance(t, RecordType):
+        inner_pad = "  " * (indent + 1)
+        lines = [
+            f"{inner_pad}{label}: {format_type_tree(field, indent + 1)}"
+            for label, field in t.fields
+        ]
+        return "<\n" + ",\n".join(lines) + f"\n{pad}>"
+    raise TypeError(f"not a Type: {t!r}")
+
+
+def format_schema(schema: Schema, multiline: bool = False) -> str:
+    """Render a schema as relation declarations, one per line."""
+    renderer = format_type_tree if multiline else format_type
+    return "\n".join(
+        f"{name} = {renderer(rel_type)}" for name, rel_type in schema.items()
+    )

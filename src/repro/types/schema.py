@@ -1,0 +1,105 @@
+"""Database schemas: finite maps from relation names to types.
+
+A schema pairs a finite set of relation names ``R`` with a mapping ``S``
+such that ``S(R)`` is a set-of-records type for every relation (Section 2
+of the paper).  Schemas are immutable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..errors import SchemaError, TypeConstructionError
+from .base import RecordType, SetType, Type, check_no_repeated_labels, \
+    is_valid_label
+
+__all__ = ["Schema"]
+
+
+class Schema:
+    """A nested relational database schema.
+
+    Maps relation names to their (set-of-records) types and offers lookup
+    and enumeration helpers used throughout the library.
+
+    Example::
+
+        schema = Schema({"Course": parse_type("{<cnum: string, time: int>}")})
+        schema.relation_type("Course")     # the SetType
+        schema.element_type("Course")      # its RecordType
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Mapping[str, Type]):
+        checked: dict[str, SetType] = {}
+        for name, rel_type in relations.items():
+            if not is_valid_label(name):
+                raise SchemaError(
+                    f"invalid relation name {name!r}: must be an identifier"
+                )
+            if not isinstance(rel_type, SetType):
+                raise SchemaError(
+                    f"relation {name!r} must be a set of records at its "
+                    f"outermost level, got {rel_type!r}"
+                )
+            try:
+                check_no_repeated_labels(rel_type)
+            except TypeConstructionError as exc:
+                raise SchemaError(
+                    f"relation {name!r}: {exc}"
+                ) from exc
+            if name in checked:  # pragma: no cover - dict keys are unique
+                raise SchemaError(f"duplicate relation name {name!r}")
+            checked[name] = rel_type
+        if not checked:
+            raise SchemaError("a schema must declare at least one relation")
+        object.__setattr__(self, "_relations", checked)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("Schema is immutable")
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """All relation names, in declaration order."""
+        return tuple(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def relation_type(self, name: str) -> SetType:
+        """Return the set type of relation *name*.
+
+        :raises SchemaError: if the relation does not exist.
+        """
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown relation {name!r}; schema declares "
+                f"{', '.join(self._relations)}"
+            ) from None
+
+    def element_type(self, name: str) -> RecordType:
+        """Return the record type of the elements of relation *name*."""
+        return self.relation_type(name).element
+
+    def items(self) -> Iterator[tuple[str, SetType]]:
+        return iter(self._relations.items())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and \
+            self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._relations.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}: {t}" for name, t in self.items())
+        return f"Schema({inner})"

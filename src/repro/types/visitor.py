@@ -1,0 +1,92 @@
+"""Structural folds over types.
+
+:class:`TypeVisitor` implements the classic visitor pattern for the three
+type constructors; :func:`fold_type` is a lighter functional fold.  Both
+are used by analyses (key discovery, generators) that need to recurse over
+schema structure without repeating dispatch boilerplate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+from .base import BaseType, RecordType, SetType, Type
+
+__all__ = ["TypeVisitor", "fold_type", "count_nodes", "set_paths_of_type"]
+
+T = TypeVar("T")
+
+
+class TypeVisitor(Generic[T]):
+    """Dispatch on the three type constructors.
+
+    Subclasses override ``visit_base``, ``visit_set`` and ``visit_record``.
+    The default implementations recurse and return ``None``.
+    """
+
+    def visit(self, t: Type) -> T:
+        if isinstance(t, BaseType):
+            return self.visit_base(t)
+        if isinstance(t, SetType):
+            return self.visit_set(t)
+        if isinstance(t, RecordType):
+            return self.visit_record(t)
+        raise TypeError(f"not a Type: {t!r}")
+
+    def visit_base(self, t: BaseType) -> T:
+        return None  # type: ignore[return-value]
+
+    def visit_set(self, t: SetType) -> T:
+        return self.visit(t.element)
+
+    def visit_record(self, t: RecordType) -> T:
+        result: T = None  # type: ignore[assignment]
+        for _, field in t.fields:
+            result = self.visit(field)
+        return result
+
+
+def fold_type(
+    t: Type,
+    on_base: Callable[[BaseType], T],
+    on_set: Callable[[SetType, T], T],
+    on_record: Callable[[RecordType, dict[str, T]], T],
+) -> T:
+    """Bottom-up fold: combine results from the leaves upward."""
+    if isinstance(t, BaseType):
+        return on_base(t)
+    if isinstance(t, SetType):
+        return on_set(t, fold_type(t.element, on_base, on_set, on_record))
+    if isinstance(t, RecordType):
+        children = {
+            label: fold_type(field, on_base, on_set, on_record)
+            for label, field in t.fields
+        }
+        return on_record(t, children)
+    raise TypeError(f"not a Type: {t!r}")
+
+
+def count_nodes(t: Type) -> int:
+    """Total number of type constructors in *t* (size of the type tree)."""
+    return sum(1 for _ in t.walk())
+
+
+def set_paths_of_type(t: Type) -> list[tuple[str, ...]]:
+    """Label sequences leading to every set-valued position inside *t*.
+
+    The outermost type itself is reported as the empty sequence when it is
+    a set.  Used by generators and the empty-set machinery to enumerate
+    positions where an empty set could occur.
+    """
+    found: list[tuple[str, ...]] = []
+
+    def recurse(current: Type, prefix: tuple[str, ...]) -> None:
+        if isinstance(current, SetType):
+            found.append(prefix)
+            recurse(current.element, prefix)
+        elif isinstance(current, RecordType):
+            for label, field in current.fields:
+                recurse(field, prefix + (label,))
+
+    recurse(t, ())
+    return found

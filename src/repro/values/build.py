@@ -1,0 +1,169 @@
+"""Lifting plain Python data into the value model and back.
+
+:func:`from_python` converts nested dicts/lists/scalars into
+:class:`~repro.values.value.Value` trees, optionally guided by a type so
+that ambiguous cases (e.g. empty lists) are shaped correctly.
+:func:`to_python` converts back, producing JSON-friendly structures
+(sets become sorted lists).
+
+:class:`Instance` wraps a full database instance: one set value per
+relation of a schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from ..errors import InstanceError, ValueError_
+from ..types.base import BaseType, RecordType, SetType, Type
+from ..types.schema import Schema
+from .value import Atom, Record, SetValue, Value
+
+__all__ = ["from_python", "to_python", "Instance"]
+
+
+def from_python(data: Any, value_type: Type | None = None) -> Value:
+    """Lift plain Python data into a :class:`Value`.
+
+    * scalars (int/str/bool) become :class:`Atom`;
+    * dicts become :class:`Record`;
+    * lists/tuples/sets/frozensets become :class:`SetValue`;
+    * existing :class:`Value` objects pass through unchanged.
+
+    When *value_type* is given, the shape is checked against it while
+    converting, which produces much better error messages than a separate
+    typechecking pass.
+    """
+    if isinstance(data, Value):
+        return data
+    if isinstance(data, bool) or isinstance(data, int) or \
+            isinstance(data, str):
+        if value_type is not None and not isinstance(value_type, BaseType):
+            raise ValueError_(
+                f"expected a value of type {value_type}, got the scalar "
+                f"{data!r}"
+            )
+        return Atom(data)
+    if isinstance(data, Mapping):
+        if value_type is not None and not isinstance(value_type, RecordType):
+            raise ValueError_(
+                f"expected a value of type {value_type}, got the record "
+                f"{data!r}"
+            )
+        fields = []
+        for label, sub in data.items():
+            sub_type = None
+            if isinstance(value_type, RecordType):
+                sub_type = value_type.field(label)
+            fields.append((label, from_python(sub, sub_type)))
+        return Record(fields)
+    if isinstance(data, (list, tuple, set, frozenset)):
+        if value_type is not None and not isinstance(value_type, SetType):
+            raise ValueError_(
+                f"expected a value of type {value_type}, got the "
+                f"collection {data!r}"
+            )
+        element_type = value_type.element if isinstance(value_type, SetType) \
+            else None
+        return SetValue(from_python(item, element_type) for item in data)
+    raise ValueError_(
+        f"cannot lift {type(data).__name__} into a database value"
+    )
+
+
+def to_python(value: Value) -> Any:
+    """Convert a :class:`Value` back into plain Python data.
+
+    Sets become lists sorted by the repr of their elements, so the output
+    is deterministic and JSON-serializable.
+    """
+    if isinstance(value, Atom):
+        return value.value
+    if isinstance(value, Record):
+        return {label: to_python(sub) for label, sub in value.fields}
+    if isinstance(value, SetValue):
+        return [to_python(element) for element in value]
+    raise ValueError_(f"not a Value: {value!r}")
+
+
+class Instance:
+    """A database instance: one set value per relation of a schema.
+
+    Instances are immutable; :meth:`with_relation` returns an updated
+    copy.  Construction does *not* typecheck the values against the schema
+    (use :func:`repro.values.typecheck.check_instance` for that) so that
+    deliberately ill-typed instances can still be built in tests.
+    """
+
+    __slots__ = ("schema", "_relations")
+
+    def __init__(self, schema: Schema, relations: Mapping[str, Any]):
+        converted: dict[str, SetValue] = {}
+        for name in schema.relation_names:
+            if name not in relations:
+                raise InstanceError(
+                    f"instance is missing relation {name!r}"
+                )
+            value = relations[name]
+            if not isinstance(value, Value):
+                value = from_python(value, schema.relation_type(name))
+            if not isinstance(value, SetValue):
+                raise InstanceError(
+                    f"relation {name!r} must be a set value, got "
+                    f"{type(value).__name__}"
+                )
+            converted[name] = value
+        extra = set(relations) - set(schema.relation_names)
+        if extra:
+            raise InstanceError(
+                f"instance has relations not in the schema: "
+                f"{', '.join(sorted(extra))}"
+            )
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "_relations", converted)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("Instance is immutable")
+
+    def relation(self, name: str) -> SetValue:
+        """The set value of relation *name*."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise InstanceError(f"unknown relation {name!r}") from None
+
+    def with_relation(self, name: str, value: Any) -> "Instance":
+        """Return a copy with relation *name* replaced."""
+        updated = dict(self._relations)
+        updated[name] = value
+        return Instance(self.schema, updated)
+
+    def relations(self) -> Iterator[tuple[str, SetValue]]:
+        return iter(self._relations.items())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Instance) and \
+            self.schema == other.schema and \
+            self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash((self.schema, frozenset(self._relations.items())))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name} -> {value}"
+                          for name, value in self.relations())
+        return f"Instance({inner})"
+
+    def total_atoms(self) -> int:
+        """Total number of atoms in the instance (a size measure)."""
+
+        def count(value: Value) -> int:
+            if isinstance(value, Atom):
+                return 1
+            if isinstance(value, Record):
+                return sum(count(sub) for _, sub in value.fields)
+            if isinstance(value, SetValue):
+                return sum(count(element) for element in value)
+            raise ValueError_(f"not a Value: {value!r}")
+
+        return sum(count(value) for _, value in self.relations())

@@ -1,0 +1,116 @@
+"""Inspection utilities: empty sets, cardinalities, and atom domains.
+
+Section 3 of the paper restricts the implication problem to instances with
+no empty sets; :func:`has_empty_sets` and :func:`empty_set_positions`
+decide and localize that property.  :func:`set_cardinalities` feeds the
+singleton analyses, and :func:`atom_domain` supports the generators and
+the completeness construction (fresh-value allocation).
+"""
+
+from __future__ import annotations
+
+from ..errors import ValueError_
+from ..paths.path import Path
+from .build import Instance
+from .value import Atom, Record, SetValue, Value
+
+__all__ = [
+    "has_empty_sets",
+    "empty_set_positions",
+    "set_cardinalities",
+    "atom_domain",
+    "max_int_atom",
+]
+
+
+def _walk_sets(value: Value, prefix: Path):
+    """Yield ``(path, set_value)`` for every set nested inside *value*.
+
+    *prefix* is the path that leads to *value*; sets found inside records
+    extend it by the record label.
+    """
+    if isinstance(value, SetValue):
+        yield prefix, value
+        for element in value:
+            yield from _walk_sets(element, prefix)
+    elif isinstance(value, Record):
+        for label, sub in value.fields:
+            yield from _walk_sets(sub, prefix.child(label))
+
+
+def has_empty_sets(instance: Instance,
+                   include_relations: bool = True) -> bool:
+    """True iff some set in the instance is empty.
+
+    When *include_relations* is False, empty top-level relations are
+    ignored; the paper's no-empty-sets assumption covers the relations
+    themselves too, so the default is True.
+    """
+    for name, relation in instance.relations():
+        for path, set_value in _walk_sets(relation, Path((name,))):
+            if set_value.is_empty:
+                if not include_relations and len(path) == 1:
+                    continue
+                return True
+    return False
+
+
+def empty_set_positions(instance: Instance) -> list[Path]:
+    """The distinct paths at which an empty set occurs, sorted.
+
+    Paths start with the relation name, e.g. ``R:B`` for an empty ``B``
+    set inside some tuple of ``R``.  Each offending path is reported once
+    even if many tuples have an empty set there.
+    """
+    found: set[Path] = set()
+    for name, relation in instance.relations():
+        for path, set_value in _walk_sets(relation, Path((name,))):
+            if set_value.is_empty:
+                found.add(path)
+    return sorted(found)
+
+
+def set_cardinalities(instance: Instance) -> dict[Path, list[int]]:
+    """Map each set-valued path to the cardinalities observed there.
+
+    Useful for checking singleton claims: a path whose observed
+    cardinalities are all <= 1 is behaving as an optional/singleton
+    attribute in the AceDB sense.
+    """
+    result: dict[Path, list[int]] = {}
+    for name, relation in instance.relations():
+        for path, set_value in _walk_sets(relation, Path((name,))):
+            result.setdefault(path, []).append(len(set_value))
+    return result
+
+
+def atom_domain(instance: Instance) -> set:
+    """All atom payloads occurring anywhere in the instance."""
+    found: set = set()
+
+    def recurse(value: Value) -> None:
+        if isinstance(value, Atom):
+            found.add(value.value)
+        elif isinstance(value, Record):
+            for _, sub in value.fields:
+                recurse(sub)
+        elif isinstance(value, SetValue):
+            for element in value:
+                recurse(element)
+        else:
+            raise ValueError_(f"not a Value: {value!r}")
+
+    for _, relation in instance.relations():
+        recurse(relation)
+    return found
+
+
+def max_int_atom(instance: Instance) -> int:
+    """The largest int atom in the instance, or -1 if there are none.
+
+    The fresh-value allocators of the completeness construction start
+    above this bound when extending an existing instance.
+    """
+    ints = [v for v in atom_domain(instance)
+            if isinstance(v, int) and not isinstance(v, bool)]
+    return max(ints, default=-1)

@@ -1,0 +1,140 @@
+"""Path evaluation over values (Section 2.1 semantics).
+
+A path ``A1:...:Ak`` evaluated on a record nondeterministically yields a
+value: each label projects a record field and each ``:`` picks an element
+of a set.  :func:`iter_values` enumerates every value a path can yield;
+:func:`path_defined` implements the paper's *well defined* notion — the
+path always yields a value, i.e. no choice sequence runs into an empty set.
+
+:func:`iter_base_sets` enumerates the sets reached by an NFD base path
+``x0``: the logic translation of Section 2.2 introduces a *single* variable
+chain for ``x0`` and then picks the two compared values ``v1, v2`` from the
+same final set, which is exactly what this generator supports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import PathError, ValueError_
+from ..paths.path import Path
+from .build import Instance
+from .value import Record, SetValue, Value
+
+__all__ = [
+    "iter_values",
+    "values_at",
+    "path_defined",
+    "iter_base_sets",
+    "first_value",
+]
+
+
+def iter_values(value: Value, path: Path) -> Iterator[Value]:
+    """Yield every value *path* can evaluate to on *value*.
+
+    *value* is typically a record (an element of some set); the empty path
+    yields *value* itself.  Traversal into an empty set yields nothing for
+    that branch, matching the undefined-value semantics.
+    """
+    if path.is_empty:
+        yield value
+        return
+    label = path.first
+    rest = path.tail
+    if isinstance(value, SetValue):
+        # Implicit ':' traversal: pick an element, then continue.
+        for element in value:
+            yield from iter_values(element, path)
+        return
+    if isinstance(value, Record):
+        if not value.has(label):
+            raise PathError(
+                f"record {value} has no field {label!r} while evaluating "
+                f"path {path}"
+            )
+        projected = value.get(label)
+        if rest.is_empty:
+            yield projected
+        else:
+            yield from iter_values(projected, rest)
+        return
+    raise PathError(
+        f"cannot follow path {path} into the atom {value}"
+    )
+
+
+def values_at(value: Value, path: Path) -> list[Value]:
+    """All values *path* yields on *value*, as a list (choice order)."""
+    return list(iter_values(value, path))
+
+
+def path_defined(value: Value, path: Path) -> bool:
+    """The paper's *well defined*: every choice sequence yields a value.
+
+    Returns False exactly when some sequence of element choices runs into
+    an empty set before the path is exhausted.  A path ending *at* a set
+    (without traversing into it) is defined even if that set is empty.
+    """
+    if path.is_empty:
+        return True
+    if isinstance(value, SetValue):
+        if value.is_empty:
+            return False
+        return all(path_defined(element, path) for element in value)
+    if isinstance(value, Record):
+        projected = value.get(path.first)
+        rest = path.tail
+        if rest.is_empty:
+            return True
+        return path_defined(projected, rest)
+    raise PathError(f"cannot follow path {path} into the atom {value}")
+
+
+def iter_base_sets(instance: Instance, base: Path) -> Iterator[SetValue]:
+    """Enumerate the sets an NFD base path reaches in *instance*.
+
+    For ``base = R`` this yields the relation itself (once).  For
+    ``base = R:A:B`` it yields ``a.B`` for every ``r in R`` and every
+    ``a in r.A`` — one set per binding of the base-path variable chain.
+    """
+    relation = instance.relation(base.first)
+    rest = base.tail
+    if rest.is_empty:
+        yield relation
+        return
+    yield from _iter_sets_from(relation, rest)
+
+
+def _iter_sets_from(current: SetValue, rest: Path) -> Iterator[SetValue]:
+    label = rest.first
+    remainder = rest.tail
+    for element in current:
+        if not isinstance(element, Record):
+            raise PathError(
+                f"expected a record while following base path, got "
+                f"{element}"
+            )
+        projected = element.get(label)
+        if not isinstance(projected, SetValue):
+            raise PathError(
+                f"base path label {label!r} must be set-valued, got "
+                f"{projected}"
+            )
+        if remainder.is_empty:
+            yield projected
+        else:
+            yield from _iter_sets_from(projected, remainder)
+
+
+def first_value(value: Value, path: Path) -> Value:
+    """Return the first value *path* yields, or raise if it yields none.
+
+    Convenience for contexts (examples, tables) where the caller knows the
+    path is single-valued.
+
+    :raises ValueError_: if the path yields no value on *value*.
+    """
+    for result in iter_values(value, path):
+        return result
+    raise ValueError_(f"path {path} yields no value on {value}")

@@ -1,0 +1,141 @@
+"""Nest and unnest restructuring operators.
+
+These are the classical operators of the nested relational algebra
+(Fischer, Saxton, Thomas and Van Gucht's setting, discussed in Section 4
+of the paper): ``unnest`` flattens a set-valued attribute into its parent
+tuples, and ``nest`` groups tuples on the remaining attributes, collecting
+the nested ones into a set.  The FD-carryover analysis in
+:mod:`repro.analysis.carryover` studies which NFDs survive these
+transformations.
+
+Both value-level and type-level variants are provided so instances and
+schemas can be transformed in lockstep.
+"""
+
+from __future__ import annotations
+
+from ..errors import TypeConstructionError, ValueError_
+from ..types.base import RecordType, SetType, Type
+from .value import Record, SetValue
+
+__all__ = ["unnest", "nest", "unnest_type", "nest_type"]
+
+
+def unnest(relation: SetValue, label: str) -> SetValue:
+    """Unnest the set-valued attribute *label*.
+
+    Every tuple ``r`` with ``r.label = {b1, ..., bk}`` contributes ``k``
+    output tuples, each combining ``r``'s other fields with one ``bi``'s
+    fields.  Tuples whose *label* set is empty vanish — the classical
+    (non-outer) semantics, and precisely the information loss that makes
+    empty sets troublesome in Section 3.2.
+
+    :raises ValueError_: if *label* is missing, not set-valued, or its
+        element labels collide with the parent's remaining labels.
+    """
+    output: list[Record] = []
+    for element in relation:
+        if not isinstance(element, Record):
+            raise ValueError_("unnest expects a set of records")
+        inner = element.get(label)
+        if not isinstance(inner, SetValue):
+            raise ValueError_(
+                f"attribute {label!r} is not set-valued; cannot unnest"
+            )
+        outer_fields = [(lab, v) for lab, v in element.fields
+                        if lab != label]
+        outer_labels = {lab for lab, _ in outer_fields}
+        for inner_element in inner:
+            if not isinstance(inner_element, Record):
+                raise ValueError_(
+                    f"attribute {label!r} must contain records to unnest"
+                )
+            collision = outer_labels & set(inner_element.labels)
+            if collision:
+                raise ValueError_(
+                    f"cannot unnest {label!r}: inner labels "
+                    f"{', '.join(sorted(collision))} collide with outer "
+                    "labels"
+                )
+            output.append(Record(outer_fields +
+                                 list(inner_element.fields)))
+    return SetValue(output)
+
+
+def nest(relation: SetValue, label: str,
+         nested_labels: tuple[str, ...] | list[str]) -> SetValue:
+    """Nest attributes *nested_labels* into a new set attribute *label*.
+
+    Tuples agreeing on all the *other* attributes are merged; their
+    *nested_labels* projections are collected into a set stored under
+    *label*.  Field order: the grouping attributes keep their order, and
+    the new set attribute is appended last.
+
+    :raises ValueError_: on unknown attributes, an empty nested list, or a
+        *label* that collides with a grouping attribute.
+    """
+    nested = tuple(nested_labels)
+    if not nested:
+        raise ValueError_("nest requires at least one attribute to nest")
+    groups: dict[Record, set[Record]] = {}
+    group_order: list[Record] = []
+    for element in relation:
+        if not isinstance(element, Record):
+            raise ValueError_("nest expects a set of records")
+        for attr in nested:
+            if not element.has(attr):
+                raise ValueError_(f"record has no attribute {attr!r}")
+        group_fields = [(lab, v) for lab, v in element.fields
+                        if lab not in nested]
+        if not group_fields:
+            raise ValueError_(
+                "nest would leave no grouping attributes; records must "
+                "keep at least one field"
+            )
+        if label in {lab for lab, _ in group_fields}:
+            raise ValueError_(
+                f"new attribute {label!r} collides with a grouping "
+                "attribute"
+            )
+        group_key = Record(group_fields)
+        inner = Record([(attr, element.get(attr)) for attr in nested])
+        if group_key not in groups:
+            groups[group_key] = set()
+            group_order.append(group_key)
+        groups[group_key].add(inner)
+    output = [
+        Record(list(key.fields) + [(label, SetValue(groups[key]))])
+        for key in group_order
+    ]
+    return SetValue(output)
+
+
+def unnest_type(relation_type: SetType, label: str) -> SetType:
+    """The type-level counterpart of :func:`unnest`."""
+    element = relation_type.element
+    inner_type = element.field(label)
+    if not isinstance(inner_type, SetType):
+        raise TypeConstructionError(
+            f"attribute {label!r} is not set-valued; cannot unnest"
+        )
+    outer_fields = [(lab, t) for lab, t in element.fields if lab != label]
+    combined: list[tuple[str, Type]] = outer_fields + \
+        list(inner_type.element.fields)
+    return SetType(RecordType(combined))
+
+
+def nest_type(relation_type: SetType, label: str,
+              nested_labels: tuple[str, ...] | list[str]) -> SetType:
+    """The type-level counterpart of :func:`nest`."""
+    nested = tuple(nested_labels)
+    element = relation_type.element
+    for attr in nested:
+        element.field(attr)  # raises on unknown attribute
+    group_fields = [(lab, t) for lab, t in element.fields
+                    if lab not in nested]
+    if not group_fields:
+        raise TypeConstructionError(
+            "nest would leave no grouping attributes"
+        )
+    inner = RecordType([(attr, element.field(attr)) for attr in nested])
+    return SetType(RecordType(group_fields + [(label, SetType(inner))]))

@@ -1,0 +1,104 @@
+"""Checking that values conform to types and instances to schemas.
+
+Implements the natural denotation of types from Section 2: an atom
+inhabits the matching base type, a record inhabits a record type when its
+labels and field values match, and a set inhabits a set type when every
+element inhabits the element type (the empty set inhabits every set type).
+"""
+
+from __future__ import annotations
+
+from ..errors import InstanceError, ValueError_
+from ..types.base import BaseType, RecordType, SetType, Type
+from .build import Instance
+from .value import Atom, Record, SetValue, Value
+
+__all__ = ["check_value", "conforms", "check_instance",
+           "instance_conforms"]
+
+_BASE_PYTHON = {"int": int, "string": str, "bool": bool}
+
+
+def check_value(value: Value, value_type: Type, context: str = "value") \
+        -> None:
+    """Raise :class:`ValueError_` unless *value* inhabits *value_type*.
+
+    *context* is a human-readable location used in error messages and
+    extended as the check recurses.
+    """
+    if isinstance(value_type, BaseType):
+        if not isinstance(value, Atom):
+            raise ValueError_(
+                f"{context}: expected an atom of type {value_type}, got "
+                f"{value}"
+            )
+        expected = _BASE_PYTHON[value_type.name]
+        actual = value.value
+        if expected is int and isinstance(actual, bool):
+            raise ValueError_(
+                f"{context}: expected int, got the bool {actual!r}"
+            )
+        if not isinstance(actual, expected):
+            raise ValueError_(
+                f"{context}: expected {value_type}, got "
+                f"{type(actual).__name__} {actual!r}"
+            )
+        return
+    if isinstance(value_type, SetType):
+        if not isinstance(value, SetValue):
+            raise ValueError_(
+                f"{context}: expected a set of type {value_type}, got "
+                f"{value}"
+            )
+        for index, element in enumerate(value):
+            check_value(element, value_type.element,
+                        f"{context}[{index}]")
+        return
+    if isinstance(value_type, RecordType):
+        if not isinstance(value, Record):
+            raise ValueError_(
+                f"{context}: expected a record of type {value_type}, got "
+                f"{value}"
+            )
+        missing = set(value_type.labels) - set(value.labels)
+        extra = set(value.labels) - set(value_type.labels)
+        if missing or extra:
+            parts = []
+            if missing:
+                parts.append(f"missing fields {', '.join(sorted(missing))}")
+            if extra:
+                parts.append(f"unexpected fields {', '.join(sorted(extra))}")
+            raise ValueError_(f"{context}: {'; '.join(parts)}")
+        for label in value_type.labels:
+            check_value(value.get(label), value_type.field(label),
+                        f"{context}.{label}")
+        return
+    raise ValueError_(f"not a Type: {value_type!r}")
+
+
+def conforms(value: Value, value_type: Type) -> bool:
+    """True iff *value* inhabits *value_type*."""
+    try:
+        check_value(value, value_type)
+    except ValueError_:
+        return False
+    return True
+
+
+def check_instance(instance: Instance) -> None:
+    """Raise :class:`InstanceError` unless the instance fits its schema."""
+    for name, value in instance.relations():
+        rel_type = instance.schema.relation_type(name)
+        try:
+            check_value(value, rel_type, context=name)
+        except ValueError_ as exc:
+            raise InstanceError(str(exc)) from exc
+
+
+def instance_conforms(instance: Instance) -> bool:
+    """True iff the instance fits its schema."""
+    try:
+        check_instance(instance)
+    except InstanceError:
+        return False
+    return True

@@ -1,0 +1,241 @@
+"""The value model: atoms, records, and finite sets.
+
+Values denote elements of the natural type semantics from Section 2 of the
+paper.  All values are immutable and hashable, so records can be elements
+of sets and sets can be compared for equality with genuine set semantics
+(order- and duplicate-insensitive).
+
+The three constructors mirror the type constructors:
+
+* :class:`Atom` wraps a Python ``int``, ``str``, or ``bool``;
+* :class:`Record` maps labels to values;
+* :class:`SetValue` is a finite (possibly empty) set of values.
+
+Equality is structural and set equality is extensional, which is exactly
+what NFD satisfaction (Definition 2.4) compares.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import ValueError_
+
+__all__ = ["Value", "Atom", "Record", "SetValue", "EMPTY_SET"]
+
+_ATOM_TYPES = (int, str, bool)
+
+
+class Value:
+    """Abstract base class of all database values."""
+
+    __slots__ = ()
+
+    def is_atom(self) -> bool:
+        return isinstance(self, Atom)
+
+    def is_record(self) -> bool:
+        return isinstance(self, Record)
+
+    def is_set(self) -> bool:
+        return isinstance(self, SetValue)
+
+
+class Atom(Value):
+    """An atomic value of one of the base types."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        if not isinstance(value, _ATOM_TYPES):
+            raise ValueError_(
+                f"atoms wrap int, str, or bool, not {type(value).__name__}"
+            )
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("Atom is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Atom):
+            return False
+        # bool is a subclass of int in Python; keep True != 1 to avoid
+        # surprising cross-type equalities in instances.
+        if isinstance(self.value, bool) != isinstance(other.value, bool):
+            return False
+        return self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Atom", type(self.value).__name__, self.value))
+
+    def __repr__(self) -> str:
+        return f"Atom({self.value!r})"
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return str(self.value)
+
+
+class Record(Value):
+    """A record value ``<A1 -> v1, ..., An -> vn>``.
+
+    Label order is preserved for display; equality and hashing ignore it.
+    """
+
+    __slots__ = ("fields", "_by_label")
+
+    def __init__(self, fields):
+        """Create a record from ``(label, value)`` pairs or a mapping."""
+        if isinstance(fields, Mapping):
+            pairs = tuple(fields.items())
+        else:
+            pairs = tuple(fields)
+        seen: set[str] = set()
+        for label, value in pairs:
+            if not isinstance(label, str) or not label:
+                raise ValueError_(f"record labels must be non-empty "
+                                  f"strings, got {label!r}")
+            if label in seen:
+                raise ValueError_(f"repeated label {label!r} in record")
+            seen.add(label)
+            if not isinstance(value, Value):
+                raise ValueError_(
+                    f"field {label!r} must hold a Value, got "
+                    f"{type(value).__name__}; use repro.values.build to "
+                    "lift plain Python data"
+                )
+        if not pairs:
+            raise ValueError_("records must have at least one field")
+        object.__setattr__(self, "fields", pairs)
+        object.__setattr__(self, "_by_label", dict(pairs))
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("Record is immutable")
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(label for label, _ in self.fields)
+
+    def get(self, label: str) -> Value:
+        """Project field *label*.
+
+        :raises ValueError_: if the label is absent.
+        """
+        try:
+            return self._by_label[label]
+        except KeyError:
+            raise ValueError_(
+                f"record has no field {label!r}; fields are "
+                f"{', '.join(self.labels)}"
+            ) from None
+
+    def has(self, label: str) -> bool:
+        return label in self._by_label
+
+    def replace(self, label: str, value: Value) -> "Record":
+        """Return a copy with field *label* replaced by *value*."""
+        if label not in self._by_label:
+            raise ValueError_(f"record has no field {label!r}")
+        return Record(tuple(
+            (lab, value if lab == label else old)
+            for lab, old in self.fields
+        ))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return False
+        return self._by_label == other._by_label
+
+    def __hash__(self) -> int:
+        return hash(("Record", frozenset(self._by_label.items())))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{label}={value!r}"
+                          for label, value in self.fields)
+        return f"Record({inner})"
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{label} -> {value}"
+                          for label, value in self.fields)
+        return f"<{inner}>"
+
+
+class SetValue(Value):
+    """A finite set of values with extensional equality."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements: Iterable[Value] = ()):
+        frozen = frozenset(elements)
+        for element in frozen:
+            if not isinstance(element, Value):
+                raise ValueError_(
+                    f"set elements must be Values, got "
+                    f"{type(element).__name__}"
+                )
+        object.__setattr__(self, "elements", frozen)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("SetValue is immutable")
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self) -> Iterator[Value]:
+        # Deterministic iteration order: sort by repr.  Sets are small in
+        # this domain, and stable order keeps printing and tests
+        # reproducible across hash randomization.
+        return iter(sorted(self.elements, key=repr))
+
+    def __contains__(self, value: Value) -> bool:
+        return value in self.elements
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.elements
+
+    @property
+    def is_singleton(self) -> bool:
+        return len(self.elements) == 1
+
+    def the_element(self) -> Value:
+        """Return the sole element of a singleton set.
+
+        :raises ValueError_: if the set is not a singleton.
+        """
+        if len(self.elements) != 1:
+            raise ValueError_(
+                f"expected a singleton set, found {len(self.elements)} "
+                "elements"
+            )
+        return next(iter(self.elements))
+
+    def union(self, other: "SetValue") -> "SetValue":
+        return SetValue(self.elements | other.elements)
+
+    def intersection(self, other: "SetValue") -> "SetValue":
+        return SetValue(self.elements & other.elements)
+
+    def add(self, value: Value) -> "SetValue":
+        """Return a new set with *value* added."""
+        return SetValue(self.elements | {value})
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetValue) and \
+            self.elements == other.elements
+
+    def __hash__(self) -> int:
+        return hash(("SetValue", self.elements))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(element) for element in self)
+        return f"SetValue({{{inner}}})"
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(element) for element in self)
+        return "{" + inner + "}"
+
+
+#: The empty set value.
+EMPTY_SET = SetValue(())

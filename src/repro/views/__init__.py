@@ -1,0 +1,28 @@
+"""View algebra and NFD propagation."""
+
+from .algebra import (
+    Base,
+    Join,
+    Nest,
+    Project,
+    Select,
+    Unnest,
+    ViewExpr,
+    evaluate,
+    output_type,
+)
+from .propagation import propagate_nfds, view_schema
+
+__all__ = [
+    "ViewExpr",
+    "Base",
+    "Select",
+    "Project",
+    "Nest",
+    "Unnest",
+    "Join",
+    "evaluate",
+    "output_type",
+    "propagate_nfds",
+    "view_schema",
+]

@@ -1,0 +1,246 @@
+"""A small nested-relational view algebra.
+
+The paper's introduction motivates NFDs with materialized views over
+complex databases, and its related work leans on Klug and Klug–Price's
+constraint-propagation tradition.  This module provides the substrate: a
+view expression algebra over one nested relation —
+
+* :class:`Base` — a stored relation;
+* :class:`Select` — equality selection on a top-level base attribute;
+* :class:`Project` — keep a subset of top-level attributes;
+* :class:`Nest` / :class:`Unnest` — the restructuring operators.
+
+Expressions evaluate against instances (:func:`evaluate`) and typecheck
+against schemas (:func:`output_type`); NFD propagation lives in
+:mod:`repro.views.propagation`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import InferenceError, PathError
+from ..types.base import BaseType, RecordType, SetType
+from ..types.schema import Schema
+from ..values.build import Instance, from_python
+from ..values.restructure import nest, nest_type, unnest, unnest_type
+from ..values.value import Record, SetValue, Value
+
+__all__ = ["ViewExpr", "Base", "Select", "Project", "Nest", "Unnest",
+           "Join", "evaluate", "output_type"]
+
+
+class ViewExpr:
+    """Abstract base of view expressions."""
+
+    def select(self, attribute: str, constant: Any) -> "Select":
+        return Select(self, attribute, constant)
+
+    def project(self, *labels: str) -> "Project":
+        return Project(self, labels)
+
+    def nest(self, new_label: str, nested: tuple[str, ...] | list[str]) \
+            -> "Nest":
+        return Nest(self, new_label, tuple(nested))
+
+    def unnest(self, label: str) -> "Unnest":
+        return Unnest(self, label)
+
+    def join(self, other: "ViewExpr") -> "Join":
+        return Join(self, other)
+
+
+class Base(ViewExpr):
+    """A stored relation."""
+
+    def __init__(self, relation: str):
+        self.relation = relation
+
+    def __repr__(self) -> str:
+        return self.relation
+
+
+class Select(ViewExpr):
+    """``sigma_{attribute = constant}`` on a top-level base attribute."""
+
+    def __init__(self, child: ViewExpr, attribute: str, constant: Any):
+        self.child = child
+        self.attribute = attribute
+        self.constant = constant if isinstance(constant, Value) \
+            else from_python(constant)
+
+    def __repr__(self) -> str:
+        return f"σ[{self.attribute}={self.constant}]({self.child!r})"
+
+
+class Project(ViewExpr):
+    """``pi_{labels}`` keeping top-level attributes."""
+
+    def __init__(self, child: ViewExpr, labels):
+        self.child = child
+        self.labels = tuple(labels)
+        if not self.labels:
+            raise InferenceError("projection needs at least one label")
+
+    def __repr__(self) -> str:
+        return f"π[{', '.join(self.labels)}]({self.child!r})"
+
+
+class Nest(ViewExpr):
+    """``nu_{new_label = (nested)}``."""
+
+    def __init__(self, child: ViewExpr, new_label: str,
+                 nested: tuple[str, ...]):
+        self.child = child
+        self.new_label = new_label
+        self.nested = nested
+
+    def __repr__(self) -> str:
+        return (f"ν[{self.new_label}=({', '.join(self.nested)})]"
+                f"({self.child!r})")
+
+
+class Unnest(ViewExpr):
+    """``mu_{label}``."""
+
+    def __init__(self, child: ViewExpr, label: str):
+        self.child = child
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"μ[{self.label}]({self.child!r})"
+
+
+class Join(ViewExpr):
+    """Natural join of two expressions on shared base attributes.
+
+    The shared attributes must be base-typed (set-valued join keys have
+    no standard semantics in this fragment); all other attribute names
+    must be disjoint between the two sides.  This is the operator that
+    realizes the introduction's "materialized view over multiple complex
+    databases".
+    """
+
+    def __init__(self, left: ViewExpr, right: ViewExpr):
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ⋈ {self.right!r})"
+
+
+def output_type(expr: ViewExpr, schema: Schema) -> SetType:
+    """The (set-of-records) type the expression produces."""
+    if isinstance(expr, Base):
+        return schema.relation_type(expr.relation)
+    if isinstance(expr, Select):
+        child_type = output_type(expr.child, schema)
+        attribute_type = child_type.element.field(expr.attribute)
+        if not isinstance(attribute_type, BaseType):
+            raise InferenceError(
+                f"selection on {expr.attribute!r} requires a base-typed "
+                "attribute"
+            )
+        return child_type
+    if isinstance(expr, Project):
+        child_type = output_type(expr.child, schema)
+        element = child_type.element
+        missing = [label for label in expr.labels
+                   if not element.has_field(label)]
+        if missing:
+            raise InferenceError(
+                f"projection references unknown attributes {missing}"
+            )
+        return SetType(RecordType([
+            (label, element.field(label)) for label in expr.labels
+        ]))
+    if isinstance(expr, Nest):
+        return nest_type(output_type(expr.child, schema),
+                         expr.new_label, expr.nested)
+    if isinstance(expr, Unnest):
+        return unnest_type(output_type(expr.child, schema), expr.label)
+    if isinstance(expr, Join):
+        left_type = output_type(expr.left, schema)
+        right_type = output_type(expr.right, schema)
+        shared = _join_attributes(left_type, right_type)
+        fields = list(left_type.element.fields) + [
+            (label, field) for label, field in right_type.element.fields
+            if label not in shared
+        ]
+        return SetType(RecordType(fields))
+    raise InferenceError(f"not a view expression: {expr!r}")
+
+
+def _join_attributes(left_type: SetType, right_type: SetType) \
+        -> frozenset[str]:
+    """The shared attributes of a natural join, validated."""
+    left_labels = set(left_type.element.labels)
+    right_labels = set(right_type.element.labels)
+    shared = left_labels & right_labels
+    if not shared:
+        raise InferenceError(
+            "natural join requires at least one shared attribute"
+        )
+    for label in shared:
+        left_field = left_type.element.field(label)
+        right_field = right_type.element.field(label)
+        if left_field != right_field:
+            raise InferenceError(
+                f"join attribute {label!r} has different types on the "
+                "two sides"
+            )
+        if not isinstance(left_field, BaseType):
+            raise InferenceError(
+                f"join attribute {label!r} must be base-typed"
+            )
+    return frozenset(shared)
+
+
+def evaluate(expr: ViewExpr, instance: Instance) -> SetValue:
+    """Evaluate the expression against *instance*."""
+    if isinstance(expr, Base):
+        return instance.relation(expr.relation)
+    if isinstance(expr, Select):
+        child = evaluate(expr.child, instance)
+        kept = []
+        for element in child:
+            if not isinstance(element, Record):
+                raise PathError("selection expects a set of records")
+            if element.get(expr.attribute) == expr.constant:
+                kept.append(element)
+        return SetValue(kept)
+    if isinstance(expr, Project):
+        child = evaluate(expr.child, instance)
+        return SetValue(
+            Record([(label, element.get(label))
+                    for label in expr.labels])
+            for element in child
+        )
+    if isinstance(expr, Nest):
+        return nest(evaluate(expr.child, instance), expr.new_label,
+                    expr.nested)
+    if isinstance(expr, Unnest):
+        return unnest(evaluate(expr.child, instance), expr.label)
+    if isinstance(expr, Join):
+        left_type = output_type(expr.left, instance.schema)
+        right_type = output_type(expr.right, instance.schema)
+        shared = sorted(_join_attributes(left_type, right_type))
+        left_value = evaluate(expr.left, instance)
+        right_value = evaluate(expr.right, instance)
+        by_key: dict[tuple, list[Record]] = {}
+        for element in right_value:
+            key = tuple(element.get(label) for label in shared)
+            by_key.setdefault(key, []).append(element)
+        joined = []
+        shared_set = set(shared)
+        for left_element in left_value:
+            key = tuple(left_element.get(label) for label in shared)
+            for right_element in by_key.get(key, ()):
+                fields = list(left_element.fields) + [
+                    (label, value)
+                    for label, value in right_element.fields
+                    if label not in shared_set
+                ]
+                joined.append(Record(fields))
+        return SetValue(joined)
+    raise InferenceError(f"not a view expression: {expr!r}")

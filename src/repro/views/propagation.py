@@ -1,0 +1,163 @@
+"""NFD propagation through view expressions.
+
+Given constraints on the stored relations, which NFDs can a view be
+*guaranteed* to satisfy?  This is the question the paper's introduction
+asks for warehouses ("knowing how dependencies are carried into this
+complex view could eliminate expensive checking"), answered here for
+the :mod:`repro.views.algebra` operators:
+
+* **base** — the stored relation's own NFDs (in simple form);
+* **selection** ``sigma_{A=c}`` — every child NFD survives (removing
+  tuples removes quantified pairs), and ``[∅ -> A]`` is gained;
+* **projection** — child NFDs whose paths live entirely inside the kept
+  attributes survive (duplicate elimination only merges tuples that
+  agree on every surviving path);
+* **nest** — child NFDs survive with their paths re-routed through the
+  new set attribute, and the grouping attributes gain the structural
+  NFD determining the new set;
+* **unnest** — child NFDs survive with paths through the flattened
+  attribute shortened; NFDs mentioning the set itself are dropped (it
+  no longer exists).
+
+Propagation is *sound* in the paper's Section 3 setting (instances
+without empty sets), which the property tests enforce; like the rules
+themselves, unnest propagation can over-promise when empty sets lurk
+below the flattened attribute (the same per-pair-excusal subtlety
+documented for pull-out in DESIGN.md 3.3).  It is deliberately not
+complete — completeness of view dependencies is the open problem the
+paper leaves to its tableau future work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import InferenceError
+from ..nfd.nfd import NFD
+from ..nfd.simple_form import to_simple
+from ..paths.path import Path
+from ..types.schema import Schema
+from .algebra import Base, Join, Nest, Project, Select, Unnest, \
+    ViewExpr, output_type
+
+__all__ = ["propagate_nfds", "view_schema"]
+
+_Pair = tuple[frozenset[Path], Path]
+
+
+def view_schema(expr: ViewExpr, schema: Schema,
+                view_name: str = "View") -> Schema:
+    """A one-relation schema describing the view's output."""
+    return Schema({view_name: output_type(expr, schema)})
+
+
+def propagate_nfds(expr: ViewExpr, schema: Schema, sigma: Iterable[NFD],
+                   view_name: str = "View") -> list[NFD]:
+    """Sound NFDs over the view, derived from *sigma*.
+
+    The result is a list of NFDs whose base is *view_name*; every one of
+    them holds on ``evaluate(expr, I)`` whenever ``I`` satisfies *sigma*
+    (and has no empty sets).  Trivial and duplicate results are pruned.
+    """
+    pairs = _propagate(expr, schema, list(sigma))
+    result: list[NFD] = []
+    seen: set[_Pair] = set()
+    target_schema = view_schema(expr, schema, view_name)
+    for lhs, rhs in pairs:
+        if rhs in lhs:
+            continue
+        key = (lhs, rhs)
+        if key in seen:
+            continue
+        seen.add(key)
+        nfd = NFD(Path((view_name,)), lhs, rhs)
+        nfd.check_well_formed(target_schema)  # construction invariant
+        result.append(nfd)
+    return sorted(result)
+
+
+def _propagate(expr: ViewExpr, schema: Schema,
+               sigma: list[NFD]) -> list[_Pair]:
+    if isinstance(expr, Base):
+        pairs = []
+        for nfd in sigma:
+            if nfd.relation != expr.relation:
+                continue
+            simple = to_simple(nfd)
+            pairs.append((simple.lhs, simple.rhs))
+        return pairs
+
+    if isinstance(expr, Select):
+        pairs = _propagate(expr.child, schema, sigma)
+        pairs.append((frozenset(), Path((expr.attribute,))))
+        return pairs
+
+    if isinstance(expr, Project):
+        kept = set(expr.labels)
+        return [
+            (lhs, rhs)
+            for lhs, rhs in _propagate(expr.child, schema, sigma)
+            if all(p.first in kept for p in lhs) and rhs.first in kept
+        ]
+
+    if isinstance(expr, Nest):
+        nested = set(expr.nested)
+        child_type = output_type(expr.child, schema)
+        prefix = Path((expr.new_label,))
+
+        def rewrite(path: Path) -> Path:
+            if path.first in nested:
+                return prefix.concat(path)
+            return path
+
+        pairs = [
+            (frozenset(rewrite(p) for p in lhs), rewrite(rhs))
+            for lhs, rhs in _propagate(expr.child, schema, sigma)
+        ]
+        grouping = [label for label in child_type.element.labels
+                    if label not in nested]
+        if grouping:
+            pairs.append((
+                frozenset(Path((label,)) for label in grouping),
+                prefix,
+            ))
+        return pairs
+
+    if isinstance(expr, Unnest):
+        flattened = expr.label
+
+        def rewrite(path: Path) -> Path | None:
+            if path.first != flattened:
+                return path
+            if len(path) == 1:
+                return None  # the set itself no longer exists
+            return path.tail
+
+        pairs = []
+        for lhs, rhs in _propagate(expr.child, schema, sigma):
+            new_rhs = rewrite(rhs)
+            if new_rhs is None:
+                continue
+            new_lhs = set()
+            dropped = False
+            for p in lhs:
+                new_p = rewrite(p)
+                if new_p is None:
+                    # the whole-set antecedent is strictly stronger
+                    # than any surviving rewrite; drop the NFD rather
+                    # than weaken it unsoundly
+                    dropped = True
+                    break
+                new_lhs.add(new_p)
+            if not dropped:
+                pairs.append((frozenset(new_lhs), new_rhs))
+        return pairs
+
+    if isinstance(expr, Join):
+        # both sides' NFDs survive: every join tuple projects onto a
+        # unique source tuple on each side, so agreeing join pairs lift
+        # to agreeing source pairs.
+        return _propagate(expr.left, schema, sigma) + \
+            _propagate(expr.right, schema, sigma)
+
+    raise InferenceError(f"not a view expression: {expr!r}")

@@ -1,0 +1,51 @@
+"""Shared fixtures: the paper's workloads, ready-built engines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.generators import workloads
+from repro.inference import ClosureEngine
+
+
+@pytest.fixture
+def course_schema():
+    return workloads.course_schema()
+
+
+@pytest.fixture
+def course_sigma():
+    return workloads.course_sigma()
+
+
+@pytest.fixture
+def course_instance():
+    return workloads.course_instance()
+
+
+@pytest.fixture
+def course_engine(course_schema, course_sigma):
+    return ClosureEngine(course_schema, course_sigma)
+
+
+@pytest.fixture
+def figure1_instance():
+    return workloads.figure1_instance()
+
+
+@pytest.fixture
+def example_3_2_instance():
+    return workloads.example_3_2_instance()
+
+
+@pytest.fixture
+def section_3_1_engine():
+    return ClosureEngine(workloads.section_3_1_schema(),
+                         workloads.section_3_1_sigma())
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20260706)

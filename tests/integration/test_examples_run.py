@@ -1,0 +1,24 @@
+"""Every example script must run clean — they are living documentation."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+def test_example_runs(script, capsys, monkeypatch):
+    # examples print to stdout; run them in-process so failures carry
+    # real tracebacks and coverage counts them.
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    assert len(SCRIPTS) >= 3, "the repository promises at least three"

@@ -1,0 +1,66 @@
+"""Hypothesis strategies for schemas, paths, NFDs, and instances.
+
+The strategies reuse the seeded random generators: a hypothesis-drawn
+integer seeds a :class:`random.Random`, which keeps the generator logic
+in one place and the strategies shrinkable (smaller seeds, smaller
+shapes).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.generators import (
+    random_instance,
+    random_nfd,
+    random_schema,
+    random_sigma,
+)
+
+__all__ = ["schemas", "schema_sigma", "schema_sigma_instance",
+           "schema_sigma_candidate"]
+
+
+@st.composite
+def schemas(draw, max_fields: int = 3, max_depth: int = 2):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    return random_schema(rng, relations=1, max_fields=max_fields,
+                         max_depth=max_depth, set_probability=0.5)
+
+
+@st.composite
+def schema_sigma(draw, max_nfds: int = 4):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    count = draw(st.integers(min_value=1, max_value=max_nfds))
+    rng = random.Random(seed)
+    schema = random_schema(rng, relations=1, max_fields=3, max_depth=2,
+                           set_probability=0.5)
+    sigma = random_sigma(rng, schema, count=count)
+    return schema, sigma
+
+
+@st.composite
+def schema_sigma_instance(draw, empty_probability: float = 0.0):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    schema = random_schema(rng, relations=1, max_fields=3, max_depth=2,
+                           set_probability=0.5)
+    sigma = random_sigma(rng, schema, count=rng.randint(1, 3))
+    instance = random_instance(rng, schema, tuples=2, domain=2,
+                               max_set_size=2,
+                               empty_probability=empty_probability)
+    return schema, sigma, instance
+
+
+@st.composite
+def schema_sigma_candidate(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    schema = random_schema(rng, relations=1, max_fields=3, max_depth=2,
+                           set_probability=0.5)
+    sigma = random_sigma(rng, schema, count=rng.randint(1, 3))
+    candidate = random_nfd(rng, schema, max_lhs=2)
+    return schema, sigma, candidate

@@ -1,0 +1,115 @@
+"""Property tests: algebraic laws of the closure operator.
+
+The closure ``(x0, X, Sigma)*`` is a closure operator in the lattice
+sense: extensive (reflexivity), monotone (augmentation), and idempotent
+(transitivity saturation).  Additional laws tie the engine to its inputs:
+more dependencies never shrink a closure, and the non-empty-gated engine
+never exceeds the ungated one.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import random_schema, random_sigma
+from repro.inference import ClosureEngine, NonEmptySpec
+from repro.paths import Path, relation_paths
+
+
+def _draw(seed: int):
+    rng = random.Random(seed)
+    schema = random_schema(rng, relations=1, max_fields=3, max_depth=2,
+                           set_probability=0.5)
+    sigma = random_sigma(rng, schema, count=rng.randint(1, 4))
+    relation = schema.relation_names[0]
+    paths = relation_paths(schema, relation)
+    lhs = frozenset(rng.sample(paths, min(len(paths),
+                                          rng.randint(0, 2))))
+    return schema, sigma, relation, paths, lhs, rng
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_extensive(seed):
+    schema, sigma, relation, _, lhs, _ = _draw(seed)
+    engine = ClosureEngine(schema, sigma)
+    assert lhs <= engine.closure(Path((relation,)), lhs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_idempotent(seed):
+    schema, sigma, relation, _, lhs, _ = _draw(seed)
+    engine = ClosureEngine(schema, sigma)
+    base = Path((relation,))
+    once = engine.closure(base, lhs)
+    twice = engine.closure(base, once)
+    assert once == twice
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_monotone_in_lhs(seed):
+    schema, sigma, relation, paths, lhs, rng = _draw(seed)
+    engine = ClosureEngine(schema, sigma)
+    base = Path((relation,))
+    extra = frozenset(rng.sample(paths, min(len(paths), 1)))
+    small = engine.closure(base, lhs)
+    large = engine.closure(base, lhs | extra)
+    assert small <= large
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_monotone_in_sigma(seed):
+    schema, sigma, relation, _, lhs, _ = _draw(seed)
+    base = Path((relation,))
+    fewer = ClosureEngine(schema, sigma[:-1]).closure(base, lhs)
+    more = ClosureEngine(schema, sigma).closure(base, lhs)
+    assert fewer <= more
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_gated_engine_is_weaker(seed):
+    schema, sigma, relation, paths, lhs, rng = _draw(seed)
+    base = Path((relation,))
+    set_valued = [p for p in paths if len(p) < max(len(q) for q in paths)]
+    except_paths = [Path((relation,)).concat(p)
+                    for p in rng.sample(set_valued,
+                                        min(1, len(set_valued)))]
+    spec = NonEmptySpec.for_schema(schema, except_paths=except_paths)
+    gated = ClosureEngine(schema, sigma, nonempty=spec)
+    ungated = ClosureEngine(schema, sigma)
+    assert gated.closure(base, lhs) <= ungated.closure(base, lhs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_all_nonempty_spec_equals_default(seed):
+    schema, sigma, relation, _, lhs, _ = _draw(seed)
+    base = Path((relation,))
+    explicit = ClosureEngine(schema, sigma,
+                             nonempty=NonEmptySpec.all_nonempty())
+    default = ClosureEngine(schema, sigma)
+    assert explicit.closure(base, lhs) == default.closure(base, lhs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_engine_matches_brute_force(seed):
+    """The efficient strategy equals exhaustive rule application."""
+    from repro.errors import InferenceError
+    from repro.inference import BruteForceProver
+
+    schema, sigma, relation, paths, lhs, _ = _draw(seed)
+    if len(paths) > 6:
+        return  # brute-force space too large; other seeds cover this
+    try:
+        prover = BruteForceProver(schema, sigma, max_paths=6)
+    except InferenceError:
+        return
+    engine = ClosureEngine(schema, sigma)
+    base = Path((relation,))
+    assert engine.closure(base, lhs) == prover.closure(base, lhs)

@@ -1,0 +1,58 @@
+"""Property tests: every serialization layer round-trips."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import random_instance, random_nfd, random_schema
+from repro.io import dump_bundle, load_bundle
+from repro.nfd import parse_nfd, to_simple
+from repro.nfd.simple_form import deepest_form
+from repro.types import format_type, parse_type
+
+from .strategies import schemas
+
+
+@settings(max_examples=100, deadline=None)
+@given(schemas(max_depth=3))
+def test_type_syntax_roundtrip(schema):
+    for name in schema.relation_names:
+        rel_type = schema.relation_type(name)
+        assert parse_type(format_type(rel_type)) == rel_type
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_nfd_syntax_roundtrip(seed):
+    rng = random.Random(seed)
+    schema = random_schema(rng, max_depth=2)
+    nfd = random_nfd(rng, schema)
+    assert parse_nfd(str(nfd)) == nfd
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_simple_form_roundtrip(seed):
+    """to_simple is invertible by deepest_form on NFDs that were local."""
+    rng = random.Random(seed)
+    schema = random_schema(rng, max_depth=2, set_probability=0.6)
+    nfd = random_nfd(rng, schema, local_probability=1.0)
+    simple = to_simple(nfd)
+    assert simple.is_simple
+    assert to_simple(deepest_form(simple)) == simple
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_bundle_roundtrip(seed):
+    rng = random.Random(seed)
+    schema = random_schema(rng, max_depth=2)
+    nfds = [random_nfd(rng, schema) for _ in range(3)]
+    instance = random_instance(rng, schema, tuples=2,
+                               empty_probability=0.2)
+    text = dump_bundle(schema, nfds, instance)
+    schema2, nfds2, instance2 = load_bundle(text)
+    assert schema2 == schema
+    assert nfds2 == nfds
+    assert instance2 == instance

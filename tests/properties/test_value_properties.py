@@ -1,0 +1,68 @@
+"""Property tests: structural laws of the value and path layers."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import random_instance, random_schema
+from repro.paths import Path, common_prefix, relation_paths
+from repro.values import from_python, to_python
+
+
+_LABELS = st.lists(
+    st.sampled_from(["A", "B", "C", "D", "E"]), min_size=0, max_size=5
+).map(tuple)
+
+
+@settings(max_examples=200)
+@given(_LABELS, _LABELS)
+def test_common_prefix_laws(labels1, labels2):
+    p1, p2 = Path(labels1), Path(labels2)
+    shared = common_prefix(p1, p2)
+    assert shared.is_prefix_of(p1)
+    assert shared.is_prefix_of(p2)
+    assert common_prefix(p1, p2) == common_prefix(p2, p1)
+    assert common_prefix(p1, p1) == p1
+
+
+@settings(max_examples=200)
+@given(_LABELS, _LABELS)
+def test_concat_strip_inverse(labels1, labels2):
+    p1, p2 = Path(labels1), Path(labels2)
+    assert p1.concat(p2).strip_prefix(p1) == p2
+
+
+@settings(max_examples=200)
+@given(_LABELS, _LABELS)
+def test_follows_implies_shared_traversal(labels1, labels2):
+    p1, p2 = Path(labels1), Path(labels2)
+    if p1.follows(p2):
+        # every set p1 traverses, p2 traverses too
+        assert p1.parent.is_prefix_of(p2)
+        assert len(p1.parent) < len(p2)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_value_python_roundtrip(seed):
+    rng = random.Random(seed)
+    schema = random_schema(rng, max_depth=2)
+    instance = random_instance(rng, schema, tuples=2,
+                               empty_probability=0.2)
+    for name, relation in instance.relations():
+        rel_type = schema.relation_type(name)
+        assert from_python(to_python(relation), rel_type) == relation
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_relation_paths_are_well_typed_and_unique(seed):
+    from repro.paths import is_well_typed
+    rng = random.Random(seed)
+    schema = random_schema(rng, max_depth=3)
+    for name in schema.relation_names:
+        paths = relation_paths(schema, name)
+        assert len(paths) == len(set(paths))
+        element = schema.element_type(name)
+        assert all(is_well_typed(element, p) for p in paths)

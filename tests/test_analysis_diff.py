@@ -1,0 +1,57 @@
+"""Unit tests for semantic constraint-set diffing."""
+
+from repro.analysis import diff_sigmas
+from repro.generators import workloads
+from repro.nfd import parse_nfd, parse_nfds
+from repro.types import parse_schema
+
+
+class TestDiffSigmas:
+    def test_pure_refactoring_is_equivalent(self):
+        schema = workloads.course_schema()
+        local = parse_nfds("Course:students:[sid -> grade]")
+        simple = parse_nfds(
+            "Course:[students, students:sid -> students:grade]")
+        diff = diff_sigmas(schema, local, simple)
+        assert diff.equivalent
+        assert "equivalent" in diff.to_text()
+
+    def test_reordered_lhs_is_equivalent(self):
+        schema = parse_schema("R = {<A, B, C>}")
+        diff = diff_sigmas(schema, parse_nfds("R:[A, B -> C]"),
+                           parse_nfds("R:[B, A -> C]"))
+        assert diff.equivalent
+
+    def test_strengthening_detected(self):
+        schema = parse_schema("R = {<A, B, C>}")
+        old = parse_nfds("R:[A -> B]")
+        new = parse_nfds("R:[A -> B]\nR:[B -> C]")
+        diff = diff_sigmas(schema, old, new)
+        assert diff.strengthened == [parse_nfd("R:[B -> C]")]
+        assert diff.weakened == []
+        assert not diff.equivalent
+        assert "new requirements" in diff.to_text()
+
+    def test_weakening_detected(self):
+        schema = parse_schema("R = {<A, B, C>}")
+        old = parse_nfds("R:[A -> B]\nR:[B -> C]")
+        new = parse_nfds("R:[A -> B]")
+        diff = diff_sigmas(schema, old, new)
+        assert diff.weakened == [parse_nfd("R:[B -> C]")]
+        assert "dropped guarantees" in diff.to_text()
+
+    def test_implied_addition_is_not_strengthening(self):
+        schema = parse_schema("R = {<A, B, C>}")
+        old = parse_nfds("R:[A -> B]\nR:[B -> C]")
+        new = parse_nfds("R:[A -> B]\nR:[B -> C]\nR:[A -> C]")
+        diff = diff_sigmas(schema, old, new)
+        assert diff.equivalent
+        assert parse_nfd("R:[A -> C]") in diff.carried
+
+    def test_swap_is_both(self):
+        schema = parse_schema("R = {<A, B>}")
+        diff = diff_sigmas(schema, parse_nfds("R:[A -> B]"),
+                           parse_nfds("R:[B -> A]"))
+        assert diff.strengthened == [parse_nfd("R:[B -> A]")]
+        assert diff.weakened == [parse_nfd("R:[A -> B]")]
+        assert diff.carried == []

@@ -1,0 +1,63 @@
+"""Unit tests for key discovery."""
+
+from repro.analysis import is_key, key_nfds, local_minimal_keys, \
+    minimal_keys
+from repro.generators import workloads
+from repro.inference import ClosureEngine
+from repro.nfd import parse_nfds
+from repro.paths import parse_path
+from repro.types import parse_schema
+
+
+class TestMinimalKeys:
+    def test_cnum_is_the_course_key(self):
+        schema = workloads.course_schema()
+        keys = minimal_keys(schema, workloads.course_sigma(), "Course")
+        assert frozenset({parse_path("cnum")}) in keys
+
+    def test_time_sid_is_not_a_top_level_key(self):
+        # time + students:sid determine cnum, but students:sid is not a
+        # top-level attribute, so it does not appear in key discovery.
+        schema = workloads.course_schema()
+        keys = minimal_keys(schema, workloads.course_sigma(), "Course")
+        flattened = {frozenset(str(p) for p in key) for key in keys}
+        assert {"time"} not in flattened
+
+    def test_composite_minimal_key(self):
+        schema = parse_schema("R = {<A, B, C>}")
+        sigma = parse_nfds("R:[A, B -> C]")
+        keys = minimal_keys(schema, sigma, "R")
+        assert keys == [frozenset({parse_path("A"), parse_path("B")})]
+
+    def test_supersets_excluded(self):
+        schema = parse_schema("R = {<A, B>}")
+        sigma = parse_nfds("R:[A -> B]")
+        keys = minimal_keys(schema, sigma, "R")
+        assert frozenset({parse_path("A")}) in keys
+        assert frozenset({parse_path("A"), parse_path("B")}) not in keys
+
+
+class TestLocalKeys:
+    def test_sid_is_a_local_student_key(self):
+        schema = workloads.course_schema()
+        keys = local_minimal_keys(schema, workloads.course_sigma(),
+                                  parse_path("Course:students"))
+        # sid determines grade locally; age needs the global constraint
+        # pushed down, which holds too (sid -> age globally).
+        assert frozenset({parse_path("sid")}) in keys
+
+
+class TestIsKeyAndDeclaration:
+    def test_is_key(self):
+        schema = parse_schema("R = {<A, B>}")
+        engine = ClosureEngine(schema, parse_nfds("R:[A -> B]"))
+        assert is_key(engine, parse_path("R"), {parse_path("A")})
+        assert not is_key(engine, parse_path("R"), {parse_path("B")})
+
+    def test_key_nfds_roundtrip(self):
+        schema = parse_schema("R = {<A, B, C>}")
+        declared = key_nfds(parse_path("R"), {parse_path("A")},
+                            ["A", "B", "C"])
+        assert len(declared) == 2  # A -> B, A -> C
+        engine = ClosureEngine(schema, declared)
+        assert is_key(engine, parse_path("R"), {parse_path("A")})

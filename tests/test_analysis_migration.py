@@ -1,0 +1,72 @@
+"""Unit tests for schema-migration analysis."""
+
+from repro.analysis import migrate_sigma, schema_changes
+from repro.generators import workloads
+from repro.nfd import parse_nfd
+from repro.types import parse_schema
+
+
+class TestSchemaChanges:
+    def test_added_and_removed_paths(self):
+        old = parse_schema("R = {<A, B: {<C>}>}")
+        new = parse_schema("R = {<A, B: {<C, D>}, E>}")
+        changes = schema_changes(old, new)
+        assert changes["added_paths"] == ["R:B:D", "R:E"]
+        assert changes["removed_paths"] == []
+        assert changes["added_relations"] == []
+
+    def test_relation_changes(self):
+        old = parse_schema("R = {<A>}; S = {<B>}")
+        new = parse_schema("R = {<A>}; T = {<C>}")
+        changes = schema_changes(old, new)
+        assert changes["added_relations"] == ["T"]
+        assert changes["removed_relations"] == ["S"]
+
+    def test_no_change(self):
+        schema = workloads.course_schema()
+        changes = schema_changes(schema, schema)
+        assert all(not value for value in changes.values())
+
+
+class TestMigrateSigma:
+    def test_clean_migration(self):
+        old = workloads.course_schema()
+        # adding an attribute keeps every constraint well-formed
+        new = parse_schema("""
+            Course = {<cnum: string, time: int, room: string,
+                       students: {<sid: int, age: int, grade: string>},
+                       books: {<isbn: int, title: string>}>}
+        """)
+        report = migrate_sigma(old, new, workloads.course_sigma())
+        assert report.clean
+        assert len(report.kept) == len(workloads.course_sigma())
+        assert "kept constraints: 7" in report.to_text()
+
+    def test_dropped_attribute_breaks_its_constraints(self):
+        old = workloads.course_schema()
+        new = parse_schema("""
+            Course = {<cnum: string, time: int,
+                       students: {<sid: int, grade: string>},
+                       books: {<isbn: int, title: string>}>}
+        """)  # age removed
+        report = migrate_sigma(old, new, workloads.course_sigma())
+        assert not report.clean
+        broken_nfds = {nfd for nfd, _ in report.broken}
+        assert parse_nfd(
+            "Course:[students:sid -> students:age]") in broken_nfds
+        assert len(report.kept) == 6
+        text = report.to_text()
+        assert "broken constraints: 1" in text
+        assert "age" in text
+
+    def test_flattened_set_breaks_local_constraints(self):
+        old = workloads.course_schema()
+        new = parse_schema("""
+            Course = {<cnum: string, time: int, sid: int, age: int,
+                       grade: string,
+                       books: {<isbn: int, title: string>}>}
+        """)  # students flattened away
+        report = migrate_sigma(old, new, workloads.course_sigma())
+        broken_nfds = {nfd for nfd, _ in report.broken}
+        assert parse_nfd("Course:students:[sid -> grade]") in broken_nfds
+        assert parse_nfd("Course:[cnum -> books]") not in broken_nfds

@@ -1,0 +1,55 @@
+"""Unit tests for the constraint-analysis report."""
+
+from repro.analysis import analyze_constraints
+from repro.generators import workloads
+from repro.nfd import parse_nfd, parse_nfds
+from repro.paths import parse_path
+from repro.types import parse_schema
+
+
+class TestAnalyzeConstraints:
+    def test_course_report(self):
+        report = analyze_constraints(workloads.course_schema(),
+                                     workloads.course_sigma())
+        assert frozenset({parse_path("cnum")}) in report.keys["Course"]
+        assert report.trivial == []
+        text = report.to_text()
+        assert "minimal keys" in text
+        assert "cnum" in text
+
+    def test_acedb_report(self):
+        report = analyze_constraints(workloads.acedb_schema(),
+                                     workloads.acedb_sigma())
+        singles = {str(p) for p in report.singletons["Gene"]}
+        assert singles == {"name", "map_position"}
+        assert len(report.cover) == len(report.sigma)
+
+    def test_trivial_and_redundant_detection(self):
+        schema = parse_schema("R = {<A, B, C>}")
+        sigma = parse_nfds("""
+            R:[A -> A]
+            R:[A -> B]
+            R:[B -> C]
+            R:[A -> C]
+        """)
+        report = analyze_constraints(schema, sigma)
+        assert report.trivial == [parse_nfd("R:[A -> A]")]
+        assert parse_nfd("R:[A -> C]") in report.redundant
+        assert parse_nfd("R:[A -> A]") in report.redundant
+        assert len(report.cover) == 2
+        text = report.to_text()
+        assert "trivial members" in text
+        assert "redundant members" in text
+
+    def test_disjoint_or_equal_reported(self):
+        schema = parse_schema("R = {<S: {<C, T>}, W>}")
+        report = analyze_constraints(schema, parse_nfds("R:[S:C -> S]"))
+        assert report.disjoint_or_equal["R"] == [parse_path("S")]
+        assert "equal-or-disjoint" in report.to_text()
+
+    def test_multi_relation(self):
+        report = analyze_constraints(workloads.warehouse_schema(),
+                                     workloads.warehouse_sigma())
+        assert set(report.keys) == {"StoreA", "StoreB", "Warehouse"}
+        assert frozenset({parse_path("order_id")}) in \
+            report.keys["StoreA"]

@@ -1,0 +1,84 @@
+"""Unit tests for singleton and disjoint-or-equal analyses."""
+
+from repro.analysis import (
+    check_disjoint_or_equal,
+    implied_disjoint_or_equal,
+    implied_singletons,
+    is_implied_singleton,
+)
+from repro.generators import workloads
+from repro.inference import ClosureEngine
+from repro.nfd import parse_nfds
+from repro.paths import parse_path
+from repro.types import parse_schema
+from repro.values import set_cardinalities
+
+
+class TestSingletons:
+    def test_paper_example(self):
+        # R:[D -> A:B], R:[D -> A:C]: A must be a singleton (Section 2.1).
+        schema = parse_schema("R = {<A: {<B, C>}, D>}")
+        sigma = parse_nfds("R:[D -> A:B]\nR:[D -> A:C]")
+        assert implied_singletons(schema, sigma, "R") == [parse_path("A")]
+
+    def test_partial_determination_is_not_enough(self):
+        schema = parse_schema("R = {<A: {<B, C>}, D>}")
+        sigma = parse_nfds("R:[D -> A:B]")
+        assert implied_singletons(schema, sigma, "R") == []
+
+    def test_acedb_singletons(self):
+        schema = workloads.acedb_schema()
+        singles = implied_singletons(schema, workloads.acedb_sigma(),
+                                     "Gene")
+        names = {str(p) for p in singles}
+        assert "name" in names
+        assert "map_position" in names
+        assert "references" not in names
+
+    def test_acedb_instance_respects_the_inference(self):
+        instance = workloads.acedb_instance()
+        cards = set_cardinalities(instance)
+        assert all(c == 1 for c in cards[parse_path("Gene:name")])
+        assert all(c == 1
+                   for c in cards[parse_path("Gene:map_position")])
+
+    def test_non_set_path(self):
+        schema = parse_schema("R = {<A: {<B, C>}, D>}")
+        engine = ClosureEngine(schema, [])
+        assert not is_implied_singleton(engine, parse_path("R"),
+                                        parse_path("D"))
+
+
+class TestDisjointOrEqual:
+    def test_university_example(self):
+        # Courses:[scourses:cnum -> school] means different schools'
+        # course sets cannot share a cnum... via
+        # Courses:[scourses:cnum -> scourses]? The direct pattern is
+        # x0:[x1:x2 -> x1].
+        schema = parse_schema("R = {<S: {<C, T>}, W>}")
+        sigma = parse_nfds("R:[S:C -> S]")
+        engine = ClosureEngine(schema, sigma)
+        assert implied_disjoint_or_equal(engine, parse_path("R"),
+                                         parse_path("S"))
+
+    def test_not_implied_without_constraint(self):
+        schema = parse_schema("R = {<S: {<C, T>}, W>}")
+        engine = ClosureEngine(schema, [])
+        assert not implied_disjoint_or_equal(engine, parse_path("R"),
+                                             parse_path("S"))
+
+    def test_empirical_check(self):
+        from repro.values import Instance
+        schema = parse_schema("R = {<S: {<C, T>}, W>}")
+        disjoint = Instance(schema, {"R": [
+            {"S": [{"C": 1, "T": 1}], "W": 1},
+            {"S": [{"C": 2, "T": 2}], "W": 2},
+        ]})
+        assert check_disjoint_or_equal(disjoint, parse_path("R"),
+                                       parse_path("S"))
+        overlapping = Instance(schema, {"R": [
+            {"S": [{"C": 1, "T": 1}, {"C": 2, "T": 2}], "W": 1},
+            {"S": [{"C": 2, "T": 2}], "W": 2},
+        ]})
+        assert not check_disjoint_or_equal(overlapping, parse_path("R"),
+                                           parse_path("S"))

@@ -1,0 +1,213 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.generators import workloads
+from repro.io import dump_bundle, load_bundle
+from repro.nfd import satisfies_all_fast
+
+
+@pytest.fixture
+def course_bundle(tmp_path):
+    path = tmp_path / "course.json"
+    path.write_text(dump_bundle(workloads.course_schema(),
+                                workloads.course_sigma(),
+                                workloads.course_instance()))
+    return str(path)
+
+
+@pytest.fixture
+def broken_bundle(tmp_path):
+    instance = workloads.course_instance().with_relation("Course", [
+        {"cnum": "a", "time": 1,
+         "students": [{"sid": 1, "age": 20, "grade": "A"}],
+         "books": [{"isbn": 1, "title": "X"}]},
+        {"cnum": "b", "time": 2,
+         "students": [{"sid": 1, "age": 99, "grade": "A"}],
+         "books": [{"isbn": 1, "title": "X"}]},
+    ])
+    path = tmp_path / "broken.json"
+    path.write_text(dump_bundle(workloads.course_schema(),
+                                workloads.course_sigma(), instance))
+    return str(path)
+
+
+class TestCheck:
+    def test_clean(self, course_bundle, capsys):
+        assert main(["check", course_bundle]) == 0
+        assert "satisfies all" in capsys.readouterr().out
+
+    def test_violations_reported(self, broken_bundle, capsys):
+        assert main(["check", broken_bundle]) == 1
+        out = capsys.readouterr().out
+        assert "students:sid" in out
+        assert "violation" in out
+
+
+class TestImplies:
+    def test_implied(self, course_bundle, capsys):
+        assert main(["implies", course_bundle,
+                     "Course:[students:sid, time -> books]"]) == 0
+        assert "implied" in capsys.readouterr().out
+
+    def test_not_implied(self, course_bundle, capsys):
+        assert main(["implies", course_bundle,
+                     "Course:[time -> cnum]"]) == 1
+        assert "not implied" in capsys.readouterr().out
+
+    def test_nonempty_gating(self, tmp_path, capsys):
+        schema = workloads.example_3_2_schema()
+        from repro.nfd import parse_nfds
+        sigma = parse_nfds("R:[A -> B:C]\nR:[B:C -> D]")
+        path = tmp_path / "b.json"
+        path.write_text(dump_bundle(schema, sigma))
+        # fully pessimistic: only the relation is declared non-empty
+        assert main(["implies", str(path), "R:[A -> D]",
+                     "--nonempty", "R"]) == 1
+        # default (Section 3.1 assumption): the chain goes through
+        assert main(["implies", str(path), "R:[A -> D]"]) == 0
+
+    def test_spec_persisted_in_bundle(self, tmp_path, capsys):
+        from repro.inference import NonEmptySpec
+        from repro.nfd import parse_nfds
+        from repro.paths import parse_path
+        schema = workloads.example_3_2_schema()
+        sigma = parse_nfds("R:[A -> B:C]\nR:[B:C -> D]")
+        spec = NonEmptySpec({parse_path("R")})
+        path = tmp_path / "gated.json"
+        path.write_text(dump_bundle(schema, sigma, nonempty=spec))
+        # the bundle's own spec gates the inference ...
+        assert main(["implies", str(path), "R:[A -> D]"]) == 1
+        # ... and explicit flags override it
+        assert main(["implies", str(path), "R:[A -> D]",
+                     "--nonempty", "R", "--nonempty", "R:B"]) == 0
+
+
+class TestClosure:
+    def test_closure_output(self, course_bundle, capsys):
+        assert main(["closure", course_bundle, "Course", "cnum"]) == 0
+        out = capsys.readouterr().out
+        assert "books" in out
+        assert "time" in out
+
+
+class TestExplain:
+    def test_explains_implied(self, course_bundle, capsys):
+        assert main(["explain", course_bundle,
+                     "Course:[students:sid, time -> books]"]) == 0
+        assert "transitivity" in capsys.readouterr().out
+
+    def test_rejects_non_implied(self, course_bundle, capsys):
+        assert main(["explain", course_bundle,
+                     "Course:[time -> cnum]"]) == 1
+
+
+class TestProve:
+    def test_compiles_proof(self, course_bundle, capsys):
+        assert main(["prove", course_bundle,
+                     "Course:[students:sid, time -> books]"]) == 0
+        out = capsys.readouterr().out
+        assert "hypotheses" in out
+        assert "by transitivity" in out
+
+    def test_not_implied(self, course_bundle, capsys):
+        assert main(["prove", course_bundle,
+                     "Course:[time -> cnum]"]) == 1
+
+
+class TestCounter:
+    def test_prints_tables(self, course_bundle, capsys):
+        assert main(["counter", course_bundle,
+                     "Course:[time -> cnum]"]) == 0
+        assert "cnum" in capsys.readouterr().out
+
+    def test_writes_bundle(self, course_bundle, tmp_path, capsys):
+        out_path = tmp_path / "witness.json"
+        assert main(["counter", course_bundle, "Course:[time -> cnum]",
+                     "-o", str(out_path)]) == 0
+        schema, sigma, witness = load_bundle(out_path.read_text())
+        assert witness is not None
+        assert satisfies_all_fast(witness, sigma)
+
+    def test_implied_has_no_countermodel(self, course_bundle, capsys):
+        assert main(["counter", course_bundle,
+                     "Course:[cnum -> time]"]) == 1
+
+
+class TestRenderKeysRepair:
+    def test_render(self, course_bundle, capsys):
+        assert main(["render", course_bundle]) == 0
+        assert "cis550" in capsys.readouterr().out
+
+    def test_keys(self, course_bundle, capsys):
+        assert main(["keys", course_bundle]) == 0
+        assert "cnum" in capsys.readouterr().out
+
+    def test_repair_roundtrip(self, broken_bundle, tmp_path, capsys):
+        out_path = tmp_path / "fixed.json"
+        assert main(["repair", broken_bundle, "-o", str(out_path)]) == 0
+        schema, sigma, fixed = load_bundle(out_path.read_text())
+        assert satisfies_all_fast(fixed, sigma)
+
+    def test_repair_in_place_unchanged(self, course_bundle, capsys):
+        assert main(["repair", course_bundle]) == 0
+        assert "unchanged" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_report(self, course_bundle, capsys):
+        assert main(["analyze", course_bundle]) == 0
+        out = capsys.readouterr().out
+        assert "minimal keys" in out
+        assert "cnum" in out
+        assert "minimal cover" in out
+
+
+class TestDiff:
+    def test_equivalent_sets(self, course_bundle, tmp_path, capsys):
+        # a reformulated bundle: the local grade NFD in simple form
+        from repro.nfd import to_simple
+        sigma = [to_simple(nfd) for nfd in workloads.course_sigma()]
+        other = tmp_path / "reformulated.json"
+        other.write_text(dump_bundle(workloads.course_schema(), sigma))
+        assert main(["diff", course_bundle, str(other)]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_weakening_flagged(self, course_bundle, tmp_path, capsys):
+        sigma = workloads.course_sigma()[:-1]  # drop the scheduling rule
+        other = tmp_path / "weaker.json"
+        other.write_text(dump_bundle(workloads.course_schema(), sigma))
+        assert main(["diff", course_bundle, str(other)]) == 1
+        assert "dropped guarantees" in capsys.readouterr().out
+
+    def test_schema_mismatch(self, course_bundle, tmp_path, capsys):
+        from repro.types import parse_schema
+        other = tmp_path / "other_schema.json"
+        other.write_text(dump_bundle(parse_schema("R = {<A>}"), []))
+        assert main(["diff", course_bundle, str(other)]) == 2
+
+
+class TestReport:
+    def test_prints_markdown(self, course_bundle, capsys):
+        assert main(["report", course_bundle, "--title", "My DB"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# My DB")
+        assert "## Analysis" in out
+
+    def test_writes_file(self, course_bundle, tmp_path, capsys):
+        out_path = tmp_path / "report.md"
+        assert main(["report", course_bundle, "-o", str(out_path)]) == 0
+        assert out_path.read_text().startswith("# Constraint report")
+
+
+class TestErrors:
+    def test_missing_bundle(self, capsys):
+        assert main(["check", "/nonexistent.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_check_without_instance(self, tmp_path, capsys):
+        path = tmp_path / "no_instance.json"
+        path.write_text(dump_bundle(workloads.course_schema(),
+                                    workloads.course_sigma()))
+        assert main(["check", str(path)]) == 2

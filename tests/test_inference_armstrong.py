@@ -1,0 +1,95 @@
+"""Unit tests for the classical FD baseline and its NFD bridge."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference import (
+    FD,
+    ClosureEngine,
+    attribute_closure,
+    fd_implies,
+    fd_to_nfd,
+    is_flat_relation,
+    nfd_to_fd,
+)
+from repro.nfd import parse_nfd
+from repro.paths import parse_path
+from repro.types import parse_schema
+
+
+class TestAttributeClosure:
+    def test_textbook_example(self):
+        fds = [FD({"A"}, "B"), FD({"B"}, "C"), FD({"C", "D"}, "E")]
+        assert attribute_closure({"A"}, fds) == {"A", "B", "C"}
+        assert attribute_closure({"A", "D"}, fds) == \
+            {"A", "B", "C", "D", "E"}
+
+    def test_empty_lhs_fires_immediately(self):
+        fds = [FD(set(), "A"), FD({"A"}, "B")]
+        assert attribute_closure(set(), fds) == {"A", "B"}
+
+    def test_fd_implies(self):
+        fds = [FD({"A"}, "B"), FD({"B"}, "C")]
+        assert fd_implies(fds, FD({"A"}, "C"))
+        assert not fd_implies(fds, FD({"C"}, "A"))
+
+    def test_fd_identity(self):
+        assert FD({"A", "B"}, "C") == FD({"B", "A"}, "C")
+        assert hash(FD({"A"}, "B")) == hash(FD({"A"}, "B"))
+
+
+class TestBridge:
+    def test_flat_detection(self):
+        flat = parse_schema("R = {<A, B>}")
+        nested = parse_schema("R = {<A, B: {<C>}>}")
+        assert is_flat_relation(flat, "R")
+        assert not is_flat_relation(nested, "R")
+
+    def test_nfd_to_fd(self):
+        assert nfd_to_fd(parse_nfd("R:[A, B -> C]")) == FD({"A", "B"}, "C")
+        with pytest.raises(InferenceError):
+            nfd_to_fd(parse_nfd("R:[A:B -> C]"))
+        with pytest.raises(InferenceError):
+            nfd_to_fd(parse_nfd("R:A:[B -> C]"))
+
+    def test_fd_to_nfd_roundtrip(self):
+        fd = FD({"A", "B"}, "C")
+        assert nfd_to_fd(fd_to_nfd("R", fd)) == fd
+
+
+class TestEngineMatchesArmstrong:
+    """On flat schemas the NFD engine is exactly Armstrong closure."""
+
+    def test_exhaustive_small(self):
+        attributes = ["A", "B", "C", "D"]
+        schema = parse_schema("R = {<A, B, C, D>}")
+        fds = [FD({"A"}, "B"), FD({"B", "C"}, "D"), FD({"D"}, "A")]
+        engine = ClosureEngine(schema, [fd_to_nfd("R", fd) for fd in fds])
+        for size in range(len(attributes) + 1):
+            for combo in itertools.combinations(attributes, size):
+                classical = attribute_closure(set(combo), fds)
+                nested = engine.closure(
+                    parse_path("R"), {parse_path(a) for a in combo})
+                assert {p.first for p in nested} | set(combo) == \
+                    classical | set(combo)
+
+    def test_randomized(self):
+        rng = random.Random(11)
+        attributes = ["A", "B", "C", "D", "E"]
+        schema = parse_schema("R = {<A, B, C, D, E>}")
+        for _ in range(20):
+            fds = [
+                FD(set(rng.sample(attributes, rng.randint(1, 2))),
+                   rng.choice(attributes))
+                for _ in range(rng.randint(1, 5))
+            ]
+            engine = ClosureEngine(schema,
+                                   [fd_to_nfd("R", fd) for fd in fds])
+            lhs = set(rng.sample(attributes, rng.randint(1, 3)))
+            classical = attribute_closure(lhs, fds)
+            nested = engine.closure(parse_path("R"),
+                                    {parse_path(a) for a in lhs})
+            assert {p.first for p in nested} == classical

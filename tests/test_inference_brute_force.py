@@ -1,0 +1,73 @@
+"""Unit tests for the brute-force prover and its agreement with the engine."""
+
+import itertools
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.generators import workloads
+from repro.inference import BruteForceProver, ClosureEngine
+from repro.nfd import parse_nfd, parse_nfds
+from repro.paths import parse_path, relation_paths
+from repro.types import parse_schema
+
+
+class TestBasics:
+    def test_flat_transitivity(self):
+        schema = parse_schema("R = {<A, B, C>}")
+        prover = BruteForceProver(schema,
+                                  parse_nfds("R:[A -> B]\nR:[B -> C]"))
+        assert prover.implies(parse_nfd("R:[A -> C]"))
+        assert not prover.implies(parse_nfd("R:[C -> A]"))
+
+    def test_section_3_1_headline(self):
+        prover = BruteForceProver(workloads.section_3_1_schema(),
+                                  workloads.section_3_1_sigma())
+        assert prover.implies(parse_nfd("R:A:[B -> E]"))
+
+    def test_space_guard(self):
+        prover_schema = workloads.example_a1_schema()  # 11 paths
+        with pytest.raises(InferenceError):
+            BruteForceProver(prover_schema, [], max_paths=7)
+
+    def test_query_outside_space(self):
+        schema = parse_schema("R = {<A, B>}")
+        prover = BruteForceProver(schema, [])
+        with pytest.raises(InferenceError):
+            prover.closure(parse_path("S"), [])
+
+
+class TestAgreementWithEngine:
+    """The engine and the prover must compute identical closures."""
+
+    @pytest.mark.parametrize("schema_text,sigma_text", [
+        ("R = {<A, B, C>}", "R:[A -> B]\nR:[B -> C]"),
+        ("R = {<A, B: {<C, D>}>}", "R:[B:C -> B:D]\nR:[A -> B]"),
+        ("R = {<A: {<B, C>}, D>}", "R:[D -> A:B]\nR:[D -> A:C]"),
+        ("R = {<A: {<B: {<C>}>}, D>}", "R:[A:B:C, D -> A:B]"),
+        ("R = {<A, B: {<C>}, E>}", "R:[A -> B:C]\nR:[B:C -> E]"),
+    ])
+    def test_all_small_queries(self, schema_text, sigma_text):
+        schema = parse_schema(schema_text)
+        sigma = parse_nfds(sigma_text)
+        prover = BruteForceProver(schema, sigma)
+        engine = ClosureEngine(schema, sigma)
+        paths = relation_paths(schema, "R")
+        base = parse_path("R")
+        for size in range(0, 3):
+            for combo in itertools.combinations(paths, size):
+                assert prover.closure(base, combo) == \
+                    engine.closure(base, combo), combo
+
+    def test_nested_bases_agree(self):
+        schema = workloads.section_3_1_schema()
+        sigma = workloads.section_3_1_sigma()
+        prover = BruteForceProver(schema, sigma)
+        engine = ClosureEngine(schema, sigma)
+        for base_text, lhs_texts in [
+            ("R:A", ["B"]), ("R:A", ["E"]), ("R:A:B", []),
+            ("R:A:E", []), ("R", ["A:B:C", "D"]),
+        ]:
+            base = parse_path(base_text)
+            lhs = [parse_path(t) for t in lhs_texts]
+            assert prover.closure(base, lhs) == engine.closure(base, lhs)

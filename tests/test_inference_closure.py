@@ -1,0 +1,149 @@
+"""Unit tests for the closure engine (Theorem 3.1's decision procedure)."""
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.generators import workloads
+from repro.inference import ClosureEngine
+from repro.nfd import parse_nfd, parse_nfds
+from repro.paths import parse_path
+from repro.types import parse_schema
+
+
+def _paths(*texts):
+    return {parse_path(t) for t in texts}
+
+
+class TestSection31:
+    def test_headline_claim(self, section_3_1_engine):
+        assert section_3_1_engine.implies(parse_nfd("R:A:[B -> E]"))
+
+    def test_closure_at_nested_base(self, section_3_1_engine):
+        closed = section_3_1_engine.closure(parse_path("R:A"),
+                                            _paths("B"))
+        assert closed == _paths("B", "E", "E:F", "E:G")
+
+    def test_every_intermediate_step(self, section_3_1_engine):
+        for text in ["R:A:[B:C -> E:F]", "R:A:[B -> E:F]",
+                     "R:A:E:[∅ -> F]", "R:A:[E -> E:F]",
+                     "R:A:E:[∅ -> G]", "R:A:[E -> E:G]",
+                     "R:A:[E:F, E:G -> E]"]:
+            assert section_3_1_engine.implies(parse_nfd(text)), text
+
+    def test_non_implications(self, section_3_1_engine):
+        for text in ["R:A:[B -> B:C]", "R:[D -> A:B:C]", "R:A:[E -> B]",
+                     "R:[A -> D]", "R:A:B:[∅ -> C]"]:
+            assert not section_3_1_engine.implies(parse_nfd(text)), text
+
+
+class TestAppendixAClosures:
+    def test_example_a1(self):
+        engine = ClosureEngine(workloads.example_a1_schema(),
+                               workloads.example_a1_sigma())
+        closed = engine.closure(parse_path("R"), _paths("B"))
+        assert closed == _paths("B", "B:C", "D", "E:F", "H", "H:J")
+
+    def test_example_a2(self):
+        engine = ClosureEngine(workloads.example_a2_schema(),
+                               workloads.example_a2_sigma())
+        closed = engine.closure(parse_path("R"), _paths("A:B:C"))
+        assert closed == _paths("A:B:C", "A:B", "A:B:D", "A:B:E:F")
+
+
+class TestArmstrongBehaviour:
+    """On flat schemas the engine is the classical closure."""
+
+    @pytest.fixture
+    def flat_engine(self):
+        schema = parse_schema("R = {<A, B, C, D>}")
+        sigma = parse_nfds("""
+            R:[A -> B]
+            R:[B -> C]
+        """)
+        return ClosureEngine(schema, sigma)
+
+    def test_transitive_chain(self, flat_engine):
+        closed = flat_engine.closure(parse_path("R"), _paths("A"))
+        assert closed == _paths("A", "B", "C")
+
+    def test_reflexivity_and_augmentation(self, flat_engine):
+        assert flat_engine.implies(parse_nfd("R:[A, D -> A]"))
+        assert flat_engine.implies(parse_nfd("R:[A, D -> C]"))
+
+    def test_no_overreach(self, flat_engine):
+        assert not flat_engine.implies(parse_nfd("R:[B -> A]"))
+        assert not flat_engine.implies(parse_nfd("R:[C -> D]"))
+
+
+class TestIntroScenario:
+    """The introduction's motivating inference: sid and time determine
+    the set of books."""
+
+    def test_books_by_sid_and_time(self, course_engine):
+        assert course_engine.implies(
+            parse_nfd("Course:[students:sid, time -> books]"))
+
+    def test_via_cnum(self, course_engine):
+        # time, sid -> cnum (given) and cnum is a key -> books.
+        assert course_engine.implies(
+            parse_nfd("Course:[students:sid, time -> students]"))
+        assert not course_engine.implies(
+            parse_nfd("Course:[students:sid -> books]"))
+
+
+class TestEquivalentForms:
+    """Push-in/pull-out equivalence at the engine level."""
+
+    def test_local_iff_global_form(self, course_engine):
+        local = parse_nfd("Course:students:[sid -> grade]")
+        global_form = parse_nfd(
+            "Course:[students, students:sid -> students:grade]")
+        assert course_engine.implies(local)
+        assert course_engine.implies(global_form)
+
+    def test_example_3_1_full_locality(self):
+        schema = workloads.example_3_1_schema()
+        f1 = workloads.example_3_1_nfd()
+        engine = ClosureEngine(schema, [f1])
+        # derivable with locality + push-in:
+        assert engine.implies(
+            parse_nfd("R:[A, A:B:C, A:D -> A:B:E]"))
+        # needs full-locality (Example 3.1's point):
+        assert engine.implies(parse_nfd("R:[A:B, A:B:C -> A:B:E]"))
+        # but the dependency without the set itself is NOT implied:
+        assert not engine.implies(parse_nfd("R:[A:B:C -> A:B:E]"))
+
+
+class TestValidation:
+    def test_ill_formed_sigma_rejected(self):
+        schema = parse_schema("R = {<A, B>}")
+        with pytest.raises(Exception):
+            ClosureEngine(schema, [parse_nfd("R:[nope -> B]")])
+
+    def test_ill_formed_query_rejected(self, course_engine):
+        with pytest.raises(InferenceError):
+            course_engine.implies(parse_nfd("Course:[nope -> time]"))
+        with pytest.raises(InferenceError):
+            course_engine.closure_simple("Nope", [])
+
+    def test_queries_are_cached(self, section_3_1_engine):
+        first = section_3_1_engine.closure(parse_path("R:A"), _paths("B"))
+        second = section_3_1_engine.closure(parse_path("R:A"), _paths("B"))
+        assert first == second
+
+
+class TestSingletonReasoning:
+    def test_determined_attributes_pin_the_set(self):
+        # R:[D -> A:B], R:[D -> A:C] forces A singleton; hence D -> A.
+        schema = parse_schema("R = {<A: {<B, C>}, D>}")
+        sigma = parse_nfds("""
+            R:[D -> A:B]
+            R:[D -> A:C]
+        """)
+        engine = ClosureEngine(schema, sigma)
+        assert engine.implies(parse_nfd("R:[D -> A]"))
+
+    def test_partial_attributes_do_not(self):
+        schema = parse_schema("R = {<A: {<B, C>}, D>}")
+        engine = ClosureEngine(schema, parse_nfds("R:[D -> A:B]"))
+        assert not engine.implies(parse_nfd("R:[D -> A]"))

@@ -1,0 +1,204 @@
+"""Unit tests for the Section 3.2 empty-set machinery."""
+
+import pytest
+
+from repro.errors import RuleApplicationError
+from repro.generators import workloads
+from repro.inference import (
+    ClosureEngine,
+    NonEmptySpec,
+    prefix_nonempty,
+    transitivity_nonempty,
+)
+from repro.nfd import parse_nfd, satisfies
+from repro.paths import parse_path
+from repro.types import parse_schema
+
+
+@pytest.fixture
+def schema_3_2():
+    return workloads.example_3_2_schema()
+
+
+class TestNonEmptySpec:
+    def test_all_declares_everything(self):
+        spec = NonEmptySpec.all_nonempty()
+        assert spec.declares_everything
+        assert spec.is_declared("R", parse_path("B"))
+
+    def test_explicit_declarations(self):
+        spec = NonEmptySpec({parse_path("R:B")})
+        assert spec.is_declared("R", parse_path("B"))
+        assert not spec.is_declared("R", parse_path("C"))
+
+    def test_for_schema_except(self, schema_3_2):
+        spec = NonEmptySpec.for_schema(schema_3_2,
+                                       except_paths=[parse_path("R:B")])
+        assert spec.is_declared("R", parse_path(""))  # the relation
+        assert not spec.is_declared("R", parse_path("B"))
+
+    def test_always_defined(self):
+        spec = NonEmptySpec({parse_path("R:B")})
+        assert spec.always_defined("R", parse_path("B:C"))
+        assert spec.always_defined("R", parse_path("A"))  # no traversal
+        assert not spec.always_defined("R", parse_path("D:E"))
+
+    def test_always_defined_with_base_tail(self):
+        # path E:F relative to base R:A: the traversed set is R:A:E.
+        spec = NonEmptySpec({parse_path("R:A:E")})
+        assert spec.always_defined("R", parse_path("E:F"),
+                                   base_tail=parse_path("A"))
+        assert not spec.always_defined("R", parse_path("E:F"))
+
+    def test_admits(self, schema_3_2):
+        instance = workloads.example_3_2_instance()
+        assert NonEmptySpec.none().admits(instance)
+        assert not NonEmptySpec.all_nonempty().admits(instance)
+        assert not NonEmptySpec({parse_path("R:B")}).admits(instance)
+        assert NonEmptySpec({parse_path("R")}).admits(instance)
+
+
+class TestGatedTransitivity:
+    def test_blocked_without_declaration(self):
+        premises = [parse_nfd("R:[A -> B:C]")]
+        bridge = parse_nfd("R:[B:C -> D]")
+        with pytest.raises(RuleApplicationError):
+            transitivity_nonempty(premises, bridge, NonEmptySpec.none())
+
+    def test_allowed_with_declaration(self):
+        premises = [parse_nfd("R:[A -> B:C]")]
+        bridge = parse_nfd("R:[B:C -> D]")
+        spec = NonEmptySpec({parse_path("R:B")})
+        concluded = transitivity_nonempty(premises, bridge, spec)
+        assert concluded == parse_nfd("R:[A -> D]")
+
+    def test_follows_suffices(self):
+        # intermediate B:C follows the conclusion RHS B:E: wherever B:E
+        # is defined, so is B:C.
+        premises = [parse_nfd("R:[A -> B:C]")]
+        bridge = parse_nfd("R:[B:C -> B:E]")
+        concluded = transitivity_nonempty(premises, bridge,
+                                          NonEmptySpec.none())
+        assert concluded == parse_nfd("R:[A -> B:E]")
+
+    def test_single_label_intermediates_always_pass(self):
+        premises = [parse_nfd("R:[A -> B]")]
+        bridge = parse_nfd("R:[B -> D]")
+        concluded = transitivity_nonempty(premises, bridge,
+                                          NonEmptySpec.none())
+        assert concluded == parse_nfd("R:[A -> D]")
+
+
+class TestGatedPrefix:
+    def test_blocked_without_declaration(self):
+        with pytest.raises(RuleApplicationError):
+            prefix_nonempty(parse_nfd("R:[B:C -> E]"), parse_path("B:C"),
+                            NonEmptySpec.none())
+
+    def test_allowed_with_declaration(self):
+        concluded = prefix_nonempty(
+            parse_nfd("R:[B:C -> E]"), parse_path("B:C"),
+            NonEmptySpec({parse_path("R:B")}))
+        assert concluded == parse_nfd("R:[B -> E]")
+
+
+class TestGatedEngine:
+    """Example 3.2 drives the engine-level gating."""
+
+    def test_transitivity_blocked_by_possible_empty_b(self, schema_3_2):
+        sigma = [parse_nfd("R:[A -> B:C]"), parse_nfd("R:[B:C -> D]")]
+        spec = NonEmptySpec.for_schema(schema_3_2,
+                                       except_paths=[parse_path("R:B")])
+        engine = ClosureEngine(schema_3_2, sigma, nonempty=spec)
+        assert not engine.implies(parse_nfd("R:[A -> D]"))
+        # and the Example 3.2 instance is the semantic witness:
+        instance = workloads.example_3_2_instance()
+        assert spec.admits(instance)
+        assert all(satisfies(instance, nfd) for nfd in sigma)
+        assert not satisfies(instance, parse_nfd("R:[A -> D]"))
+
+    def test_transitivity_allowed_when_b_declared(self, schema_3_2):
+        sigma = [parse_nfd("R:[A -> B:C]"), parse_nfd("R:[B:C -> D]")]
+        engine = ClosureEngine(schema_3_2, sigma,
+                               nonempty=NonEmptySpec.for_schema(schema_3_2))
+        assert engine.implies(parse_nfd("R:[A -> D]"))
+
+    def test_prefix_blocked(self, schema_3_2):
+        sigma = [parse_nfd("R:[B:C -> E]")]
+        spec = NonEmptySpec.for_schema(schema_3_2,
+                                       except_paths=[parse_path("R:B")])
+        engine = ClosureEngine(schema_3_2, sigma, nonempty=spec)
+        assert not engine.implies(parse_nfd("R:[B -> E]"))
+        # with B declared non-empty the shortening is sound again
+        full = ClosureEngine(schema_3_2, sigma,
+                             nonempty=NonEmptySpec.for_schema(schema_3_2))
+        assert full.implies(parse_nfd("R:[B -> E]"))
+
+    def test_gated_engine_never_exceeds_ungated(self, schema_3_2):
+        sigma = [parse_nfd("R:[A -> B:C]"), parse_nfd("R:[B:C -> D]"),
+                 parse_nfd("R:[D -> E]")]
+        spec = NonEmptySpec.for_schema(schema_3_2,
+                                       except_paths=[parse_path("R:B")])
+        gated = ClosureEngine(schema_3_2, sigma, nonempty=spec)
+        ungated = ClosureEngine(schema_3_2, sigma)
+        base = parse_path("R")
+        for lhs in [{parse_path("A")}, {parse_path("B:C")},
+                    {parse_path("D")}]:
+            assert gated.closure(base, lhs) <= ungated.closure(base, lhs)
+
+    def test_pull_out_gated_regression(self):
+        """Regression: pull-out is unsound under Definition 2.4 with
+        empty sets.  Sigma |- [A:C -> A:C:D] (simple form), but the
+        local reading R:A:C:[∅ -> D] fails on an instance where one
+        element's empty C excuses the simple pair while a sibling's
+        two-element C carries distinct D values.  Found by the
+        hypothesis soundness sweep; the closure() pull-out gate must
+        block the local form when C is not declared non-empty.
+        """
+        schema = parse_schema(
+            "R = {<A: {<B, C: {<D: string>}, E>}>}")
+        sigma = [parse_nfd("R:[A, A:B, A:E -> A:C:D]"),
+                 parse_nfd("R:[A, A:C -> A:B]"),
+                 parse_nfd("R:[A, A:E -> A:C:D]")]
+        spec = NonEmptySpec({parse_path("R")})
+        engine = ClosureEngine(schema, sigma, nonempty=spec)
+        local = parse_nfd("R:A:C:[∅ -> D]")
+        assert not engine.implies(local)
+        # the separating instance from the sweep:
+        from repro.values import Instance
+        instance = Instance(schema, {"R": [
+            {"A": [{"B": 0, "C": [{"D": "s0"}, {"D": "s1"}], "E": 0},
+                   {"B": 1, "C": [], "E": 1}]},
+            {"A": [{"B": 0, "C": [{"D": "s0"}], "E": 1}]},
+        ]})
+        assert spec.admits(instance)
+        assert all(satisfies(instance, nfd) for nfd in sigma)
+        assert not satisfies(instance, local)
+        # declaring C non-empty restores the inference
+        restored = ClosureEngine(
+            schema, sigma,
+            nonempty=NonEmptySpec({parse_path("R"),
+                                   parse_path("R:A:C")}))
+        assert restored.implies(local)
+
+    def test_sigma_members_at_nested_bases_still_hold(self):
+        """The pull-out gate must not reject NFDs stated in Sigma at
+        the queried base (augmentation included)."""
+        schema = parse_schema("R = {<A: {<B, C: {<D: string>}, E>}>}")
+        sigma = [parse_nfd("R:A:C:[∅ -> D]")]
+        spec = NonEmptySpec({parse_path("R")})
+        engine = ClosureEngine(schema, sigma, nonempty=spec)
+        assert engine.implies(parse_nfd("R:A:C:[∅ -> D]"))
+
+    def test_localization_gated(self):
+        # Localizing R:[B:C -> A:F] at A drops B:C, which is only sound
+        # when B cannot be empty.
+        schema = parse_schema("R = {<A: {<F, G>}, B: {<C>}>}")
+        sigma = [parse_nfd("R:[B:C -> A:F]")]
+        spec = NonEmptySpec.for_schema(schema,
+                                       except_paths=[parse_path("R:B")])
+        gated = ClosureEngine(schema, sigma, nonempty=spec)
+        ungated = ClosureEngine(schema, sigma)
+        target = parse_nfd("R:A:[∅ -> F]")
+        assert ungated.implies(target)
+        assert not gated.implies(target)

@@ -1,0 +1,75 @@
+"""Unit tests for the implication convenience API."""
+
+from repro.generators import workloads
+from repro.inference import (
+    equivalent_sets,
+    implied_keys,
+    implies,
+    redundant_members,
+)
+from repro.inference.implication import closure as closure_fn
+from repro.nfd import parse_nfd, parse_nfds
+from repro.paths import parse_path
+from repro.types import parse_schema
+
+
+class TestImplies:
+    def test_functional_api(self):
+        schema = parse_schema("R = {<A, B, C>}")
+        sigma = parse_nfds("R:[A -> B]\nR:[B -> C]")
+        assert implies(schema, sigma, parse_nfd("R:[A -> C]"))
+        assert not implies(schema, sigma, parse_nfd("R:[C -> B]"))
+
+    def test_closure_function(self):
+        schema = parse_schema("R = {<A, B, C>}")
+        sigma = parse_nfds("R:[A -> B]")
+        closed = closure_fn(schema, sigma, parse_path("R"),
+                            {parse_path("A")})
+        assert parse_path("B") in closed
+
+
+class TestEquivalence:
+    def test_local_global_forms_are_equivalent_sets(self):
+        schema = workloads.course_schema()
+        local = parse_nfds("Course:students:[sid -> grade]")
+        global_form = parse_nfds(
+            "Course:[students, students:sid -> students:grade]")
+        assert equivalent_sets(schema, local, global_form)
+
+    def test_non_equivalent(self):
+        schema = parse_schema("R = {<A, B>}")
+        assert not equivalent_sets(schema, parse_nfds("R:[A -> B]"),
+                                   parse_nfds("R:[B -> A]"))
+
+
+class TestRedundancy:
+    def test_transitive_member_is_redundant(self):
+        schema = parse_schema("R = {<A, B, C>}")
+        sigma = parse_nfds("R:[A -> B]\nR:[B -> C]\nR:[A -> C]")
+        redundant = redundant_members(schema, sigma)
+        assert redundant == [parse_nfd("R:[A -> C]")]
+
+    def test_independent_members_are_not(self):
+        schema = parse_schema("R = {<A, B, C>}")
+        sigma = parse_nfds("R:[A -> B]\nR:[B -> C]")
+        assert redundant_members(schema, sigma) == []
+
+
+class TestImpliedKeys:
+    def test_course_key(self):
+        schema = workloads.course_schema()
+        keys = implied_keys(schema, workloads.course_sigma(), "Course")
+        assert frozenset({parse_path("cnum")}) in keys
+
+    def test_composite_key(self):
+        schema = parse_schema("R = {<A, B, C>}")
+        sigma = parse_nfds("R:[A, B -> C]")
+        keys = implied_keys(schema, sigma, "R")
+        assert keys == [frozenset({parse_path("A"), parse_path("B")})]
+
+    def test_minimality(self):
+        schema = parse_schema("R = {<A, B, C>}")
+        sigma = parse_nfds("R:[A -> B]\nR:[A -> C]")
+        keys = implied_keys(schema, sigma, "R")
+        assert frozenset({parse_path("A")}) in keys
+        assert all(len(k) == 1 or parse_path("A") not in k for k in keys)

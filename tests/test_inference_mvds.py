@@ -1,0 +1,185 @@
+"""Tests for the MVD substrate: semantics, basis, mixed implication."""
+
+import random
+from itertools import combinations
+
+from repro.chase import lossless_join
+from repro.inference import FD, fd_implies
+from repro.inference.mvds import (
+    MVD,
+    dependency_basis,
+    implies_fd_mixed,
+    implies_mvd,
+    satisfies_mvd,
+)
+
+ATTRS = ["A", "B", "C", "D"]
+
+
+def _random_rows(rng, count=4, domain=2):
+    return [
+        {a: rng.randrange(domain) for a in ATTRS}
+        for _ in range(count)
+    ]
+
+
+class TestSatisfiesMVD:
+    def test_textbook_example(self):
+        # course ->> teacher with independent books
+        rows = [
+            {"A": 1, "B": 10, "C": 100, "D": 0},
+            {"A": 1, "B": 10, "C": 200, "D": 0},
+            {"A": 1, "B": 20, "C": 100, "D": 0},
+            {"A": 1, "B": 20, "C": 200, "D": 0},
+        ]
+        assert satisfies_mvd(rows, ATTRS, MVD({"A"}, {"B"}))
+
+    def test_violation(self):
+        rows = [
+            {"A": 1, "B": 10, "C": 100, "D": 0},
+            {"A": 1, "B": 20, "C": 200, "D": 0},
+        ]
+        assert not satisfies_mvd(rows, ATTRS, MVD({"A"}, {"B"}))
+
+    def test_fd_implies_its_mvd(self):
+        # an instance satisfying the FD A -> B satisfies A ->> B
+        rng = random.Random(1)
+        for _ in range(30):
+            rows = _random_rows(rng)
+            groups = {}
+            fd_holds = True
+            for row in rows:
+                if groups.setdefault(row["A"], row["B"]) != row["B"]:
+                    fd_holds = False
+            if fd_holds:
+                assert satisfies_mvd(rows, ATTRS, MVD({"A"}, {"B"}))
+
+    def test_equivalence_with_binary_lossless_join(self):
+        """X ->> Y holds in r iff r = pi_{XY}(r) join pi_{X,rest}(r) -
+        the classical characterization, checked by reconstruction."""
+        rng = random.Random(2)
+        for _ in range(60):
+            rows = _random_rows(rng, count=rng.randint(1, 5))
+            mvd = MVD({"A"}, {"B"})
+            left = {(r["A"], r["B"]) for r in rows}
+            right = {(r["A"], r["C"], r["D"]) for r in rows}
+            joined = {
+                (a1, b, c, d)
+                for (a1, b) in left
+                for (a2, c, d) in right
+                if a1 == a2
+            }
+            original = {(r["A"], r["B"], r["C"], r["D"]) for r in rows}
+            assert satisfies_mvd(rows, ATTRS, mvd) == \
+                (joined == original), rows
+
+
+class TestDependencyBasis:
+    def test_no_dependencies(self):
+        basis = dependency_basis(ATTRS, {"A"}, [], [])
+        assert basis == [frozenset({"B", "C", "D"})]
+
+    def test_mvd_splits(self):
+        basis = dependency_basis(ATTRS, {"A"}, [], [MVD({"A"}, {"B"})])
+        assert frozenset({"B"}) in basis
+        assert frozenset({"C", "D"}) in basis
+
+    def test_fd_splits_to_singleton(self):
+        basis = dependency_basis(ATTRS, {"A"}, [FD({"A"}, "B")], [])
+        assert frozenset({"B"}) in basis
+
+    def test_basis_partitions_complement(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            fds = [FD(set(rng.sample(ATTRS, rng.randint(1, 2))),
+                      rng.choice(ATTRS)) for _ in range(2)]
+            mvds = [MVD(set(rng.sample(ATTRS, 1)),
+                        set(rng.sample(ATTRS, 2)))]
+            x = set(rng.sample(ATTRS, rng.randint(1, 2)))
+            basis = dependency_basis(ATTRS, x, fds, mvds)
+            union: set[str] = set()
+            for block in basis:
+                assert not union & block  # disjoint
+                union |= block
+            assert union == set(ATTRS) - x
+
+
+class TestMixedImplication:
+    def test_fd_only_agrees_with_armstrong(self):
+        rng = random.Random(4)
+        for _ in range(30):
+            fds = [FD(set(rng.sample(ATTRS, rng.randint(1, 2))),
+                      rng.choice(ATTRS))
+                   for _ in range(rng.randint(1, 4))]
+            for size in range(1, 3):
+                for combo in combinations(ATTRS, size):
+                    for rhs in ATTRS:
+                        candidate = FD(set(combo), rhs)
+                        assert implies_fd_mixed(ATTRS, fds, [],
+                                                candidate) == \
+                            fd_implies(fds, candidate), (fds, candidate)
+
+    def test_complementation(self):
+        # X ->> Y implies X ->> (R - X - Y)
+        mvds = [MVD({"A"}, {"B"})]
+        assert implies_mvd(ATTRS, [], mvds, MVD({"A"}, {"C", "D"}))
+
+    def test_fd_promotes_to_mvd(self):
+        fds = [FD({"A"}, "B")]
+        assert implies_mvd(ATTRS, fds, [], MVD({"A"}, {"B"}))
+
+    def test_mvd_does_not_give_fd(self):
+        mvds = [MVD({"A"}, {"B"})]
+        assert not implies_fd_mixed(ATTRS, [], mvds, FD({"A"}, "B"))
+
+    def test_interaction(self):
+        # C ->> A together with B -> A forces C -> A (see the module's
+        # development notes): the exchange tuples would break B -> A
+        # unless A is already determined.
+        fds = [FD({"B"}, "A")]
+        mvds = [MVD({"C"}, {"A"})]
+        assert implies_fd_mixed(ATTRS, fds, mvds, FD({"C"}, "A"))
+
+    def test_soundness_against_random_models(self):
+        """No relation satisfying the given set may violate an
+        implication verdict."""
+        rng = random.Random(5)
+        checked = 0
+        for _ in range(40):
+            fds = [FD(set(rng.sample(ATTRS, 1)), rng.choice(ATTRS))]
+            mvds = [MVD(set(rng.sample(ATTRS, 1)),
+                        set(rng.sample(ATTRS, rng.randint(1, 2))))]
+            candidate_fd = FD(set(rng.sample(ATTRS, rng.randint(1, 2))),
+                              rng.choice(ATTRS))
+            candidate_mvd = MVD(set(rng.sample(ATTRS, 1)),
+                                set(rng.sample(ATTRS, 2)))
+            fd_implied = implies_fd_mixed(ATTRS, fds, mvds, candidate_fd)
+            mvd_implied = implies_mvd(ATTRS, fds, mvds, candidate_mvd)
+            for _ in range(60):
+                rows = _random_rows(rng, count=rng.randint(1, 4))
+                if not all(satisfies_mvd(rows, ATTRS, m) for m in mvds):
+                    continue
+                groups = {}
+                fd_ok = True
+                for fd in fds:
+                    for row in rows:
+                        key = tuple(row[a] for a in sorted(fd.lhs))
+                        if groups.setdefault((fd, key),
+                                             row[fd.rhs]) != row[fd.rhs]:
+                            fd_ok = False
+                if not fd_ok:
+                    continue
+                checked += 1
+                if fd_implied:
+                    seen = {}
+                    for row in rows:
+                        key = tuple(row[a]
+                                    for a in sorted(candidate_fd.lhs))
+                        assert seen.setdefault(
+                            key, row[candidate_fd.rhs]) == \
+                            row[candidate_fd.rhs], (fds, mvds,
+                                                    candidate_fd, rows)
+                if mvd_implied:
+                    assert satisfies_mvd(rows, ATTRS, candidate_mvd), \
+                        (fds, mvds, candidate_mvd, rows)
+        assert checked > 100

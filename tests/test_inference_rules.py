@@ -1,0 +1,151 @@
+"""Unit tests for the eight rules as syntactic objects."""
+
+import pytest
+
+from repro.errors import RuleApplicationError
+from repro.inference import rules
+from repro.nfd import parse_nfd
+from repro.paths import parse_path
+from repro.types import parse_schema
+
+
+class TestReflexivity:
+    def test_member(self):
+        concluded = rules.reflexivity(
+            parse_path("R"), [parse_path("A"), parse_path("B")],
+            parse_path("A"))
+        assert concluded == parse_nfd("R:[A, B -> A]")
+
+    def test_non_member_rejected(self):
+        with pytest.raises(RuleApplicationError):
+            rules.reflexivity(parse_path("R"), [parse_path("A")],
+                              parse_path("B"))
+
+
+class TestAugmentation:
+    def test_adds_paths(self):
+        concluded = rules.augmentation(parse_nfd("R:[A -> B]"),
+                                       [parse_path("C")])
+        assert concluded == parse_nfd("R:[A, C -> B]")
+
+
+class TestTransitivity:
+    def test_classic_chain(self):
+        p1 = parse_nfd("R:[A -> B]")
+        bridge = parse_nfd("R:[B -> C]")
+        assert rules.transitivity([p1], bridge) == parse_nfd("R:[A -> C]")
+
+    def test_multi_path_bridge(self):
+        premises = [parse_nfd("R:[A -> B]"), parse_nfd("R:[A -> C]")]
+        bridge = parse_nfd("R:[B, C -> D]")
+        assert rules.transitivity(premises, bridge) == \
+            parse_nfd("R:[A -> D]")
+
+    def test_bridge_paths_in_x_allowed_via_reflexivity(self):
+        premises = [parse_nfd("R:[A, B -> C]")]
+        bridge = parse_nfd("R:[B, C -> D]")  # B is in X itself
+        assert rules.transitivity(premises, bridge) == \
+            parse_nfd("R:[A, B -> D]")
+
+    def test_mismatched_lhs_rejected(self):
+        with pytest.raises(RuleApplicationError):
+            rules.transitivity(
+                [parse_nfd("R:[A -> B]"), parse_nfd("R:[C -> D]")],
+                parse_nfd("R:[B, D -> E]"))
+
+    def test_mismatched_base_rejected(self):
+        with pytest.raises(RuleApplicationError):
+            rules.transitivity([parse_nfd("R:[A -> B]")],
+                               parse_nfd("R:A:[B -> C]"))
+
+    def test_underivable_bridge_path_rejected(self):
+        with pytest.raises(RuleApplicationError):
+            rules.transitivity([parse_nfd("R:[A -> B]")],
+                               parse_nfd("R:[B, Z -> C]"))
+
+    def test_requires_premises(self):
+        with pytest.raises(RuleApplicationError):
+            rules.transitivity([], parse_nfd("R:[∅ -> C]"))
+
+
+class TestPushInPullOut:
+    def test_push_in(self):
+        assert rules.push_in(parse_nfd("R:A:[B -> C]")) == \
+            parse_nfd("R:[A, A:B -> A:C]")
+
+    def test_pull_out(self):
+        assert rules.pull_out(parse_nfd("R:[A, A:B -> A:C]")) == \
+            parse_nfd("R:A:[B -> C]")
+
+    def test_errors_are_rule_errors(self):
+        with pytest.raises(RuleApplicationError):
+            rules.push_in(parse_nfd("R:[A -> B]"))
+        with pytest.raises(RuleApplicationError):
+            rules.pull_out(parse_nfd("R:[A -> B]"))
+
+
+class TestLocality:
+    def test_paper_step_one(self):
+        # locality of nfd1: R:[A:B:C, D -> A:E:F] => R:A:[B:C -> E:F]
+        concluded = rules.locality(parse_nfd("R:[A:B:C, D -> A:E:F]"))
+        assert concluded == parse_nfd("R:A:[B:C -> E:F]")
+
+    def test_single_labels_dropped(self):
+        concluded = rules.locality(parse_nfd("R:[A:X, B, C -> A:z]"))
+        assert concluded == parse_nfd("R:A:[X -> z]")
+
+    def test_deep_lhs_outside_a_rejected(self):
+        # Example 3.1's point: locality cannot drop A:D when localizing
+        # at A:B... here: localizing at Q, the path B:C blocks.
+        with pytest.raises(RuleApplicationError):
+            rules.locality(parse_nfd("R:[B:C -> Q:F]"))
+
+    def test_rhs_must_be_nested(self):
+        with pytest.raises(RuleApplicationError):
+            rules.locality(parse_nfd("R:[A:B -> D]"))
+
+
+class TestSingleton:
+    def test_paper_step_seven(self, section_3_1_engine):
+        schema = section_3_1_engine.schema
+        premises = [parse_nfd("R:A:[E -> E:F]"), parse_nfd("R:A:[E -> E:G]")]
+        concluded = rules.singleton(premises, schema)
+        assert concluded == parse_nfd("R:A:[E:F, E:G -> E]")
+
+    def test_missing_attribute_rejected(self, section_3_1_engine):
+        schema = section_3_1_engine.schema
+        with pytest.raises(RuleApplicationError) as excinfo:
+            rules.singleton([parse_nfd("R:A:[E -> E:F]")], schema)
+        assert "G" in str(excinfo.value)
+
+    def test_wrong_premise_shape_rejected(self, section_3_1_engine):
+        schema = section_3_1_engine.schema
+        with pytest.raises(RuleApplicationError):
+            rules.singleton([parse_nfd("R:A:[E, B -> E:F]")], schema)
+
+    def test_non_set_x_rejected(self):
+        schema = parse_schema("R = {<A, B>}")
+        with pytest.raises(RuleApplicationError):
+            rules.singleton([parse_nfd("R:[A -> A:B]")], schema)
+
+
+class TestPrefix:
+    def test_paper_step_two(self):
+        # prefix on R:A:[B:C -> E:F] gives R:A:[B -> E:F]
+        concluded = rules.prefix(parse_nfd("R:A:[B:C -> E:F]"),
+                                 parse_path("B:C"))
+        assert concluded == parse_nfd("R:A:[B -> E:F]")
+
+    def test_prefix_of_rhs_rejected(self):
+        # shortening B:C to B with RHS B:C would be unsound
+        with pytest.raises(RuleApplicationError):
+            rules.prefix(parse_nfd("R:[B:C:D -> B:C]"),
+                         parse_path("B:C:D"))
+
+    def test_single_label_rejected(self):
+        with pytest.raises(RuleApplicationError):
+            rules.prefix(parse_nfd("R:[B -> C]"), parse_path("B"))
+
+    def test_non_member_rejected(self):
+        with pytest.raises(RuleApplicationError):
+            rules.prefix(parse_nfd("R:[B:C -> D]"), parse_path("X:Y"))

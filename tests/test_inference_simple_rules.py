@@ -1,0 +1,67 @@
+"""Unit tests for the six-rule simple system (full-locality)."""
+
+import pytest
+
+from repro.errors import RuleApplicationError
+from repro.generators import workloads
+from repro.inference import (
+    ClosureEngine,
+    full_locality,
+    to_simple_system,
+)
+from repro.nfd import parse_nfd
+from repro.paths import parse_path
+
+
+class TestFullLocality:
+    def test_example_3_1(self):
+        f1 = workloads.example_3_1_nfd()  # R:[A:B:C, A:D -> A:B:E]
+        concluded = full_locality(f1, parse_path("A:B"))
+        assert concluded == parse_nfd("R:[A:B, A:B:C -> A:B:E]")
+
+    def test_one_level(self):
+        f1 = workloads.example_3_1_nfd()
+        concluded = full_locality(f1, parse_path("A"))
+        assert concluded == parse_nfd("R:[A, A:B:C, A:D -> A:B:E]")
+
+    def test_x_must_prefix_rhs(self):
+        with pytest.raises(RuleApplicationError):
+            full_locality(parse_nfd("R:[A:B -> A:C]"), parse_path("Q"))
+        with pytest.raises(RuleApplicationError):
+            full_locality(parse_nfd("R:[A:B -> A:C]"), parse_path("A:C"))
+
+    def test_x_must_be_nonempty(self):
+        from repro.paths import EPSILON
+        with pytest.raises(RuleApplicationError):
+            full_locality(parse_nfd("R:[A:B -> A:C]"), EPSILON)
+
+    def test_drops_unrelated_deep_paths(self):
+        concluded = full_locality(parse_nfd("R:[Q:Z, A:B -> A:C]"),
+                                  parse_path("A"))
+        assert concluded == parse_nfd("R:[A, A:B -> A:C]")
+
+
+class TestSimpleSystem:
+    def test_conversion(self):
+        sigma = workloads.section_3_1_sigma()
+        simple = to_simple_system(sigma)
+        assert all(nfd.is_simple for nfd in simple)
+
+    def test_conversion_preserves_implication(self):
+        schema = workloads.section_3_1_schema()
+        sigma = workloads.section_3_1_sigma()
+        original = ClosureEngine(schema, sigma)
+        converted = ClosureEngine(schema, to_simple_system(sigma))
+        for text in ["R:A:[B -> E]", "R:[A, A:E -> A:E:F]",
+                     "R:A:[E -> B]", "R:[D -> A]"]:
+            nfd = parse_nfd(text)
+            assert original.implies(nfd) == converted.implies(nfd), text
+
+    def test_full_locality_results_are_sound(self):
+        # everything full-locality derives is implied by the engine
+        schema = workloads.example_3_1_schema()
+        f1 = workloads.example_3_1_nfd()
+        engine = ClosureEngine(schema, [f1])
+        for x_text in ["A", "A:B"]:
+            concluded = full_locality(f1, parse_path(x_text))
+            assert engine.implies(concluded), concluded

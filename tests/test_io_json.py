@@ -1,0 +1,99 @@
+"""Unit tests for JSON serialization round trips."""
+
+import json
+
+import pytest
+
+from repro.errors import ParseError
+from repro.generators import workloads
+from repro.io import (
+    dump_bundle,
+    instance_from_dict,
+    instance_to_dict,
+    load_bundle,
+    nfds_from_list,
+    nfds_to_list,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+class TestSchemaRoundTrip:
+    def test_course(self):
+        schema = workloads.course_schema()
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+    def test_multi_relation(self):
+        schema = workloads.warehouse_schema()
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+
+class TestInstanceRoundTrip:
+    @pytest.mark.parametrize("make", [
+        workloads.course_instance,
+        workloads.figure1_instance,
+        workloads.example_3_2_instance,   # includes empty sets
+        workloads.warehouse_instance,
+    ])
+    def test_roundtrip(self, make):
+        instance = make()
+        data = instance_to_dict(instance)
+        json.dumps(data)  # must be JSON-serializable
+        assert instance_from_dict(instance.schema, data) == instance
+
+
+class TestNFDRoundTrip:
+    def test_course_sigma(self):
+        sigma = workloads.course_sigma()
+        assert nfds_from_list(nfds_to_list(sigma)) == sigma
+
+    def test_bad_nfd_reported(self):
+        with pytest.raises(ParseError):
+            nfds_from_list(["not an nfd"])
+
+
+class TestSpecPersistence:
+    def test_explicit_spec_roundtrip(self):
+        from repro.inference import NonEmptySpec
+        from repro.io import load_spec
+        from repro.paths import parse_path
+
+        spec = NonEmptySpec({parse_path("Course"),
+                             parse_path("Course:students")})
+        text = dump_bundle(workloads.course_schema(),
+                           workloads.course_sigma(), nonempty=spec)
+        recovered = load_spec(text)
+        assert recovered is not None
+        assert recovered.declared == spec.declared
+
+    def test_all_nonempty_roundtrip(self):
+        from repro.inference import NonEmptySpec
+        from repro.io import load_spec
+
+        text = dump_bundle(workloads.course_schema(), [],
+                           nonempty=NonEmptySpec.all_nonempty())
+        recovered = load_spec(text)
+        assert recovered is not None and recovered.declares_everything
+
+    def test_absent_spec_is_none(self):
+        from repro.io import load_spec
+        text = dump_bundle(workloads.course_schema(), [])
+        assert load_spec(text) is None
+
+
+class TestBundle:
+    def test_full_roundtrip(self):
+        schema = workloads.course_schema()
+        sigma = workloads.course_sigma()
+        instance = workloads.course_instance()
+        text = dump_bundle(schema, sigma, instance)
+        schema2, sigma2, instance2 = load_bundle(text)
+        assert schema2 == schema
+        assert sigma2 == sigma
+        assert instance2 == instance
+
+    def test_bundle_without_instance(self):
+        schema = workloads.course_schema()
+        text = dump_bundle(schema, workloads.course_sigma())
+        _, _, instance = load_bundle(text)
+        assert instance is None

@@ -1,0 +1,44 @@
+"""Unit tests for the Markdown report renderer."""
+
+from repro.generators import workloads
+from repro.io import markdown_report
+
+
+class TestMarkdownReport:
+    def test_clean_bundle(self):
+        text = markdown_report(workloads.course_schema(),
+                               workloads.course_sigma(),
+                               workloads.course_instance(),
+                               title="Course database")
+        assert text.startswith("# Course database")
+        assert "## Schema" in text
+        assert "## Constraints" in text
+        assert "## Analysis" in text
+        assert "## Instance" in text
+        assert "satisfies" in text
+        assert "minimal keys" in text
+        assert "`Course:[cnum -> time]`" in text
+
+    def test_violations_surface(self):
+        broken = workloads.course_instance().with_relation("Course", [
+            {"cnum": "a", "time": 1,
+             "students": [{"sid": 1, "age": 20, "grade": "A"}],
+             "books": [{"isbn": 1, "title": "X"}]},
+            {"cnum": "b", "time": 2,
+             "students": [{"sid": 1, "age": 30, "grade": "A"}],
+             "books": [{"isbn": 1, "title": "X"}]},
+        ])
+        text = markdown_report(workloads.course_schema(),
+                               workloads.course_sigma(), broken)
+        assert "**Violation:**" in text
+        assert "violation(s)" in text
+
+    def test_without_instance(self):
+        text = markdown_report(workloads.acedb_schema(),
+                               workloads.acedb_sigma())
+        assert "## Instance" not in text
+        assert "singleton sets" in text
+
+    def test_empty_sigma(self):
+        text = markdown_report(workloads.course_schema(), [])
+        assert "*(none declared)*" in text

@@ -1,0 +1,53 @@
+"""Unit tests for the nested ASCII table renderer."""
+
+from repro.generators import workloads
+from repro.io import render_instance, render_relation
+from repro.values import EMPTY_SET, from_python
+
+
+class TestRenderRelation:
+    def test_flat_table(self):
+        relation = from_python([{"A": 1, "B": 2}])
+        text = render_relation(relation)
+        lines = text.splitlines()
+        assert "A" in lines[0] and "B" in lines[0]
+        assert "1" in lines[2] and "2" in lines[2]
+
+    def test_nested_table_has_subheaders(self):
+        text = render_relation(workloads.figure1_instance().relation("R"))
+        # sub-headers of the nested sets appear
+        for label in ("A", "B", "C", "D", "E", "F", "G"):
+            assert label in text
+        # the Figure 1 values are all present
+        for value in ("1", "2", "3", "5", "7"):
+            assert value in text
+
+    def test_empty_set_renders_marker(self):
+        relation = from_python([{"A": 1, "B": []}])
+        assert "∅" in render_relation(relation)
+
+    def test_example_3_2_table(self):
+        text = render_relation(
+            workloads.example_3_2_instance().relation("R"))
+        assert "∅" in text          # the two empty B sets
+        assert "C" in text          # subheader of the third row's B
+
+    def test_title(self):
+        relation = from_python([{"A": 1}])
+        text = render_relation(relation, title="R:")
+        assert text.splitlines()[0] == "R:"
+
+    def test_empty_relation(self):
+        assert render_relation(EMPTY_SET) == "∅"
+
+    def test_deterministic(self):
+        relation = workloads.course_instance().relation("Course")
+        assert render_relation(relation) == render_relation(relation)
+
+
+class TestRenderInstance:
+    def test_all_relations_titled(self):
+        text = render_instance(workloads.warehouse_instance())
+        assert "StoreA:" in text
+        assert "StoreB:" in text
+        assert "Warehouse:" in text

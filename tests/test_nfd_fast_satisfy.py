@@ -1,0 +1,49 @@
+"""The hash-grouped checker must agree with the literal one everywhere."""
+
+import random
+
+from repro.generators import random_instance, random_nfd, random_schema
+from repro.generators import workloads
+from repro.nfd import parse_nfd, satisfies, satisfies_fast
+
+
+class TestAgreementOnWorkloads:
+    def test_course(self):
+        instance = workloads.course_instance()
+        for nfd in workloads.course_sigma():
+            assert satisfies_fast(instance, nfd) == \
+                satisfies(instance, nfd)
+
+    def test_figure1(self):
+        instance = workloads.figure1_instance()
+        nfd = workloads.figure1_nfd()
+        assert satisfies_fast(instance, nfd) == satisfies(instance, nfd)
+
+    def test_example_3_2(self):
+        instance = workloads.example_3_2_instance()
+        for text in ["R:[A -> B:C]", "R:[B:C -> D]", "R:[A -> D]",
+                     "R:[B:C -> E]", "R:[B -> E]", "R:[A, B -> E]"]:
+            nfd = parse_nfd(text)
+            assert satisfies_fast(instance, nfd) == \
+                satisfies(instance, nfd), text
+
+
+class TestAgreementRandomized:
+    def test_random_sweep_no_empty_sets(self):
+        rng = random.Random(7)
+        for _ in range(60):
+            schema = random_schema(rng, max_fields=3, max_depth=2)
+            instance = random_instance(rng, schema, tuples=2, domain=2)
+            nfd = random_nfd(rng, schema, max_lhs=2)
+            assert satisfies_fast(instance, nfd) == \
+                satisfies(instance, nfd), (nfd, instance)
+
+    def test_random_sweep_with_empty_sets(self):
+        rng = random.Random(8)
+        for _ in range(60):
+            schema = random_schema(rng, max_fields=3, max_depth=2)
+            instance = random_instance(rng, schema, tuples=2, domain=2,
+                                       empty_probability=0.3)
+            nfd = random_nfd(rng, schema, max_lhs=2)
+            assert satisfies_fast(instance, nfd) == \
+                satisfies(instance, nfd), (nfd, instance)

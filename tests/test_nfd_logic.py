@@ -1,0 +1,95 @@
+"""Unit tests for the logic translation (Section 2.2) and its evaluator."""
+
+from repro.nfd import holds_fol, parse_nfd, satisfies, translate
+from repro.types import parse_schema
+from repro.values import Instance
+
+
+class TestTranslationShape:
+    def test_global_books_example(self):
+        # Course:[books:isbn -> books:title]: two Course variables, two
+        # books variables; books is referenced twice but bound once per
+        # side (the paper's own remark).
+        formula = translate(parse_nfd(
+            "Course:[books:isbn -> books:title]"))
+        assert len(formula.quantifiers) == 4
+        text = formula.to_text()
+        assert "∀c1 ∈ Course ∀c2 ∈ Course" in text
+        assert "∀b1 ∈ c1.books ∀b2 ∈ c2.books" in text
+        assert "(b1.isbn = b2.isbn → b1.title = b2.title)" in text
+
+    def test_local_students_example(self):
+        # Course:students:[sid -> grade]: ONE Course variable, two
+        # student variables.
+        formula = translate(parse_nfd("Course:students:[sid -> grade]"))
+        assert len(formula.quantifiers) == 3
+        text = formula.to_text()
+        assert "∀c ∈ Course" in text
+        assert "∀s1 ∈ c.students ∀s2 ∈ c.students" in text
+        assert "(s1.sid = s2.sid → s1.grade = s2.grade)" in text
+
+    def test_relational_fd_shape(self):
+        formula = translate(parse_nfd("Course:[cnum -> time]"))
+        text = formula.to_text()
+        assert "(c1.cnum = c2.cnum → c1.time = c2.time)" in text
+
+    def test_degenerate_antecedent_is_true(self):
+        formula = translate(parse_nfd("R:A:E:[∅ -> F]"))
+        assert "true →" in formula.to_text()
+
+    def test_shared_prefixes_share_variables(self):
+        formula = translate(parse_nfd("R:[A:B, A:C -> A:D]"))
+        # Only one pair of variables for A despite three mentions.
+        a_quantifiers = [q for q in formula.quantifiers if q.field == "A"]
+        assert len(a_quantifiers) == 2
+
+    def test_deep_base_chain(self):
+        formula = translate(parse_nfd("R:A:E:[∅ -> F]"))
+        # Chain: one var for R, one for A, two for E.
+        assert len(formula.quantifiers) == 4
+        sources = [q.source_var for q in formula.quantifiers]
+        assert sources[0] is None
+
+
+class TestEvaluation:
+    def test_agrees_with_def_2_4_without_empty_sets(self, course_instance,
+                                                    course_sigma):
+        for nfd in course_sigma:
+            assert holds_fol(course_instance, nfd) == \
+                satisfies(course_instance, nfd)
+
+    def test_figure1_violation_via_fol(self, figure1_instance):
+        assert not holds_fol(figure1_instance, parse_nfd("R:[B:C -> E:F]"))
+
+    def test_example_3_2_verdicts_via_fol(self, example_3_2_instance):
+        # On this instance the two semantics happen to coincide.
+        verdicts = {
+            "R:[A -> B:C]": True,
+            "R:[B:C -> D]": True,
+            "R:[A -> D]": False,
+        }
+        for text, expected in verdicts.items():
+            assert holds_fol(example_3_2_instance,
+                             parse_nfd(text)) is expected
+
+    def test_fol_is_stronger_on_partially_defined_values(self):
+        # v has A = {a1 with B empty, a2 with B = {b}}: A:B:C is
+        # undefined on v, so Definition 2.4 excuses the pair (v, v) and
+        # the NFD holds; the pure FOL semantics still checks the live
+        # branch through a2 and catches the G clash.
+        schema = parse_schema("R = {<A: {<B: {<C>}>}, G: {<H>}>}")
+        instance = Instance(schema, {"R": [
+            {"A": [{"B": []}, {"B": [{"C": 1}]}],
+             "G": [{"H": 1}, {"H": 2}]},
+        ]})
+        nfd = parse_nfd("R:[A:B:C -> G:H]")
+        assert satisfies(instance, nfd)          # Def 2.4: trivially true
+        assert not holds_fol(instance, nfd)      # FOL: violated
+
+    def test_empty_range_is_vacuous(self):
+        schema = parse_schema("R = {<A, B: {<C>}>}")
+        instance = Instance(schema, {"R": [
+            {"A": 1, "B": []},
+            {"A": 1, "B": []},
+        ]})
+        assert holds_fol(instance, parse_nfd("R:[B:C -> A]"))

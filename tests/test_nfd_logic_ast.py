@@ -1,0 +1,66 @@
+"""Unit tests for the logic AST details and variable allocation."""
+
+from repro.nfd import parse_nfd, translate
+from repro.nfd.logic import Equality, Quantifier, Term
+
+
+class TestTerm:
+    def test_identity(self):
+        assert Term("c1", "cnum") == Term("c1", "cnum")
+        assert Term("c1", "cnum") != Term("c2", "cnum")
+        assert hash(Term("c1", "cnum")) == hash(Term("c1", "cnum"))
+
+    def test_str(self):
+        assert str(Term("c1", "cnum")) == "c1.cnum"
+        assert repr(Term("c1", "cnum")) == "Term('c1', 'cnum')"
+
+
+class TestEquality:
+    def test_str(self):
+        eq = Equality(Term("a", "x"), Term("b", "x"))
+        assert str(eq) == "a.x = b.x"
+        assert "Equality" in repr(eq)
+
+
+class TestQuantifier:
+    def test_relation_range(self):
+        q = Quantifier("c1", None, "Course")
+        assert q.range_text == "Course"
+        assert str(q) == "∀c1 ∈ Course"
+
+    def test_projection_range(self):
+        q = Quantifier("s1", "c1", "students")
+        assert q.range_text == "c1.students"
+        assert "Quantifier" in repr(q)
+
+
+class TestVariableAllocation:
+    def test_label_collision_with_relation_name(self):
+        """A field named like its relation must not reuse the stem
+        (regression: the env KeyError found by hypothesis)."""
+        formula = translate(parse_nfd("R:[O:R:T -> G]"))
+        names = [q.var for q in formula.quantifiers]
+        assert len(names) == len(set(names))
+
+    def test_stem_suffix_collision(self):
+        """A label C1 must not collide with label C's side variable
+        c1."""
+        formula = translate(parse_nfd("R:[C:X, C1:Y -> Z]"))
+        names = [q.var for q in formula.quantifiers]
+        assert len(names) == len(set(names))
+
+    def test_formula_repr(self):
+        formula = translate(parse_nfd("R:[A -> B]"))
+        assert "NFDFormula" in repr(formula)
+        assert str(formula) == formula.to_text()
+
+    def test_quantifier_counts(self):
+        # base pair + one pair per traversed prefix, per side
+        formula = translate(parse_nfd("R:[A:B:C -> D]"))
+        # R gets 2, A gets 2, A:B gets 2
+        assert len(formula.quantifiers) == 6
+
+    def test_antecedent_order_is_sorted_lhs(self):
+        formula = translate(parse_nfd("R:[B, A -> C]"))
+        lefts = [eq.left.field for eq in formula.antecedent]
+        assert lefts == ["A", "B"]

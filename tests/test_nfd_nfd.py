@@ -1,0 +1,118 @@
+"""Unit tests for the NFD class and its well-formedness checks."""
+
+import pytest
+
+from repro.errors import NFDError
+from repro.nfd import NFD
+from repro.paths import Path, parse_path
+from repro.types import parse_schema
+
+
+@pytest.fixture
+def schema():
+    return parse_schema("""
+        Course = {<cnum: string, time: int,
+                   students: {<sid: int, grade: string>}>}
+    """)
+
+
+class TestConstruction:
+    def test_basic(self):
+        nfd = NFD(parse_path("Course"), [parse_path("cnum")],
+                  parse_path("time"))
+        assert nfd.relation == "Course"
+        assert nfd.is_simple
+        assert not nfd.is_degenerate
+
+    def test_lhs_is_a_set(self):
+        nfd = NFD(parse_path("R"),
+                  [parse_path("A"), parse_path("A")], parse_path("B"))
+        assert len(nfd.lhs) == 1
+
+    def test_equality_ignores_lhs_order(self):
+        a = NFD(parse_path("R"), [parse_path("A"), parse_path("B")],
+                parse_path("C"))
+        b = NFD(parse_path("R"), [parse_path("B"), parse_path("A")],
+                parse_path("C"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_degenerate(self):
+        nfd = NFD(parse_path("R:A"), [], parse_path("F"))
+        assert nfd.is_degenerate
+        assert not nfd.is_simple
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(NFDError):
+            NFD(Path(()), [], parse_path("A"))
+
+    def test_empty_member_paths_rejected(self):
+        with pytest.raises(NFDError):
+            NFD(parse_path("R"), [Path(())], parse_path("A"))
+        with pytest.raises(NFDError):
+            NFD(parse_path("R"), [parse_path("A")], Path(()))
+
+    def test_str_is_paper_syntax(self):
+        nfd = NFD(parse_path("Course"),
+                  [parse_path("time"), parse_path("students:sid")],
+                  parse_path("cnum"))
+        assert str(nfd) == "Course:[students:sid, time -> cnum]"
+        degenerate = NFD(parse_path("R:A"), [], parse_path("F"))
+        assert str(degenerate) == "R:A:[∅ -> F]"
+
+    def test_trivial(self):
+        assert NFD(parse_path("R"), [parse_path("A")],
+                   parse_path("A")).is_trivial()
+        assert not NFD(parse_path("R"), [parse_path("A")],
+                       parse_path("B")).is_trivial()
+
+
+class TestWellFormedness:
+    def test_good(self, schema):
+        NFD.parse("Course:[cnum -> students:grade]") \
+            .check_well_formed(schema)
+        NFD.parse("Course:students:[sid -> grade]") \
+            .check_well_formed(schema)
+
+    def test_unknown_relation(self, schema):
+        with pytest.raises(NFDError):
+            NFD.parse("Nope:[A -> B]").check_well_formed(schema)
+
+    def test_base_through_non_set(self, schema):
+        with pytest.raises(NFDError):
+            NFD.parse("Course:cnum:[x -> y]").check_well_formed(schema)
+
+    def test_ill_typed_member(self, schema):
+        with pytest.raises(NFDError):
+            NFD.parse("Course:[cnum -> nope]").check_well_formed(schema)
+        assert not NFD.parse("Course:[cnum -> nope]") \
+            .is_well_formed(schema)
+
+    def test_member_relative_to_base(self, schema):
+        # sid is valid relative to Course:students, not to Course.
+        assert NFD.parse("Course:students:[sid -> grade]") \
+            .is_well_formed(schema)
+        assert not NFD.parse("Course:[sid -> grade]") \
+            .is_well_formed(schema)
+
+
+class TestDerivedForms:
+    def test_augment(self):
+        nfd = NFD.parse("R:[A -> B]")
+        augmented = nfd.augment([parse_path("C")])
+        assert augmented.lhs == {parse_path("A"), parse_path("C")}
+        assert augmented.rhs == nfd.rhs
+
+    def test_with_lhs_rhs(self):
+        nfd = NFD.parse("R:[A -> B]")
+        assert nfd.with_rhs(parse_path("C")).rhs == parse_path("C")
+        assert nfd.with_lhs([]).is_degenerate
+
+    def test_sorted_lhs(self):
+        nfd = NFD.parse("R:[B, A:C, A -> D]")
+        assert [str(p) for p in nfd.sorted_lhs()] == ["A", "A:C", "B"]
+
+    def test_ordering(self):
+        a = NFD.parse("R:[A -> B]")
+        b = NFD.parse("R:[A -> C]")
+        assert sorted([b, a]) == [a, b]

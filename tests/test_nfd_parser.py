@@ -1,0 +1,85 @@
+"""Unit tests for the NFD concrete-syntax parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.nfd import NFD, parse_nfd, parse_nfds
+from repro.paths import parse_path
+
+
+class TestParseNFD:
+    def test_global(self):
+        nfd = parse_nfd("Course:[cnum -> time]")
+        assert nfd.base == parse_path("Course")
+        assert nfd.lhs == {parse_path("cnum")}
+        assert nfd.rhs == parse_path("time")
+
+    def test_multiple_lhs(self):
+        nfd = parse_nfd("Course:[time, students:sid -> cnum]")
+        assert nfd.lhs == {parse_path("time"), parse_path("students:sid")}
+
+    def test_local_base(self):
+        nfd = parse_nfd("Course:students:[sid -> grade]")
+        assert nfd.base == parse_path("Course:students")
+        assert nfd.lhs == {parse_path("sid")}
+
+    @pytest.mark.parametrize("text", [
+        "R:A:E:[∅ -> F]",
+        "R:A:E:[ -> F]",
+        "R:A:E:[0 -> F]",
+        "R:A:E:[-> F]",
+    ])
+    def test_degenerate_forms(self, text):
+        nfd = parse_nfd(text)
+        assert nfd.is_degenerate
+        assert nfd.rhs == parse_path("F")
+
+    def test_unicode_arrow(self):
+        assert parse_nfd("R:[A → B]") == parse_nfd("R:[A -> B]")
+
+    def test_base_trailing_colon_tolerated(self):
+        assert parse_nfd("R:[A -> B]") == parse_nfd("R :[A -> B]")
+
+    @pytest.mark.parametrize("text", [
+        "no brackets",
+        "R:[A -> B",          # unclosed
+        "R:[A, B]",           # no arrow
+        ":[A -> B]",          # no base
+        "R:[A -> ]",          # no rhs
+        "R:[A -> B, C]",      # rhs must be a single path
+        "R:[A -> B:9]",       # bad label
+        "R:[ , A -> B]",      # empty lhs member
+    ])
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse_nfd(text)
+
+    def test_rhs_set_error_explains_why(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_nfd("R:[A -> B, C]")
+        assert "single path" in str(excinfo.value)
+
+
+class TestParseNFDs:
+    def test_multiline_with_comments(self):
+        nfds = parse_nfds("""
+            # keys
+            Course:[cnum -> time]
+
+            Course:students:[sid -> grade]
+        """)
+        assert len(nfds) == 2
+
+    def test_roundtrip_through_str(self):
+        texts = [
+            "Course:[cnum -> time]",
+            "Course:[students:sid, time -> cnum]",
+            "Course:students:[sid -> grade]",
+            "R:A:E:[∅ -> F]",
+        ]
+        for text in texts:
+            nfd = parse_nfd(text)
+            assert parse_nfd(str(nfd)) == nfd
+
+    def test_nfd_parse_classmethod(self):
+        assert NFD.parse("R:[A -> B]") == parse_nfd("R:[A -> B]")

@@ -1,0 +1,42 @@
+"""Tests for the multi-RHS parsing sugar."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.nfd import parse_nfd, parse_nfd_family
+
+
+class TestParseFamily:
+    def test_expands_shared_lhs(self):
+        family = parse_nfd_family("Course:[cnum -> time, students, books]")
+        assert family == [
+            parse_nfd("Course:[cnum -> time]"),
+            parse_nfd("Course:[cnum -> students]"),
+            parse_nfd("Course:[cnum -> books]"),
+        ]
+
+    def test_single_rhs_is_plain_parse(self):
+        assert parse_nfd_family("R:A:[B -> C]") == [parse_nfd("R:A:[B -> C]")]
+
+    def test_paths_in_rhs(self):
+        family = parse_nfd_family(
+            "Course:[cnum -> students:sid, books:isbn]")
+        assert family == [
+            parse_nfd("Course:[cnum -> students:sid]"),
+            parse_nfd("Course:[cnum -> books:isbn]"),
+        ]
+
+    def test_degenerate_family(self):
+        family = parse_nfd_family("R:A:E:[∅ -> F, G]")
+        assert [str(f) for f in family] == ["R:A:E:[∅ -> F]",
+                                            "R:A:E:[∅ -> G]"]
+
+    def test_empty_member_rejected(self):
+        with pytest.raises(ParseError):
+            parse_nfd_family("R:[A -> B, ]")
+
+    def test_malformed_falls_back_to_plain_errors(self):
+        with pytest.raises(ParseError):
+            parse_nfd_family("no brackets at all")
+        with pytest.raises(ParseError):
+            parse_nfd_family("R:[A, B]")  # no arrow

@@ -1,0 +1,163 @@
+"""Unit tests for NFD satisfaction (Definition 2.4).
+
+Covers the paper's running examples, the coincidence condition, empty-set
+behaviour, and the set-property consequences of Section 2.1.
+"""
+
+import pytest
+
+from repro.nfd import NFD, parse_nfd, satisfies, satisfies_all
+from repro.types import parse_schema
+from repro.values import Instance
+
+
+class TestCourseExamples:
+    """Examples 2.1-2.5 against the Section 2 instance."""
+
+    def test_all_intro_constraints_hold(self, course_instance,
+                                        course_sigma):
+        assert satisfies_all(course_instance, course_sigma)
+
+    def test_key_violation_detected(self, course_instance):
+        # sid 1001 is in both courses with different cnum.
+        assert not satisfies(course_instance,
+                             parse_nfd("Course:[students:sid -> cnum]"))
+
+    def test_local_vs_global_grades(self, course_schema):
+        # Same student, different grades in different courses: the local
+        # dependency holds, the global one does not.
+        instance = Instance(course_schema, {"Course": [
+            {"cnum": "a", "time": 1,
+             "students": [{"sid": 1, "age": 20, "grade": "A"}],
+             "books": [{"isbn": 1, "title": "t"}]},
+            {"cnum": "b", "time": 2,
+             "students": [{"sid": 1, "age": 20, "grade": "B"}],
+             "books": [{"isbn": 1, "title": "t"}]},
+        ]})
+        assert satisfies(instance,
+                         parse_nfd("Course:students:[sid -> grade]"))
+        assert not satisfies(
+            instance,
+            parse_nfd("Course:[students:sid -> students:grade]"))
+
+    def test_global_age_consistency_violation(self, course_schema):
+        instance = Instance(course_schema, {"Course": [
+            {"cnum": "a", "time": 1,
+             "students": [{"sid": 1, "age": 20, "grade": "A"}],
+             "books": [{"isbn": 1, "title": "t"}]},
+            {"cnum": "b", "time": 2,
+             "students": [{"sid": 1, "age": 21, "grade": "A"}],
+             "books": [{"isbn": 1, "title": "t"}]},
+        ]})
+        assert not satisfies(
+            instance,
+            parse_nfd("Course:[students:sid -> students:age]"))
+
+
+class TestFigure1:
+    def test_violation(self, figure1_instance):
+        assert not satisfies(figure1_instance, parse_nfd("R:[B:C -> E:F]"))
+
+    def test_first_tuple_alone_satisfies(self):
+        schema = parse_schema("R = {<A, B: {<C, D>}, E: {<F, G>}>}")
+        instance = Instance(schema, {"R": [
+            {"A": 1, "B": [{"C": 1, "D": 3}],
+             "E": [{"F": 5, "G": 6}, {"F": 5, "G": 7}]},
+        ]})
+        assert satisfies(instance, parse_nfd("R:[B:C -> E:F]"))
+
+    def test_unintuitive_consequence_all_f_equal(self):
+        # With B non-empty, the diagonal forces every F within E equal.
+        schema = parse_schema("R = {<A, B: {<C, D>}, E: {<F, G>}>}")
+        instance = Instance(schema, {"R": [
+            {"A": 1, "B": [{"C": 1, "D": 3}],
+             "E": [{"F": 5, "G": 6}, {"F": 6, "G": 7}]},
+        ]})
+        assert not satisfies(instance, parse_nfd("R:[B:C -> E:F]"))
+
+
+class TestCoincidenceCondition:
+    """Paths sharing a prefix share the element binding."""
+
+    def test_books_isbn_title_use_same_book(self, course_schema):
+        # Two books inside one course: isbn 1/title X and isbn 2/title Y.
+        # Without shared bindings the antecedent isbn(1)=isbn(1) could
+        # pair with title Y; with sharing, the NFD holds.
+        instance = Instance(course_schema, {"Course": [
+            {"cnum": "a", "time": 1,
+             "students": [{"sid": 1, "age": 20, "grade": "A"}],
+             "books": [{"isbn": 1, "title": "X"},
+                       {"isbn": 2, "title": "Y"}]},
+        ]})
+        assert satisfies(instance,
+                         parse_nfd("Course:[books:isbn -> books:title]"))
+
+    def test_cross_tuple_title_clash(self, course_schema):
+        instance = Instance(course_schema, {"Course": [
+            {"cnum": "a", "time": 1,
+             "students": [{"sid": 1, "age": 20, "grade": "A"}],
+             "books": [{"isbn": 1, "title": "X"}]},
+            {"cnum": "b", "time": 2,
+             "students": [{"sid": 2, "age": 21, "grade": "A"}],
+             "books": [{"isbn": 1, "title": "Z"}]},
+        ]})
+        assert not satisfies(
+            instance, parse_nfd("Course:[books:isbn -> books:title]"))
+
+
+class TestDegenerateAndSetValued:
+    def test_degenerate_constant(self):
+        schema = parse_schema("R = {<A, E: {<F, G>}>}")
+        constant = Instance(schema, {"R": [
+            {"A": 1, "E": [{"F": 7, "G": 1}, {"F": 7, "G": 2}]},
+        ]})
+        varying = Instance(schema, {"R": [
+            {"A": 1, "E": [{"F": 7, "G": 1}, {"F": 8, "G": 2}]},
+        ]})
+        nfd = parse_nfd("R:E:[∅ -> F]")
+        assert satisfies(constant, nfd)
+        assert not satisfies(varying, nfd)
+
+    def test_set_valued_rhs_compares_sets(self):
+        schema = parse_schema("R = {<A, B: {<C>}>}")
+        equal_sets = Instance(schema, {"R": [
+            {"A": 1, "B": [{"C": 1}, {"C": 2}]},
+            {"A": 1, "B": [{"C": 2}, {"C": 1}]},
+        ]})
+        assert satisfies(equal_sets, parse_nfd("R:[A -> B]"))
+        different = Instance(schema, {"R": [
+            {"A": 1, "B": [{"C": 1}]},
+            {"A": 1, "B": [{"C": 2}]},
+        ]})
+        assert not satisfies(different, parse_nfd("R:[A -> B]"))
+
+
+class TestEmptySets:
+    """Example 3.2 and the trivially-true clause."""
+
+    def test_example_3_2_verdicts(self, example_3_2_instance):
+        verdicts = {
+            "R:[A -> B:C]": True,
+            "R:[B:C -> D]": True,
+            "R:[A -> D]": False,
+            "R:[B:C -> E]": True,
+            "R:[B -> E]": False,
+        }
+        for text, expected in verdicts.items():
+            assert satisfies(example_3_2_instance,
+                             parse_nfd(text)) is expected, text
+
+    def test_undefined_path_excuses_the_pair(self):
+        # B empty in one tuple: pairs involving it are trivially true for
+        # any NFD mentioning B:C.
+        schema = parse_schema("R = {<A, B: {<C>}, D>}")
+        instance = Instance(schema, {"R": [
+            {"A": 1, "B": [], "D": 1},
+            {"A": 1, "B": [{"C": 5}], "D": 2},
+        ]})
+        assert satisfies(instance, parse_nfd("R:[A, B:C -> D]"))
+
+    def test_empty_relation_satisfies_everything(self, course_schema,
+                                                 course_sigma):
+        instance = Instance(course_schema, {"Course": []})
+        assert satisfies_all(instance, course_sigma)

@@ -1,0 +1,84 @@
+"""Unit tests for push-in/pull-out normalization (Sections 2.3, 3.2)."""
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.nfd import (
+    deepest_form,
+    equivalent_modulo_form,
+    parse_nfd,
+    pull_out,
+    push_in,
+    to_simple,
+)
+from repro.paths import parse_path
+
+
+class TestPushIn:
+    def test_one_level(self):
+        local = parse_nfd("Course:students:[sid -> grade]")
+        pushed = push_in(local)
+        assert pushed == parse_nfd(
+            "Course:[students, students:sid -> students:grade]")
+
+    def test_degenerate(self):
+        pushed = push_in(parse_nfd("R:A:[∅ -> F]"))
+        assert pushed == parse_nfd("R:[A -> A:F]")
+
+    def test_simple_rejected(self):
+        with pytest.raises(InferenceError):
+            push_in(parse_nfd("R:[A -> B]"))
+
+    def test_two_levels_accumulate_prefixes(self):
+        local = parse_nfd("R:A:E:[∅ -> F]")
+        simple = to_simple(local)
+        assert simple == parse_nfd("R:[A, A:E -> A:E:F]")
+
+
+class TestPullOut:
+    def test_inverse_of_push_in(self):
+        local = parse_nfd("Course:students:[sid -> grade]")
+        assert pull_out(push_in(local)) == local
+
+    def test_requires_label_on_lhs(self):
+        with pytest.raises(InferenceError):
+            pull_out(parse_nfd("R:[A:B -> A:C]"))  # A itself missing
+
+    def test_requires_all_paths_under_label(self):
+        with pytest.raises(InferenceError):
+            pull_out(parse_nfd("R:[A, D -> A:C]"))
+
+    def test_requires_rhs_extension(self):
+        with pytest.raises(InferenceError):
+            pull_out(parse_nfd("R:[A, A:B -> D]"))
+
+
+class TestCanonicalForms:
+    def test_to_simple_fixpoint(self):
+        simple = parse_nfd("R:[A -> B]")
+        assert to_simple(simple) == simple
+
+    def test_roundtrip_through_deepest(self):
+        local = parse_nfd("R:A:E:[∅ -> F]")
+        assert deepest_form(to_simple(local)) == local
+
+    def test_deepest_form_stops_when_blocked(self):
+        # A:B on the LHS blocks pulling B after A.
+        nfd = parse_nfd("R:[A, A:B, A:C:D -> A:C:E]")
+        deepest = deepest_form(nfd)
+        assert deepest.base == parse_path("R:A")
+
+    def test_equivalence_modulo_form(self):
+        local = parse_nfd("Course:students:[sid -> grade]")
+        global_form = parse_nfd(
+            "Course:[students, students:sid -> students:grade]")
+        assert equivalent_modulo_form(local, global_form)
+        assert not equivalent_modulo_form(
+            local, parse_nfd("Course:[students:sid -> students:grade]"))
+
+    def test_section_2_3_example(self):
+        # R:A:[B -> C] is equivalent to R:[A, A:B -> A:C].
+        assert equivalent_modulo_form(
+            parse_nfd("R:A:[B -> C]"),
+            parse_nfd("R:[A, A:B -> A:C]"),
+        )

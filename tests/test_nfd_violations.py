@@ -1,0 +1,75 @@
+"""Unit tests for violation witnesses."""
+
+from repro.nfd import find_violation, find_violations, parse_nfd, \
+    satisfies
+from repro.types import parse_schema
+from repro.values import Atom, Instance
+
+
+class TestFindViolation:
+    def test_none_when_satisfied(self, course_instance):
+        assert find_violation(course_instance,
+                              parse_nfd("Course:[cnum -> time]")) is None
+
+    def test_witness_identifies_the_clash(self, course_instance):
+        violation = find_violation(
+            course_instance, parse_nfd("Course:[students:sid -> cnum]"))
+        assert violation is not None
+        assert {violation.rhs_value1, violation.rhs_value2} == \
+            {Atom("cis550"), Atom("cis500")}
+        assert violation.lhs_values == (Atom(1001),)
+
+    def test_describe_mentions_paths_and_values(self, course_instance):
+        violation = find_violation(
+            course_instance, parse_nfd("Course:[students:sid -> cnum]"))
+        text = violation.describe()
+        assert "students:sid" in text
+        assert "1001" in text
+        assert "cnum" in text
+
+    def test_figure1_witness(self, figure1_instance):
+        violation = find_violation(figure1_instance,
+                                   parse_nfd("R:[B:C -> E:F]"))
+        assert violation is not None
+        assert violation.lhs_values == (Atom(1),)
+
+    def test_local_violation_reports_base_index(self):
+        schema = parse_schema("R = {<A, B: {<C, D>}>}")
+        instance = Instance(schema, {"R": [
+            {"A": 1, "B": [{"C": 1, "D": 1}]},               # fine
+            {"A": 2, "B": [{"C": 1, "D": 1},
+                           {"C": 1, "D": 2}]},               # clash
+        ]})
+        violation = find_violation(instance, parse_nfd("R:B:[C -> D]"))
+        assert violation is not None
+        assert violation.base_index in (0, 1)
+
+
+class TestFindViolations:
+    def test_one_witness_per_conflicting_key(self):
+        schema = parse_schema("R = {<A, B>}")
+        instance = Instance(schema, {"R": [
+            {"A": 1, "B": 1}, {"A": 1, "B": 2},
+            {"A": 2, "B": 3}, {"A": 2, "B": 4},
+            {"A": 3, "B": 5},
+        ]})
+        witnesses = list(find_violations(instance, parse_nfd("R:[A -> B]")))
+        keys = {w.lhs_values for w in witnesses}
+        assert keys == {(Atom(1),), (Atom(2),)}
+
+    def test_consistency_with_satisfies(self, course_instance,
+                                        course_sigma):
+        for nfd in course_sigma:
+            has_witness = find_violation(course_instance, nfd) is not None
+            assert has_witness == (not satisfies(course_instance, nfd))
+
+    def test_degenerate_nfd_witness(self):
+        schema = parse_schema("R = {<A, E: {<F, G>}>}")
+        instance = Instance(schema, {"R": [
+            {"A": 1, "E": [{"F": 7, "G": 1}, {"F": 8, "G": 2}]},
+        ]})
+        violation = find_violation(instance, parse_nfd("R:E:[∅ -> F]"))
+        assert violation is not None
+        assert violation.lhs_values == ()
+        assert {violation.rhs_value1, violation.rhs_value2} == \
+            {Atom(7), Atom(8)}

@@ -1,0 +1,120 @@
+"""Unit tests for path well-typedness and schema path enumeration."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.paths import (
+    base_label_paths,
+    is_set_path,
+    is_well_typed,
+    parse_path,
+    relation_paths,
+    resolve_base_path,
+    schema_paths,
+    set_paths,
+    type_at,
+)
+from repro.types import INT, STRING, parse_schema, parse_type
+
+
+@pytest.fixture
+def course():
+    return parse_schema("""
+        Course = {<cnum: string, time: int,
+                   students: {<sid: int, grade: string>},
+                   books: {<isbn: int, title: string>}>}
+    """)
+
+
+class TestTypeAt:
+    def test_empty_path_is_the_record(self):
+        record = parse_type("<A: int>")
+        assert type_at(record, parse_path("")) == record
+
+    def test_single_label(self):
+        record = parse_type("<A: int, B: string>")
+        assert type_at(record, parse_path("A")) == INT
+        assert type_at(record, parse_path("B")) == STRING
+
+    def test_traversal_into_sets(self, course):
+        element = course.element_type("Course")
+        assert type_at(element, parse_path("students:sid")) == INT
+        assert type_at(element, parse_path("students")).is_set()
+
+    def test_paper_example(self):
+        # A:B is well-typed wrt <A: {<B: int, C: int>}> but not <A: int>
+        good = parse_type("<A: {<B: int, C: int>}>")
+        assert type_at(good, parse_path("A:B")) == INT
+        bad = parse_type("<A: int>")
+        with pytest.raises(PathError):
+            type_at(bad, parse_path("A:B"))
+
+    def test_unknown_label(self, course):
+        with pytest.raises(PathError) as excinfo:
+            type_at(course.element_type("Course"), parse_path("nope"))
+        assert "nope" in str(excinfo.value)
+
+    def test_continuing_past_base_type_rejected(self, course):
+        with pytest.raises(PathError):
+            type_at(course.element_type("Course"),
+                    parse_path("time:x"))
+
+    def test_is_well_typed(self, course):
+        element = course.element_type("Course")
+        assert is_well_typed(element, parse_path("students:grade"))
+        assert not is_well_typed(element, parse_path("students:title"))
+
+    def test_is_set_path(self, course):
+        element = course.element_type("Course")
+        assert is_set_path(element, parse_path("students"))
+        assert not is_set_path(element, parse_path("cnum"))
+        assert not is_set_path(element, parse_path("missing"))
+
+
+class TestEnumeration:
+    def test_relation_paths(self, course):
+        paths = {str(p) for p in relation_paths(course, "Course")}
+        assert paths == {
+            "cnum", "time", "students", "students:sid", "students:grade",
+            "books", "books:isbn", "books:title",
+        }
+
+    def test_set_and_base_partition(self, course):
+        sets = {str(p) for p in set_paths(course, "Course")}
+        bases = {str(p) for p in base_label_paths(course, "Course")}
+        assert sets == {"students", "books"}
+        assert sets | bases == \
+            {str(p) for p in relation_paths(course, "Course")}
+        assert not sets & bases
+
+    def test_schema_paths_include_relation_name(self, course):
+        paths = {str(p) for p in schema_paths(course)}
+        assert "Course" in paths
+        assert "Course:students:sid" in paths
+
+    def test_deep_schema(self):
+        schema = parse_schema("R = {<A: {<B: {<C>}>}>}")
+        assert {str(p) for p in relation_paths(schema, "R")} == \
+            {"A", "A:B", "A:B:C"}
+
+
+class TestResolveBasePath:
+    def test_relation_base(self, course):
+        scope = resolve_base_path(course, parse_path("Course"))
+        assert scope == course.element_type("Course")
+
+    def test_nested_base(self, course):
+        scope = resolve_base_path(course, parse_path("Course:students"))
+        assert scope.labels == ("sid", "grade")
+
+    def test_unknown_relation(self, course):
+        with pytest.raises(PathError):
+            resolve_base_path(course, parse_path("Nope"))
+
+    def test_non_set_base_rejected(self, course):
+        with pytest.raises(PathError):
+            resolve_base_path(course, parse_path("Course:cnum"))
+
+    def test_empty_base_rejected(self, course):
+        with pytest.raises(PathError):
+            resolve_base_path(course, parse_path(""))

@@ -1,0 +1,163 @@
+"""Unit tests for the type constructors and their invariants."""
+
+import pytest
+
+from repro.errors import TypeConstructionError
+from repro.types import (
+    BOOL,
+    INT,
+    STRING,
+    BaseType,
+    RecordType,
+    SetType,
+    check_no_repeated_labels,
+    is_valid_label,
+)
+
+
+class TestBaseType:
+    def test_singletons_equal_fresh_instances(self):
+        assert INT == BaseType("int")
+        assert STRING == BaseType("string")
+        assert BOOL == BaseType("bool")
+
+    def test_distinct_base_types_differ(self):
+        assert INT != STRING
+        assert INT != BOOL
+
+    def test_unknown_base_type_rejected(self):
+        with pytest.raises(TypeConstructionError):
+            BaseType("float")
+
+    def test_hashable_and_usable_as_key(self):
+        assert {INT: 1}[BaseType("int")] == 1
+
+    def test_str(self):
+        assert str(INT) == "int"
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            INT.name = "other"
+
+    def test_predicates(self):
+        assert INT.is_base()
+        assert not INT.is_set()
+        assert not INT.is_record()
+
+    def test_depth_zero(self):
+        assert INT.depth() == 0
+
+
+class TestRecordType:
+    def test_field_lookup(self):
+        record = RecordType([("A", INT), ("B", STRING)])
+        assert record.field("A") == INT
+        assert record.field("B") == STRING
+
+    def test_labels_preserve_order(self):
+        record = RecordType([("B", INT), ("A", INT)])
+        assert record.labels == ("B", "A")
+
+    def test_equality_ignores_field_order(self):
+        first = RecordType([("A", INT), ("B", STRING)])
+        second = RecordType([("B", STRING), ("A", INT)])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_from_mapping(self):
+        assert RecordType({"A": INT}) == RecordType([("A", INT)])
+
+    def test_repeated_label_rejected(self):
+        with pytest.raises(TypeConstructionError):
+            RecordType([("A", INT), ("A", STRING)])
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(TypeConstructionError):
+            RecordType([])
+
+    def test_record_in_record_rejected(self):
+        inner = RecordType([("A", INT)])
+        with pytest.raises(TypeConstructionError) as excinfo:
+            RecordType([("B", inner)])
+        assert "records directly inside records" in str(excinfo.value)
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(TypeConstructionError):
+            RecordType([("not a label", INT)])
+
+    def test_missing_field_error_names_fields(self):
+        record = RecordType([("A", INT)])
+        with pytest.raises(TypeConstructionError) as excinfo:
+            record.field("Z")
+        assert "A" in str(excinfo.value)
+
+    def test_has_field(self):
+        record = RecordType([("A", INT)])
+        assert record.has_field("A")
+        assert not record.has_field("B")
+
+
+class TestSetType:
+    def test_element_must_be_record(self):
+        with pytest.raises(TypeConstructionError):
+            SetType(INT)
+        with pytest.raises(TypeConstructionError):
+            SetType(SetType(RecordType([("A", INT)])))
+
+    def test_structure(self):
+        element = RecordType([("A", INT)])
+        set_type = SetType(element)
+        assert set_type.element == element
+        assert set_type.is_set()
+
+    def test_equality(self):
+        first = SetType(RecordType([("A", INT)]))
+        second = SetType(RecordType([("A", INT)]))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_str_roundtrips_shape(self):
+        set_type = SetType(RecordType([("A", INT)]))
+        assert str(set_type) == "{<A: int>}"
+
+    def test_depth(self):
+        one = SetType(RecordType([("A", INT)]))
+        two = SetType(RecordType([("B", one)]))
+        assert one.depth() == 1
+        assert two.depth() == 2
+
+    def test_walk_visits_nested(self):
+        inner = RecordType([("A", INT)])
+        set_type = SetType(inner)
+        visited = list(set_type.walk())
+        assert set_type in visited
+        assert inner in visited
+        assert INT in visited
+
+
+class TestRepeatedLabels:
+    def test_accepts_unique_labels(self):
+        t = SetType(RecordType([
+            ("A", INT),
+            ("B", SetType(RecordType([("C", INT)]))),
+        ]))
+        check_no_repeated_labels(t)  # should not raise
+
+    def test_rejects_label_reuse_across_levels(self):
+        t = SetType(RecordType([
+            ("A", INT),
+            ("B", SetType(RecordType([("A", INT)]))),
+        ]))
+        with pytest.raises(TypeConstructionError):
+            check_no_repeated_labels(t)
+
+
+class TestLabels:
+    @pytest.mark.parametrize("label", ["A", "cnum", "map_position", "_x",
+                                       "A1"])
+    def test_valid(self, label):
+        assert is_valid_label(label)
+
+    @pytest.mark.parametrize("label", ["", "1A", "a b", "a:b", "a-b"])
+    def test_invalid(self, label):
+        assert not is_valid_label(label)

@@ -1,0 +1,102 @@
+"""Unit tests for the type/schema parser and printer round trips."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.types import (
+    INT,
+    STRING,
+    format_schema,
+    format_type,
+    format_type_tree,
+    parse_schema,
+    parse_type,
+)
+
+
+class TestParseType:
+    def test_base_types(self):
+        assert parse_type("int") == INT
+        assert parse_type("string") == STRING
+        assert parse_type("str") == STRING
+        assert parse_type("bool").name == "bool"
+
+    def test_record(self):
+        record = parse_type("<A: int, B: string>")
+        assert record.labels == ("A", "B")
+        assert record.field("B") == STRING
+
+    def test_unannotated_fields_default_to_int(self):
+        record = parse_type("<A, B>")
+        assert record.field("A") == INT
+        assert record.field("B") == INT
+
+    def test_nested_set(self):
+        t = parse_type("{<A, B: {<C>}>}")
+        assert t.is_set()
+        inner = t.element.field("B")
+        assert inner.is_set()
+        assert inner.element.labels == ("C",)
+
+    def test_course_schema_shape(self):
+        t = parse_type(
+            "{<cnum: string, time: int, "
+            "students: {<sid: int, age: int, grade: string>}, "
+            "books: {<isbn: int, title: string>}>}"
+        )
+        assert t.element.labels == ("cnum", "time", "students", "books")
+
+    def test_whitespace_insensitive(self):
+        a = parse_type("{<A:int,B:{<C:int>}>}")
+        b = parse_type(" { < A : int , B : { < C : int > } > } ")
+        assert a == b
+
+    @pytest.mark.parametrize("text", [
+        "", "{", "<>", "{<A: float>}", "{<A: int>", "<A: int>}",
+        "{<A int>}", "{<A: int,>}", "{int}", "{<A: int>} extra",
+    ])
+    def test_malformed_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_type(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_type("{<A: floop>}")
+        assert excinfo.value.position is not None
+
+
+class TestParseSchema:
+    def test_single_relation(self):
+        schema = parse_schema("R = {<A, B>}")
+        assert schema.relation_names == ("R",)
+
+    def test_multiple_relations_with_semicolons(self):
+        schema = parse_schema("R = {<A>}; S = {<B: string>}")
+        assert schema.relation_names == ("R", "S")
+
+    def test_multiline(self):
+        schema = parse_schema("""
+            R = {<A, B: {<C>}>}
+            S = {<D: string>}
+        """)
+        assert set(schema.relation_names) == {"R", "S"}
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("text", [
+        "int",
+        "{<A: int>}",
+        "{<A: int, B: {<C: string, D: int>}>}",
+        "{<A: int, B: {<C: {<D: bool>}>}>}",
+    ])
+    def test_format_then_parse(self, text):
+        t = parse_type(text)
+        assert parse_type(format_type(t)) == t
+
+    def test_format_type_tree_parses_back(self):
+        t = parse_type("{<A: int, B: {<C: string>}>}")
+        assert parse_type(format_type_tree(t)) == t
+
+    def test_format_schema_parses_back(self):
+        schema = parse_schema("R = {<A, B: {<C>}>}; S = {<D: string>}")
+        assert parse_schema(format_schema(schema)) == schema

@@ -1,0 +1,73 @@
+"""Unit tests for Schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.types import INT, RecordType, Schema, SetType, parse_type
+
+
+def _relation():
+    return SetType(RecordType([("A", INT)]))
+
+
+class TestSchemaConstruction:
+    def test_basic(self):
+        schema = Schema({"R": _relation()})
+        assert "R" in schema
+        assert schema.relation_names == ("R",)
+        assert schema.relation_type("R") == _relation()
+        assert schema.element_type("R") == _relation().element
+
+    def test_multiple_relations_keep_order(self):
+        schema = Schema({"R": _relation(), "S": _relation()})
+        assert schema.relation_names == ("R", "S")
+        assert len(schema) == 2
+
+    def test_relation_must_be_set_of_records(self):
+        with pytest.raises(SchemaError):
+            Schema({"R": INT})
+        with pytest.raises(SchemaError):
+            Schema({"R": RecordType([("A", INT)])})
+
+    def test_invalid_relation_name(self):
+        with pytest.raises(SchemaError):
+            Schema({"bad name": _relation()})
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema({})
+
+    def test_repeated_labels_rejected(self):
+        bad = parse_type("{<A, B: {<A>}>}")
+        # parse_type itself does not enforce global uniqueness...
+        with pytest.raises(SchemaError):
+            Schema({"R": bad})
+
+    def test_unknown_relation_lookup(self):
+        schema = Schema({"R": _relation()})
+        with pytest.raises(SchemaError) as excinfo:
+            schema.relation_type("S")
+        assert "R" in str(excinfo.value)
+
+
+class TestSchemaIdentity:
+    def test_equality_and_hash(self):
+        first = Schema({"R": _relation()})
+        second = Schema({"R": _relation()})
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_inequality(self):
+        first = Schema({"R": _relation()})
+        second = Schema({"S": _relation()})
+        assert first != second
+
+    def test_immutable(self):
+        schema = Schema({"R": _relation()})
+        with pytest.raises(AttributeError):
+            schema._relations = {}
+
+    def test_iteration(self):
+        schema = Schema({"R": _relation(), "S": _relation()})
+        assert list(schema) == ["R", "S"]
+        assert dict(schema.items())["R"] == _relation()

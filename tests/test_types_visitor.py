@@ -1,0 +1,79 @@
+"""Unit tests for the type visitors and folds."""
+
+from repro.types import (
+    INT,
+    STRING,
+    TypeVisitor,
+    count_nodes,
+    fold_type,
+    parse_type,
+    set_paths_of_type,
+)
+
+
+class TestTypeVisitor:
+    def test_dispatch(self):
+        visits: list[str] = []
+
+        class Recorder(TypeVisitor):
+            def visit_base(self, t):
+                visits.append(f"base:{t.name}")
+
+            def visit_set(self, t):
+                visits.append("set")
+                return self.visit(t.element)
+
+            def visit_record(self, t):
+                visits.append("record")
+                for _, field in t.fields:
+                    self.visit(field)
+
+        Recorder().visit(parse_type("{<A: int, B: {<C: string>}>}"))
+        assert visits == ["set", "record", "base:int", "set", "record",
+                          "base:string"]
+
+    def test_default_visitor_recurses_silently(self):
+        TypeVisitor().visit(parse_type("{<A: int, B: {<C: string>}>}"))
+
+
+class TestFoldType:
+    def test_count_base_types(self):
+        t = parse_type("{<A: int, B: {<C: string, D: int>}>}")
+        total = fold_type(
+            t,
+            on_base=lambda base: 1,
+            on_set=lambda _, inner: inner,
+            on_record=lambda _, children: sum(children.values()),
+        )
+        assert total == 3
+
+    def test_render_via_fold(self):
+        t = parse_type("{<A: int>}")
+        rendered = fold_type(
+            t,
+            on_base=lambda base: base.name,
+            on_set=lambda _, inner: "{" + inner + "}",
+            on_record=lambda record, children: "<" + ", ".join(
+                f"{label}: {children[label]}" for label in record.labels
+            ) + ">",
+        )
+        assert rendered == "{<A: int>}"
+
+
+class TestHelpers:
+    def test_count_nodes(self):
+        assert count_nodes(INT) == 1
+        assert count_nodes(parse_type("{<A: int>}")) == 3
+        assert count_nodes(parse_type("{<A: int, B: {<C: int>}>}")) == 6
+
+    def test_set_paths_of_type(self):
+        t = parse_type("{<A: int, B: {<C: {<D: int>}>}, E: {<F: int>}>}")
+        found = set_paths_of_type(t)
+        assert () in found                      # the outer set itself
+        assert ("B",) in found
+        assert ("B", "C") in found
+        assert ("E",) in found
+        assert ("A",) not in found
+
+    def test_base_type_has_no_set_paths(self):
+        assert set_paths_of_type(STRING) == []

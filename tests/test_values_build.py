@@ -1,0 +1,116 @@
+"""Unit tests for from_python/to_python and Instance."""
+
+import pytest
+
+from repro.errors import InstanceError, ValueError_
+from repro.types import parse_schema, parse_type
+from repro.values import (
+    Atom,
+    Instance,
+    Record,
+    SetValue,
+    from_python,
+    to_python,
+)
+
+
+class TestFromPython:
+    def test_scalars(self):
+        assert from_python(5) == Atom(5)
+        assert from_python("x") == Atom("x")
+        assert from_python(True) == Atom(True)
+
+    def test_dict_to_record(self):
+        value = from_python({"A": 1, "B": "x"})
+        assert isinstance(value, Record)
+        assert value.get("A") == Atom(1)
+
+    def test_list_to_set(self):
+        value = from_python([{"A": 1}, {"A": 2}])
+        assert isinstance(value, SetValue)
+        assert len(value) == 2
+
+    def test_nested(self):
+        value = from_python({"A": 1, "B": [{"C": 2}]})
+        inner = value.get("B")
+        assert isinstance(inner, SetValue)
+
+    def test_passthrough(self):
+        atom = Atom(1)
+        assert from_python(atom) is atom
+
+    def test_typed_conversion_checks_shape(self):
+        t = parse_type("{<A: int>}")
+        value = from_python([{"A": 1}], t)
+        assert isinstance(value, SetValue)
+        with pytest.raises(ValueError_):
+            from_python({"A": 1}, t)  # dict where a set is expected
+        with pytest.raises(ValueError_):
+            from_python([{"A": 1}], parse_type("int"))
+
+    def test_unliftable(self):
+        with pytest.raises(ValueError_):
+            from_python(object())
+
+
+class TestToPython:
+    def test_roundtrip(self):
+        data = {"A": 1, "B": [{"C": 2}, {"C": 3}]}
+        value = from_python(data)
+        back = to_python(value)
+        assert back["A"] == 1
+        assert sorted(row["C"] for row in back["B"]) == [2, 3]
+
+    def test_deterministic(self):
+        value = from_python([{"A": 2}, {"A": 1}])
+        assert to_python(value) == to_python(value)
+
+
+class TestInstance:
+    def test_construction_from_python(self):
+        schema = parse_schema("R = {<A, B: {<C>}>}")
+        instance = Instance(schema, {"R": [{"A": 1, "B": [{"C": 2}]}]})
+        relation = instance.relation("R")
+        assert len(relation) == 1
+
+    def test_missing_relation(self):
+        schema = parse_schema("R = {<A>}; S = {<B>}")
+        with pytest.raises(InstanceError):
+            Instance(schema, {"R": []})
+
+    def test_extra_relation(self):
+        schema = parse_schema("R = {<A>}")
+        with pytest.raises(InstanceError):
+            Instance(schema, {"R": [], "T": []})
+
+    def test_relation_must_be_set(self):
+        schema = parse_schema("R = {<A>}")
+        with pytest.raises(InstanceError):
+            Instance(schema, {"R": Atom(1)})
+
+    def test_with_relation(self):
+        schema = parse_schema("R = {<A>}")
+        instance = Instance(schema, {"R": [{"A": 1}]})
+        updated = instance.with_relation("R", [{"A": 2}])
+        assert instance != updated
+        assert len(updated.relation("R")) == 1
+
+    def test_equality_and_hash(self):
+        schema = parse_schema("R = {<A>}")
+        a = Instance(schema, {"R": [{"A": 1}]})
+        b = Instance(schema, {"R": [{"A": 1}]})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_total_atoms(self):
+        schema = parse_schema("R = {<A, B: {<C>}>}")
+        instance = Instance(schema, {"R": [
+            {"A": 1, "B": [{"C": 2}, {"C": 3}]},
+        ]})
+        assert instance.total_atoms() == 3
+
+    def test_unknown_relation_lookup(self):
+        schema = parse_schema("R = {<A>}")
+        instance = Instance(schema, {"R": []})
+        with pytest.raises(InstanceError):
+            instance.relation("S")

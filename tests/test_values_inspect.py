@@ -1,0 +1,67 @@
+"""Unit tests for instance inspection: empty sets, cardinalities, domains."""
+
+from repro.paths import parse_path
+from repro.types import parse_schema
+from repro.values import (
+    Instance,
+    atom_domain,
+    empty_set_positions,
+    has_empty_sets,
+    max_int_atom,
+    set_cardinalities,
+)
+
+
+def _schema():
+    return parse_schema("R = {<A, B: {<C>}, D: {<E, F: {<G>}>}>}")
+
+
+def _full_instance():
+    return Instance(_schema(), {"R": [
+        {"A": 1, "B": [{"C": 2}],
+         "D": [{"E": 3, "F": [{"G": 4}]}]},
+    ]})
+
+
+def _holey_instance():
+    return Instance(_schema(), {"R": [
+        {"A": 1, "B": [], "D": [{"E": 3, "F": []}]},
+        {"A": 2, "B": [{"C": 5}], "D": []},
+    ]})
+
+
+class TestEmptySets:
+    def test_full_instance_has_none(self):
+        assert not has_empty_sets(_full_instance())
+        assert empty_set_positions(_full_instance()) == []
+
+    def test_positions_are_localized(self):
+        positions = {str(p) for p in empty_set_positions(_holey_instance())}
+        assert positions == {"R:B", "R:D", "R:D:F"}
+
+    def test_empty_relation_counts(self):
+        instance = Instance(_schema(), {"R": []})
+        assert has_empty_sets(instance)
+        assert not has_empty_sets(instance, include_relations=False)
+
+
+class TestCardinalities:
+    def test_counts_per_path(self):
+        cards = set_cardinalities(_full_instance())
+        assert cards[parse_path("R")] == [1]
+        assert cards[parse_path("R:B")] == [1]
+        assert cards[parse_path("R:D:F")] == [1]
+
+    def test_multiple_occurrences(self):
+        cards = set_cardinalities(_holey_instance())
+        assert sorted(cards[parse_path("R:B")]) == [0, 1]
+
+
+class TestDomains:
+    def test_atom_domain(self):
+        assert atom_domain(_full_instance()) == {1, 2, 3, 4}
+
+    def test_max_int_atom(self):
+        assert max_int_atom(_full_instance()) == 4
+        empty = Instance(_schema(), {"R": []})
+        assert max_int_atom(empty) == -1

@@ -1,0 +1,114 @@
+"""Unit tests for path evaluation on values (Section 2.1 semantics)."""
+
+import pytest
+
+from repro.errors import PathError, ValueError_
+from repro.paths import parse_path
+from repro.types import parse_schema
+from repro.values import (
+    Atom,
+    Instance,
+    first_value,
+    from_python,
+    iter_base_sets,
+    path_defined,
+    values_at,
+)
+
+
+@pytest.fixture
+def paper_value():
+    """The Section 2.1 example: A maps to {<B:10,C:20>, <B:15,C:21>}."""
+    return from_python({
+        "A": [{"B": 10, "C": 20}, {"B": 15, "C": 21}],
+    })
+
+
+class TestValuesAt:
+    def test_empty_path_yields_value(self, paper_value):
+        assert values_at(paper_value, parse_path("")) == [paper_value]
+
+    def test_projection(self, paper_value):
+        results = values_at(paper_value, parse_path("A"))
+        assert len(results) == 1
+        assert results[0].is_set()
+
+    def test_traversal_is_multivalued(self, paper_value):
+        # A:B(v) = 10 or A:B(v) = 15 — the paper's example.
+        results = {v.value for v in values_at(paper_value,
+                                              parse_path("A:B"))}
+        assert results == {10, 15}
+
+    def test_empty_set_yields_nothing(self):
+        value = from_python({"A": []})
+        assert values_at(value, parse_path("A:B")) == []
+
+    def test_unknown_field(self, paper_value):
+        with pytest.raises(PathError):
+            values_at(paper_value, parse_path("Z"))
+
+    def test_path_into_atom(self):
+        value = from_python({"A": 1})
+        with pytest.raises(PathError):
+            values_at(value, parse_path("A:B"))
+
+    def test_first_value(self, paper_value):
+        assert first_value(paper_value, parse_path("A")).is_set()
+        with pytest.raises(ValueError_):
+            first_value(from_python({"A": []}), parse_path("A:B"))
+
+
+class TestPathDefined:
+    def test_defined_on_full_sets(self, paper_value):
+        assert path_defined(paper_value, parse_path("A:B"))
+
+    def test_undefined_through_empty_set(self):
+        value = from_python({"A": []})
+        assert not path_defined(value, parse_path("A:B"))
+
+    def test_path_ending_at_empty_set_is_defined(self):
+        value = from_python({"A": []})
+        assert path_defined(value, parse_path("A"))
+
+    def test_partially_empty_branch_is_undefined(self):
+        # One branch dies: the paper's "always yields a value" fails.
+        value = from_python({
+            "A": [{"B": []}, {"B": [{"C": 1}]}],
+        })
+        assert not path_defined(value, parse_path("A:B:C"))
+
+    def test_empty_path_always_defined(self, paper_value):
+        assert path_defined(paper_value, parse_path(""))
+
+
+class TestIterBaseSets:
+    @pytest.fixture
+    def instance(self):
+        schema = parse_schema("R = {<A: {<B: {<C>}>}>}")
+        return Instance(schema, {"R": [
+            {"A": [{"B": [{"C": 1}]}, {"B": [{"C": 2}, {"C": 3}]}]},
+        ]})
+
+    def test_relation_base(self, instance):
+        sets = list(iter_base_sets(instance, parse_path("R")))
+        assert len(sets) == 1
+        assert sets[0] == instance.relation("R")
+
+    def test_one_level(self, instance):
+        sets = list(iter_base_sets(instance, parse_path("R:A")))
+        assert len(sets) == 1
+        assert len(sets[0]) == 2
+
+    def test_two_levels(self, instance):
+        sets = list(iter_base_sets(instance, parse_path("R:A:B")))
+        assert len(sets) == 2
+        sizes = sorted(len(s) for s in sets)
+        assert sizes == [1, 2]
+
+    def test_empty_relation_yields_it(self):
+        schema = parse_schema("R = {<A: {<B>}>}")
+        instance = Instance(schema, {"R": []})
+        sets = list(iter_base_sets(instance, parse_path("R")))
+        assert len(sets) == 1 and sets[0].is_empty
+        # but traversing deeper yields no base sets at all
+        assert list(iter_base_sets(instance, parse_path("R:A"))) == []

@@ -1,0 +1,114 @@
+"""Unit tests for nest/unnest (values and types)."""
+
+import pytest
+
+from repro.errors import TypeConstructionError, ValueError_
+from repro.types import parse_type
+from repro.values import from_python, nest, nest_type, unnest, unnest_type
+
+
+def _nested_relation():
+    return from_python([
+        {"A": 1, "B": [{"C": 10}, {"C": 11}]},
+        {"A": 2, "B": [{"C": 10}]},
+    ])
+
+
+class TestUnnest:
+    def test_flattens(self):
+        flat = unnest(_nested_relation(), "B")
+        rows = {(r.get("A").value, r.get("C").value) for r in flat}
+        assert rows == {(1, 10), (1, 11), (2, 10)}
+
+    def test_empty_set_loses_tuple(self):
+        relation = from_python([
+            {"A": 1, "B": []},
+            {"A": 2, "B": [{"C": 10}]},
+        ])
+        flat = unnest(relation, "B")
+        assert {r.get("A").value for r in flat} == {2}
+
+    def test_non_set_attribute_rejected(self):
+        relation = from_python([{"A": 1, "B": [{"C": 10}]}])
+        with pytest.raises(ValueError_):
+            unnest(relation, "A")
+
+    def test_label_collision_rejected(self):
+        relation = from_python([{"A": 1, "B": [{"A": 2}]}])
+        with pytest.raises(ValueError_):
+            unnest(relation, "B")
+
+
+class TestNest:
+    def test_groups(self):
+        flat = from_python([
+            {"A": 1, "C": 10},
+            {"A": 1, "C": 11},
+            {"A": 2, "C": 10},
+        ])
+        nested = nest(flat, "B", ["C"])
+        by_a = {r.get("A").value: r.get("B") for r in nested}
+        assert len(by_a[1]) == 2
+        assert len(by_a[2]) == 1
+
+    def test_nest_then_unnest_is_identity_without_empties(self):
+        flat = from_python([
+            {"A": 1, "C": 10},
+            {"A": 1, "C": 11},
+            {"A": 2, "C": 10},
+        ])
+        assert unnest(nest(flat, "B", ["C"]), "B") == flat
+
+    def test_unnest_then_nest_can_lose_grouping(self):
+        # Two tuples with identical grouping attrs merge: nest o unnest
+        # is not the identity in general (Fischer et al.'s observation).
+        relation = from_python([
+            {"A": 1, "B": [{"C": 10}]},
+            {"A": 1, "B": [{"C": 11}]},
+        ])
+        renested = nest(unnest(relation, "B"), "B", ["C"])
+        assert len(renested) == 1  # the two groups merged
+
+    def test_requires_grouping_attributes(self):
+        flat = from_python([{"A": 1}])
+        with pytest.raises(ValueError_):
+            nest(flat, "B", ["A"])
+
+    def test_unknown_attribute(self):
+        flat = from_python([{"A": 1}])
+        with pytest.raises(ValueError_):
+            nest(flat, "B", ["Z"])
+
+    def test_label_collision(self):
+        flat = from_python([{"A": 1, "C": 2}])
+        with pytest.raises(ValueError_):
+            nest(flat, "A", ["C"])
+
+
+class TestTypeLevel:
+    def test_unnest_type(self):
+        t = parse_type("{<A: int, B: {<C: int>}>}")
+        flat = unnest_type(t, "B")
+        assert flat.element.labels == ("A", "C")
+
+    def test_nest_type(self):
+        t = parse_type("{<A: int, C: int>}")
+        nested = nest_type(t, "B", ["C"])
+        assert nested.element.labels == ("A", "B")
+        assert nested.element.field("B").is_set()
+
+    def test_type_value_consistency(self):
+        t = parse_type("{<A: int, B: {<C: int>}>}")
+        relation = _nested_relation()
+        from repro.values import check_value
+        check_value(unnest(relation, "B"), unnest_type(t, "B"))
+
+    def test_unnest_type_non_set(self):
+        t = parse_type("{<A: int>}")
+        with pytest.raises(TypeConstructionError):
+            unnest_type(t, "A")
+
+    def test_nest_type_no_grouping(self):
+        t = parse_type("{<C: int>}")
+        with pytest.raises(TypeConstructionError):
+            nest_type(t, "B", ["C"])

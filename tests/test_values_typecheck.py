@@ -1,0 +1,79 @@
+"""Unit tests for value/instance typechecking."""
+
+import pytest
+
+from repro.errors import InstanceError, ValueError_
+from repro.types import parse_schema, parse_type
+from repro.values import (
+    Atom,
+    Instance,
+    Record,
+    SetValue,
+    check_instance,
+    check_value,
+    conforms,
+    instance_conforms,
+)
+
+
+class TestCheckValue:
+    def test_atoms(self):
+        check_value(Atom(5), parse_type("int"))
+        check_value(Atom("x"), parse_type("string"))
+        check_value(Atom(True), parse_type("bool"))
+
+    def test_atom_type_mismatch(self):
+        with pytest.raises(ValueError_):
+            check_value(Atom("x"), parse_type("int"))
+        with pytest.raises(ValueError_):
+            check_value(Atom(True), parse_type("int"))  # bool is not int
+
+    def test_record(self):
+        t = parse_type("<A: int, B: string>")
+        check_value(Record({"A": Atom(1), "B": Atom("x")}), t)
+
+    def test_record_missing_and_extra_fields(self):
+        t = parse_type("<A: int, B: string>")
+        with pytest.raises(ValueError_) as excinfo:
+            check_value(Record({"A": Atom(1)}), t)
+        assert "missing" in str(excinfo.value)
+        with pytest.raises(ValueError_) as excinfo:
+            check_value(
+                Record({"A": Atom(1), "B": Atom("x"), "C": Atom(2)}), t)
+        assert "unexpected" in str(excinfo.value)
+
+    def test_set(self):
+        t = parse_type("{<A: int>}")
+        check_value(SetValue([Record({"A": Atom(1)})]), t)
+        check_value(SetValue([]), t)  # empty set inhabits any set type
+
+    def test_set_element_mismatch_is_located(self):
+        t = parse_type("{<A: int>}")
+        with pytest.raises(ValueError_) as excinfo:
+            check_value(SetValue([Record({"A": Atom("oops")})]), t,
+                        context="R")
+        assert "R" in str(excinfo.value)
+
+    def test_conforms(self):
+        t = parse_type("{<A: int>}")
+        assert conforms(SetValue([]), t)
+        assert not conforms(Atom(1), t)
+
+
+class TestCheckInstance:
+    def test_good_instance(self):
+        schema = parse_schema("R = {<A, B: {<C: string>}>}")
+        instance = Instance(schema, {"R": [
+            {"A": 1, "B": [{"C": "x"}]},
+        ]})
+        check_instance(instance)
+        assert instance_conforms(instance)
+
+    def test_bad_instance(self):
+        schema = parse_schema("R = {<A>}")
+        instance = Instance(schema, {"R": SetValue([
+            Record({"A": Atom("not an int")}),
+        ])})
+        with pytest.raises(InstanceError):
+            check_instance(instance)
+        assert not instance_conforms(instance)

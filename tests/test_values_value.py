@@ -1,0 +1,134 @@
+"""Unit tests for the value model: Atom, Record, SetValue."""
+
+import pytest
+
+from repro.errors import ValueError_
+from repro.values import EMPTY_SET, Atom, Record, SetValue
+
+
+class TestAtom:
+    def test_wraps_scalars(self):
+        assert Atom(5).value == 5
+        assert Atom("x").value == "x"
+        assert Atom(True).value is True
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ValueError_):
+            Atom(1.5)
+        with pytest.raises(ValueError_):
+            Atom(None)
+
+    def test_equality(self):
+        assert Atom(5) == Atom(5)
+        assert Atom(5) != Atom(6)
+        assert Atom("5") != Atom(5)
+
+    def test_bool_distinct_from_int(self):
+        # bool is an int subclass in Python; the model keeps them apart.
+        assert Atom(True) != Atom(1)
+        assert Atom(False) != Atom(0)
+
+    def test_hash_consistent(self):
+        assert hash(Atom(5)) == hash(Atom(5))
+
+    def test_str(self):
+        assert str(Atom(5)) == "5"
+        assert str(Atom("x")) == '"x"'
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Atom(5).value = 6
+
+
+class TestRecord:
+    def test_get(self):
+        record = Record([("A", Atom(1)), ("B", Atom(2))])
+        assert record.get("A") == Atom(1)
+        assert record.labels == ("A", "B")
+
+    def test_from_mapping(self):
+        assert Record({"A": Atom(1)}) == Record([("A", Atom(1))])
+
+    def test_equality_ignores_order(self):
+        first = Record([("A", Atom(1)), ("B", Atom(2))])
+        second = Record([("B", Atom(2)), ("A", Atom(1))])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_missing_field(self):
+        record = Record([("A", Atom(1))])
+        with pytest.raises(ValueError_):
+            record.get("B")
+        assert not record.has("B")
+
+    def test_replace(self):
+        record = Record([("A", Atom(1)), ("B", Atom(2))])
+        updated = record.replace("A", Atom(9))
+        assert updated.get("A") == Atom(9)
+        assert updated.get("B") == Atom(2)
+        assert record.get("A") == Atom(1)  # original untouched
+        with pytest.raises(ValueError_):
+            record.replace("Z", Atom(0))
+
+    def test_rejects_non_values(self):
+        with pytest.raises(ValueError_):
+            Record([("A", 1)])
+
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError_):
+            Record([("A", Atom(1)), ("A", Atom(2))])
+        with pytest.raises(ValueError_):
+            Record([])
+
+
+class TestSetValue:
+    def test_extensional_equality(self):
+        first = SetValue([Atom(1), Atom(2)])
+        second = SetValue([Atom(2), Atom(1), Atom(2)])
+        assert first == second
+        assert len(second) == 2
+
+    def test_membership(self):
+        s = SetValue([Atom(1)])
+        assert Atom(1) in s
+        assert Atom(2) not in s
+
+    def test_empty(self):
+        assert EMPTY_SET.is_empty
+        assert len(EMPTY_SET) == 0
+        assert not SetValue([Atom(1)]).is_empty
+
+    def test_singleton(self):
+        single = SetValue([Atom(7)])
+        assert single.is_singleton
+        assert single.the_element() == Atom(7)
+        with pytest.raises(ValueError_):
+            SetValue([Atom(1), Atom(2)]).the_element()
+        with pytest.raises(ValueError_):
+            EMPTY_SET.the_element()
+
+    def test_iteration_is_deterministic(self):
+        s = SetValue([Atom(3), Atom(1), Atom(2)])
+        assert list(s) == list(s)
+
+    def test_union_intersection_add(self):
+        a = SetValue([Atom(1), Atom(2)])
+        b = SetValue([Atom(2), Atom(3)])
+        assert a.union(b) == SetValue([Atom(1), Atom(2), Atom(3)])
+        assert a.intersection(b) == SetValue([Atom(2)])
+        assert a.add(Atom(9)) == SetValue([Atom(1), Atom(2), Atom(9)])
+
+    def test_records_as_elements(self):
+        r1 = Record([("A", Atom(1))])
+        r2 = Record([("A", Atom(1))])
+        s = SetValue([r1, r2])
+        assert len(s) == 1  # structurally equal records collapse
+
+    def test_sets_of_sets_compare(self):
+        inner1 = SetValue([Atom(1)])
+        inner2 = SetValue([Atom(1)])
+        assert SetValue([inner1]) == SetValue([inner2])
+
+    def test_rejects_non_values(self):
+        with pytest.raises(ValueError_):
+            SetValue([1, 2])
