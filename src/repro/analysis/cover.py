@@ -31,10 +31,17 @@ def covers(schema: Schema, sigma: Iterable[NFD],
 
 
 def is_redundant(schema: Schema, sigma: list[NFD], index: int,
-                 nonempty: NonEmptySpec | None = None) -> bool:
-    """Is ``sigma[index]`` implied by the other members?"""
-    rest = sigma[:index] + sigma[index + 1:]
-    return ClosureEngine(schema, rest, nonempty).implies(sigma[index])
+                 nonempty: NonEmptySpec | None = None,
+                 engine: ClosureEngine | None = None) -> bool:
+    """Is ``sigma[index]`` implied by the other members?
+
+    Pass the *engine* built over the full *sigma* when probing several
+    members: the rest-engine then shares its schema precomputation via
+    :meth:`ClosureEngine.without` instead of rebuilding it each time.
+    """
+    if engine is None:
+        engine = ClosureEngine(schema, list(sigma), nonempty)
+    return engine.without(index).implies(sigma[index])
 
 
 def non_redundant(schema: Schema, sigma: Iterable[NFD],
@@ -43,13 +50,20 @@ def non_redundant(schema: Schema, sigma: Iterable[NFD],
 
     Greedy removal in order; the result depends on member order (all
     non-redundant covers of the same set are equivalent, not equal).
+    Each probe engine comes from :meth:`ClosureEngine.without`, and a
+    successful removal keeps the probe engine as the new baseline, so
+    the schema precomputation is built exactly once.
     """
     remaining = list(sigma)
+    if not remaining:
+        return remaining
+    engine = ClosureEngine(schema, remaining, nonempty)
     index = 0
     while index < len(remaining):
-        rest = remaining[:index] + remaining[index + 1:]
-        if ClosureEngine(schema, rest, nonempty).implies(remaining[index]):
-            remaining = rest
+        probe = engine.without(index)
+        if probe.implies(remaining[index]):
+            del remaining[index]
+            engine = probe
         else:
             index += 1
     return remaining

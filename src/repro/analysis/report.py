@@ -105,12 +105,11 @@ def analyze_constraints(schema: Schema, sigma: Iterable[NFD],
         ]
 
     trivial = [nfd for nfd in sigma_list if nfd.is_trivial()]
-    redundant = []
-    for index in range(len(sigma_list)):
-        rest = sigma_list[:index] + sigma_list[index + 1:]
-        if ClosureEngine(schema, rest, nonempty).implies(
-                sigma_list[index]):
-            redundant.append(sigma_list[index])
+    redundant = [
+        sigma_list[index]
+        for index in range(len(sigma_list))
+        if engine.without(index).implies(sigma_list[index])
+    ]
     cover = non_redundant(schema, sigma_list, nonempty)
     return ConstraintReport(schema, sigma_list, keys, singletons,
                             disjoint, trivial, redundant, cover)

@@ -28,6 +28,14 @@ repair    chase the instance into consistency, write a new bundle
 Commands that reason under the Section 3.2 empty-set rules accept
 ``--nonempty PATH`` declarations (repeatable); a bundle may persist its
 own declarations under ``"nonempty"``, which explicit flags override.
+The ``counter`` command is the exception: the Appendix-A construction
+lives in the Section 3.1 setting, so it rejects a restrictive spec
+instead of silently ignoring it.
+
+Commands that build a closure engine accept ``--stats``, which prints
+the engine's saturation counters (see
+:class:`repro.inference.EngineStats`) to stderr after the normal
+output, so scripted stdout consumers are unaffected.
 
 Every command returns a conventional exit status (0 success / holds,
 1 violation / does not hold, 2 usage error), so the CLI composes with
@@ -79,6 +87,12 @@ def _spec_from_args(args) -> NonEmptySpec | None:
     return None
 
 
+def _emit_stats(args, engine: ClosureEngine) -> None:
+    """Print the engine's saturation counters when ``--stats`` was given."""
+    if getattr(args, "stats", False):
+        print(engine.stats.to_text(), file=sys.stderr)
+
+
 def _cmd_check(args) -> int:
     schema, sigma, instance = _load(args.bundle)
     if instance is None:
@@ -103,11 +117,10 @@ def _cmd_implies(args) -> int:
     schema, sigma, _ = _load(args.bundle)
     candidate = parse_nfd(args.nfd)
     engine = ClosureEngine(schema, sigma, nonempty=_spec_from_args(args))
-    if engine.implies(candidate):
-        print(f"implied: {candidate}")
-        return 0
-    print(f"not implied: {candidate}")
-    return 1
+    status = 0 if engine.implies(candidate) else 1
+    print(f"{'implied' if status == 0 else 'not implied'}: {candidate}")
+    _emit_stats(args, engine)
+    return status
 
 
 def _cmd_closure(args) -> int:
@@ -120,6 +133,7 @@ def _cmd_closure(args) -> int:
     print(f"({base}, {{{lhs_text}}})* =")
     for path in sorted(closed):
         print(f"  {path}")
+    _emit_stats(args, engine)
     return 0
 
 
@@ -131,6 +145,7 @@ def _cmd_explain(args) -> int:
         print(f"not implied: {candidate}", file=sys.stderr)
         return 1
     print(engine.explain(candidate).to_text())
+    _emit_stats(args, engine)
     return 0
 
 
@@ -148,16 +163,28 @@ def _cmd_prove(args) -> int:
     for index, nfd in enumerate(sigma):
         print(f"  s{index + 1}. {nfd}")
     print(proof.to_text())
+    _emit_stats(args, engine)
     return 0
 
 
 def _cmd_counter(args) -> int:
     schema, sigma, _ = _load(args.bundle)
     candidate = parse_nfd(args.nfd)
+    spec = _spec_from_args(args)
+    if spec is not None and not spec.declares_everything:
+        # the Appendix-A construction assumes Section 3.1 (no empty
+        # sets); honouring a restrictive spec would need a different
+        # witness builder, so refuse rather than silently drop it
+        print("error: countermodels require the Section 3.1 setting "
+              "(no empty sets); drop --nonempty and the bundle's "
+              '"nonempty" declarations, or use `implies` for the gated '
+              "question", file=sys.stderr)
+        return 2
     engine = ClosureEngine(schema, sigma)
     if engine.implies(candidate):
         print(f"implied — no countermodel exists: {candidate}",
               file=sys.stderr)
+        _emit_stats(args, engine)
         return 1
     witness = build_countermodel(engine, candidate.base, candidate.lhs)
     if args.output:
@@ -166,6 +193,7 @@ def _cmd_counter(args) -> int:
         print(f"countermodel written to {args.output}")
     else:
         print(render_instance(witness))
+    _emit_stats(args, engine)
     return 0
 
 
@@ -262,6 +290,13 @@ def build_parser() -> argparse.ArgumentParser:
                  "omit entirely to assume no empty sets (Section 3.1)",
         )
 
+    def stats_arg(sub):
+        sub.add_argument(
+            "--stats", action="store_true",
+            help="print the closure engine's saturation counters to "
+                 "stderr",
+        )
+
     sub = commands.add_parser("check", help="validate the instance")
     bundle_arg(sub)
     sub.set_defaults(handler=_cmd_check)
@@ -270,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
     bundle_arg(sub)
     sub.add_argument("nfd", help='candidate, e.g. "Course:[cnum -> time]"')
     nonempty_arg(sub)
+    stats_arg(sub)
     sub.set_defaults(handler=_cmd_implies)
 
     sub = commands.add_parser("closure", help="compute (x0, X, Sigma)*")
@@ -277,12 +313,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("base", help="base path, e.g. Course or R:A")
     sub.add_argument("paths", nargs="*", help="LHS paths")
     nonempty_arg(sub)
+    stats_arg(sub)
     sub.set_defaults(handler=_cmd_closure)
 
     sub = commands.add_parser("explain", help="justify an implication")
     bundle_arg(sub)
     sub.add_argument("nfd")
     nonempty_arg(sub)
+    stats_arg(sub)
     sub.set_defaults(handler=_cmd_explain)
 
     sub = commands.add_parser("prove",
@@ -290,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     bundle_arg(sub)
     sub.add_argument("nfd")
     nonempty_arg(sub)
+    stats_arg(sub)
     sub.set_defaults(handler=_cmd_prove)
 
     sub = commands.add_parser("counter",
@@ -298,6 +337,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("nfd")
     sub.add_argument("-o", "--output", help="write a bundle instead of "
                                             "printing tables")
+    nonempty_arg(sub)
+    stats_arg(sub)
     sub.set_defaults(handler=_cmd_counter)
 
     sub = commands.add_parser("render", help="print nested tables")

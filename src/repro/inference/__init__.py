@@ -12,7 +12,7 @@ from .armstrong import (
     nfd_to_fd,
 )
 from .brute_force import BruteForceProver
-from .closure import ClosureEngine, Explanation
+from .closure import ClosureEngine, EngineStats, Explanation
 from .countermodel import (
     CountermodelBuilder,
     build_countermodel,
@@ -50,6 +50,7 @@ from .simple_rules import (
 __all__ = [
     "rules",
     "ClosureEngine",
+    "EngineStats",
     "Explanation",
     "Derivation",
     "Step",

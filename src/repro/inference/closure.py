@@ -32,29 +32,137 @@ All queries of a relation share the usable-NFD pool and are saturated to
 a global fixpoint; monotonicity over the finite path set guarantees
 termination.
 
+Saturation is *semi-naive*: usables are indexed by every LHS member and
+by the member prefixes that can cover them through the prefix rule, each
+query keeps a dirty set of newly derived paths, and only usables whose
+LHS intersects a delta are re-attempted.  A new query or a newly
+activated singleton candidate therefore triggers work proportional to
+what it can actually fire, not a global rescan.  The pre-index global
+fixpoint is retained as ``strategy="naive"`` — a reference
+implementation sharing the same single-step rule, used by the
+differential tests and the scaling benchmarks.  Both strategies compute
+the least fixpoint of the same monotone step operator, so their results
+coincide; :attr:`ClosureEngine.stats` exposes the work counters that
+tell them apart.
+
 Passing a :class:`~repro.inference.empty_sets.NonEmptySpec` switches the
 engine to the Section 3.2 rules: prefix shortening requires the shortened
 positions to be declared non-empty, and intermediates of a transitivity
 step (and paths dropped by localization) must follow the conclusion's RHS
-or traverse only declared-non-empty sets.  With ``NonEmptySpec.all_nonempty()``
-(the default) the gates all pass and the engine implements the plain
-Section 3.1 system, which Theorem 3.1 proves sound and complete.
+or traverse only declared-non-empty sets.  The coverage check considers
+*every* admissible covering path (the member itself or any gated prefix
+shortening) and fires when any of them also passes the intermediate
+gate — each choice corresponds to a valid gated derivation, and
+admitting all of them keeps the step rule monotone in the closure set.
+With ``NonEmptySpec.all_nonempty()`` (the default) the gates all pass
+and the engine implements the plain Section 3.1 system, which
+Theorem 3.1 proves sound and complete.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Iterable
 
-from ..errors import InferenceError, NFDError
+from ..errors import InferenceError, NFDError, PathError
 from ..nfd.nfd import NFD
 from ..nfd.simple_form import to_simple
 from ..paths.path import Path
-from ..paths.typing import relation_paths, set_paths, type_at
+from ..paths.typing import (
+    relation_paths,
+    resolve_base_path,
+    set_paths,
+    type_at,
+)
 from ..types.base import SetType
 from ..types.schema import Schema
 from .empty_sets import NonEmptySpec
 
-__all__ = ["ClosureEngine"]
+__all__ = ["ClosureEngine", "EngineStats"]
+
+#: Engine saturation strategies: the indexed worklist (default) and the
+#: retained global-rescan reference used for differential testing.
+STRATEGIES = ("worklist", "naive")
+
+
+class EngineStats:
+    """A snapshot of the engine's saturation counters.
+
+    Totals are accumulated across every saturation the engine has run;
+    per-relation maps reflect the state at snapshot time.
+
+    * ``saturations`` — calls to the saturation loop;
+    * ``rounds`` — work units: worklist items drained, or full rescan
+      rounds for the naive strategy;
+    * ``attempts`` / ``successes`` — transitivity-step attempts and how
+      many of them grew a closure;
+    * ``wall_time`` — seconds spent inside saturation;
+    * ``usables`` / ``candidates`` / ``activated`` — usable-pool size,
+      singleton-candidate count, and activated candidates per relation;
+    * ``queries`` / ``derived`` — live closure queries and the total
+      number of non-seed paths they derived, per relation.
+    """
+
+    __slots__ = ("strategy", "saturations", "rounds", "attempts",
+                 "successes", "wall_time", "usables", "candidates",
+                 "activated", "queries", "derived")
+
+    def __init__(self, strategy: str, saturations: int, rounds: int,
+                 attempts: int, successes: int, wall_time: float,
+                 usables: dict[str, int], candidates: dict[str, int],
+                 activated: dict[str, int], queries: dict[str, int],
+                 derived: dict[str, int]):
+        self.strategy = strategy
+        self.saturations = saturations
+        self.rounds = rounds
+        self.attempts = attempts
+        self.successes = successes
+        self.wall_time = wall_time
+        self.usables = usables
+        self.candidates = candidates
+        self.activated = activated
+        self.queries = queries
+        self.derived = derived
+
+    def as_dict(self) -> dict:
+        """The snapshot as a plain (JSON-friendly) dictionary."""
+        return {
+            "strategy": self.strategy,
+            "saturations": self.saturations,
+            "rounds": self.rounds,
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "wall_time": self.wall_time,
+            "usables": dict(self.usables),
+            "candidates": dict(self.candidates),
+            "activated": dict(self.activated),
+            "queries": dict(self.queries),
+            "derived": dict(self.derived),
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            f"engine stats ({self.strategy} strategy):",
+            f"  saturations: {self.saturations}  "
+            f"rounds: {self.rounds}",
+            f"  apply attempts: {self.attempts}  "
+            f"successes: {self.successes}",
+            f"  saturation wall time: {self.wall_time:.6f}s",
+        ]
+        for relation in sorted(self.usables):
+            lines.append(
+                f"  {relation}: {self.usables[relation]} usable(s), "
+                f"{self.activated[relation]}/"
+                f"{self.candidates[relation]} candidate(s) active, "
+                f"{self.queries[relation]} query(ies), "
+                f"{self.derived[relation]} derived path(s)"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"EngineStats(strategy={self.strategy!r}, "
+                f"attempts={self.attempts}, successes={self.successes}, "
+                f"rounds={self.rounds})")
 
 
 class _Usable:
@@ -77,6 +185,15 @@ class _Usable:
 
     def key(self) -> tuple[frozenset[Path], Path]:
         return (self.lhs, self.rhs)
+
+    def trigger_paths(self) -> set[Path]:
+        """The paths whose arrival in a closure can newly cover the LHS:
+        every member plus its non-empty proper prefixes (prefix rule)."""
+        triggers: set[Path] = set()
+        for member in self.lhs:
+            for length in range(1, len(member) + 1):
+                triggers.add(member[:length])
+        return triggers
 
     def describe(self, sigma) -> str:
         inner = ", ".join(str(p) for p in sorted(self.lhs)) or "∅"
@@ -125,49 +242,136 @@ class ClosureEngine:
 
     The engine caches its saturation state, so asking many queries against
     the same ``(schema, Sigma)`` is cheap after the first.
+
+    *strategy* selects the saturation algorithm: ``"worklist"`` (the
+    indexed semi-naive default) or ``"naive"`` (the reference global
+    fixpoint; same results, more work — see :attr:`stats`).
     """
 
     def __init__(self, schema: Schema, sigma: Iterable[NFD],
-                 nonempty: NonEmptySpec | None = None):
+                 nonempty: NonEmptySpec | None = None, *,
+                 strategy: str = "worklist", _shared=None):
+        if strategy not in STRATEGIES:
+            raise InferenceError(
+                f"unknown saturation strategy {strategy!r}; "
+                f"expected one of {', '.join(STRATEGIES)}"
+            )
         self.schema = schema
+        self.strategy = strategy
         self.nonempty = nonempty if nonempty is not None \
             else NonEmptySpec.all_nonempty()
         self.sigma = tuple(sigma)
-        for nfd in self.sigma:
-            nfd.check_well_formed(schema)
 
+        names = schema.relation_names
         # Per-relation state.
-        self._usable: dict[str, list[_Usable]] = {
-            name: [] for name in schema.relation_names
-        }
-        self._usable_keys: dict[str, set] = {
-            name: set() for name in schema.relation_names
-        }
+        self._usable: dict[str, list[_Usable]] = {n: [] for n in names}
+        self._usable_keys: dict[str, set] = {n: set() for n in names}
         self._queries: dict[str, dict[frozenset[Path], set[Path]]] = {
-            name: {} for name in schema.relation_names
+            n: {} for n in names
         }
-        self._candidates: dict[str, list[_SingletonCandidate]] = {
-            name: [] for name in schema.relation_names
+        self._activated: dict[str, set] = {n: set() for n in names}
+
+        # Worklist state: the usable trigger index, usables with an empty
+        # LHS (never delta-triggered), pending deltas per query, usables
+        # not yet attempted against every query, queries not yet offered
+        # the empty-LHS usables, and whether the singleton premise
+        # queries have been created.
+        self._trigger: dict[str, dict[Path, list[_Usable]]] = {
+            n: {} for n in names
         }
-        self._activated: dict[str, set] = {
-            name: set() for name in schema.relation_names
+        self._empty_lhs: dict[str, list[_Usable]] = {n: [] for n in names}
+        self._dirty: dict[str, dict[frozenset[Path], set[Path]]] = {
+            n: {} for n in names
         }
-        self._paths: dict[str, frozenset[Path]] = {
-            name: frozenset(relation_paths(schema, name))
-            for name in schema.relation_names
+        self._new_usables: dict[str, list[_Usable]] = {
+            n: [] for n in names
         }
+        self._fresh: dict[str, list[frozenset[Path]]] = {
+            n: [] for n in names
+        }
+        self._seeded: dict[str, bool] = {n: False for n in names}
 
         # provenance: (query key, derived path) -> (usable, used paths)
-        self._provenance: dict[str, dict] = {
-            name: {} for name in schema.relation_names
-        }
+        self._provenance: dict[str, dict] = {n: {} for n in names}
+
+        # counters behind the `stats` snapshot
+        self._saturations = 0
+        self._rounds = 0
+        self._attempts = 0
+        self._successes = 0
+        self._wall_time = 0.0
+
+        if _shared is None:
+            for nfd in self.sigma:
+                nfd.check_well_formed(schema)
+            self._paths: dict[str, frozenset[Path]] = {
+                n: frozenset(relation_paths(schema, n)) for n in names
+            }
+            self._candidates: dict[str, list[_SingletonCandidate]] = {
+                n: [] for n in names
+            }
+            self._candidate_index: dict[
+                str, dict[frozenset[Path], list[_SingletonCandidate]]
+            ] = {n: {} for n in names}
+            self._build_singleton_candidates()
+        else:
+            # Sigma members of a sibling engine were validated by the
+            # engine they came from; the schema-derived tables are
+            # immutable after construction and safe to share.
+            self._paths, self._candidates, self._candidate_index = _shared
 
         for index, nfd in enumerate(self.sigma):
             simple = to_simple(nfd)
             self._add_usable(
                 simple.relation,
                 _Usable(simple.lhs, simple.rhs, "sigma", index))
-        self._build_singleton_candidates()
+
+    def without(self, index: int) -> "ClosureEngine":
+        """A sibling engine over Sigma minus member *index*.
+
+        Shares the schema-level precomputation (typed path sets and the
+        singleton-candidate family) with this engine, so redundancy and
+        cover computations that probe each member against the rest avoid
+        rebuilding it per candidate.  Saturation state is *not* shared —
+        removing a member invalidates derived closures.
+        """
+        if not 0 <= index < len(self.sigma):
+            raise InferenceError(
+                f"no Sigma member at index {index}; Sigma has "
+                f"{len(self.sigma)} member(s)"
+            )
+        rest = self.sigma[:index] + self.sigma[index + 1:]
+        return ClosureEngine(
+            self.schema, rest, self.nonempty, strategy=self.strategy,
+            _shared=(self._paths, self._candidates,
+                     self._candidate_index),
+        )
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def stats(self) -> EngineStats:
+        """A point-in-time :class:`EngineStats` snapshot."""
+        derived = {
+            relation: sum(
+                len(closure_set) - len(key)
+                for key, closure_set in queries.items()
+            )
+            for relation, queries in self._queries.items()
+        }
+        return EngineStats(
+            strategy=self.strategy,
+            saturations=self._saturations,
+            rounds=self._rounds,
+            attempts=self._attempts,
+            successes=self._successes,
+            wall_time=self._wall_time,
+            usables={r: len(pool) for r, pool in self._usable.items()},
+            candidates={r: len(c) for r, c in self._candidates.items()},
+            activated={r: len(a) for r, a in self._activated.items()},
+            queries={r: len(q) for r, q in self._queries.items()},
+            derived=derived,
+        )
 
     # -- pool construction -------------------------------------------------
 
@@ -175,12 +379,23 @@ class ClosureEngine:
         """Add a usable NFD plus its admissible localized variants."""
         if usable.key() in self._usable_keys[relation]:
             return
-        self._usable_keys[relation].add(usable.key())
-        self._usable[relation].append(usable)
+        self._register(relation, usable)
         for variant in self._localizations(relation, usable):
             if variant.key() not in self._usable_keys[relation]:
-                self._usable_keys[relation].add(variant.key())
-                self._usable[relation].append(variant)
+                self._register(relation, variant)
+
+    def _register(self, relation: str, usable: _Usable) -> None:
+        """Book-keeping for one new pool member: the trigger index and
+        the not-yet-broadcast list the worklist drains."""
+        self._usable_keys[relation].add(usable.key())
+        self._usable[relation].append(usable)
+        if usable.lhs:
+            trigger = self._trigger[relation]
+            for path in usable.trigger_paths():
+                trigger.setdefault(path, []).append(usable)
+        else:
+            self._empty_lhs[relation].append(usable)
+        self._new_usables[relation].append(usable)
 
     def _localizations(self, relation: str, usable: _Usable) \
             -> list[_Usable]:
@@ -234,75 +449,160 @@ class ClosureEngine:
                         candidate,
                     )
                     self._candidates[relation].append(candidate)
+                    self._candidate_index[relation].setdefault(
+                        candidate.premise_lhs, []).append(candidate)
 
     # -- saturation ----------------------------------------------------------
 
     def _ensure(self, relation: str, key: frozenset[Path]) -> set[Path]:
         queries = self._queries[relation]
-        if key not in queries:
-            queries[key] = set(key)
-        return queries[key]
+        closure_set = queries.get(key)
+        if closure_set is None:
+            closure_set = set(key)
+            queries[key] = closure_set
+            self._dirty[relation].setdefault(key, set()).update(key)
+            self._fresh[relation].append(key)
+        return closure_set
 
-    def _covered(self, relation: str, path: Path, closure_set: set[Path],
-                 rhs: Path) -> Path | None:
-        """Coverage check for one LHS member; returns the path used.
+    def _coverage(self, relation: str, member: Path,
+                  key: frozenset[Path], closure_set: set[Path],
+                  rhs: Path) -> Path | None:
+        """The covering path to use for one LHS member, or None.
 
-        Returns *path* itself when it is in the closure, a shortened
-        prefix when the prefix rule applies, or None when uncovered.
-        Shortening to ``p[:k]`` requires (a) ``p[:k]`` in the closure,
-        (b) ``p[:k]`` not a prefix of *rhs*, and in gated mode (c) every
-        shortening result ``p[:j]``, ``k <= j < len(p)``, declared
-        non-empty.
+        A covering path is *member* itself, or — through the prefix
+        rule — a non-empty proper prefix ``member[:k]`` that is in the
+        closure and not a prefix of *rhs*; in gated mode shortening to
+        ``member[:k]`` additionally requires every shortening result
+        ``member[:j]``, ``k <= j < len(member)``, declared non-empty,
+        and any covering path must pass the Section 3.2 transitivity
+        gate (be part of the query key, follow *rhs*, or be always
+        defined).  All admissible options are considered — each
+        corresponds to a valid derivation — preferring *member* itself,
+        then the longest admissible prefix.
         """
-        if path in closure_set:
-            return path
-        gate_ok = True
-        for k in range(len(path) - 1, 0, -1):
-            shortened = path[:k]
-            if not self.nonempty.declares_everything:
-                if not self.nonempty.is_declared(relation, shortened):
-                    gate_ok = False
-            if not gate_ok:
+        gated = not self.nonempty.declares_everything
+        if member in closure_set and (
+                not gated or
+                self._intermediate_ok(relation, member, key, rhs)):
+            return member
+        for k in range(len(member) - 1, 0, -1):
+            shortened = member[:k]
+            if gated and not self.nonempty.is_declared(relation,
+                                                       shortened):
+                # shortening past this position is gated off, and every
+                # shorter prefix would have to shorten through it
                 return None
             if shortened in closure_set and \
-                    not shortened.is_prefix_of(rhs):
+                    not shortened.is_prefix_of(rhs) and (
+                        not gated or
+                        self._intermediate_ok(relation, shortened, key,
+                                              rhs)):
                 return shortened
         return None
+
+    def _intermediate_ok(self, relation: str, used: Path,
+                         key: frozenset[Path], rhs: Path) -> bool:
+        """Section 3.2 transitivity gate for one intermediate path."""
+        return used in key or used.follows(rhs) or \
+            self.nonempty.always_defined(relation, used)
 
     def _apply_usable(self, relation: str, key: frozenset[Path],
                       closure_set: set[Path], usable: _Usable) -> bool:
         """Try one transitivity step; returns True if the closure grew."""
+        self._attempts += 1
         if usable.rhs in closure_set:
             return False
-        used: list[Path] = []
         member_pairs: list[tuple[Path, Path]] = []
         for member in usable.lhs:
-            found = self._covered(relation, member, closure_set,
-                                  usable.rhs)
+            found = self._coverage(relation, member, key, closure_set,
+                                   usable.rhs)
             if found is None:
                 return False
-            used.append(found)
             member_pairs.append((member, found))
-        if not self.nonempty.declares_everything:
-            # Section 3.2 transitivity gate on the intermediates.
-            for intermediate in used:
-                if intermediate in key:
-                    continue
-                if intermediate.follows(usable.rhs):
-                    continue
-                if self.nonempty.always_defined(relation, intermediate):
-                    continue
-                return False
         closure_set.add(usable.rhs)
+        self._successes += 1
         self._provenance[relation][(key, usable.rhs)] = \
             (usable, tuple(member_pairs))
         return True
 
     def _saturate(self, relation: str) -> None:
+        started = time.perf_counter()
+        self._saturations += 1
+        if self.strategy == "naive":
+            self._saturate_naive(relation)
+        else:
+            self._saturate_worklist(relation)
+        self._wall_time += time.perf_counter() - started
+
+    def _saturate_worklist(self, relation: str) -> None:
+        """Semi-naive saturation: drain deltas through the trigger index.
+
+        Work items, in priority order: broadcast a new usable to every
+        query, offer the empty-LHS usables to a fresh query, or process
+        one query's delta — re-checking the singleton candidates watching
+        that query and re-attempting exactly the usables whose LHS (or a
+        coverable prefix of it) intersects the delta.  Every path enters
+        a query's delta at most once, so the loop terminates, and any
+        step the naive fixpoint could take is attempted no later than
+        when the last closure path it needs arrives.
+        """
+        if not self._seeded[relation]:
+            self._seeded[relation] = True
+            for candidate in self._candidates[relation]:
+                self._ensure(relation, candidate.premise_lhs)
+        queries = self._queries[relation]
+        activated = self._activated[relation]
+        dirty = self._dirty[relation]
+        new_usables = self._new_usables[relation]
+        fresh = self._fresh[relation]
+        trigger = self._trigger[relation]
+        candidate_index = self._candidate_index[relation]
+        while dirty or new_usables or fresh:
+            self._rounds += 1
+            if new_usables:
+                usable = new_usables.pop()
+                for key in list(queries):
+                    if self._apply_usable(relation, key, queries[key],
+                                          usable):
+                        dirty.setdefault(key, set()).add(usable.rhs)
+                continue
+            if fresh:
+                key = fresh.pop()
+                closure_set = queries[key]
+                for usable in self._empty_lhs[relation]:
+                    if self._apply_usable(relation, key, closure_set,
+                                          usable):
+                        dirty.setdefault(key, set()).add(usable.rhs)
+                continue
+            key, delta = dirty.popitem()
+            closure_set = queries[key]
+            for candidate in candidate_index.get(key, ()):
+                if candidate.key() in activated:
+                    continue
+                if not candidate.targets & delta:
+                    continue
+                if candidate.targets <= closure_set:
+                    activated.add(candidate.key())
+                    self._add_usable(relation, candidate.usable)
+            attempted: set = set()
+            for path in delta:
+                for usable in trigger.get(path, ()):
+                    mark = id(usable)
+                    if mark in attempted:
+                        continue
+                    attempted.add(mark)
+                    if self._apply_usable(relation, key, closure_set,
+                                          usable):
+                        dirty.setdefault(key, set()).add(usable.rhs)
+
+    def _saturate_naive(self, relation: str) -> None:
+        """The reference global fixpoint: rescan every candidate and
+        re-attempt every usable against every query until stable."""
         queries = self._queries[relation]
         candidates = self._candidates[relation]
         activated = self._activated[relation]
         while True:
+            self._rounds += 1
             changed = False
             for candidate in candidates:
                 if candidate.key() in activated:
@@ -321,6 +621,10 @@ class ClosureEngine:
                                           usable):
                         changed = True
             if not changed:
+                # consume the book-keeping the worklist strategy drains
+                self._dirty[relation].clear()
+                self._new_usables[relation].clear()
+                self._fresh[relation].clear()
                 return
 
     # -- public API -----------------------------------------------------------
@@ -354,6 +658,10 @@ class ClosureEngine:
 
             x0:[X -> q]  <=>  R:[prefixes(ybar), ybar:X -> ybar:q]
 
+        :raises InferenceError: when *base* is empty, does not start
+            with a relation name of the schema, or does not reach a
+            set-valued position.
+
         In gated (Section 3.2) mode the backward direction of that
         equivalence — pull-out — needs its own definedness gate: with
         empty sets, Definition 2.4's trivially-true clause can excuse a
@@ -366,6 +674,10 @@ class ClosureEngine:
         additionally honoured directly (augmentation is sound under
         empty sets).
         """
+        try:
+            resolve_base_path(self.schema, base)
+        except PathError as exc:
+            raise InferenceError(f"bad closure base: {exc}") from exc
         relation = base.first
         ybar = base.tail
         lhs_set = frozenset(lhs)

@@ -63,12 +63,14 @@ def redundant_members(schema: Schema, sigma: Iterable[NFD],
     :func:`repro.analysis.cover.minimal_cover` to actually shrink a set.
     """
     members = list(sigma)
-    redundant: list[NFD] = []
-    for index, candidate in enumerate(members):
-        rest = members[:index] + members[index + 1:]
-        if ClosureEngine(schema, rest, nonempty).implies(candidate):
-            redundant.append(candidate)
-    return redundant
+    if not members:
+        return []
+    engine = ClosureEngine(schema, members, nonempty)
+    return [
+        candidate
+        for index, candidate in enumerate(members)
+        if engine.without(index).implies(candidate)
+    ]
 
 
 def implied_keys(schema: Schema, sigma: Iterable[NFD], relation: str,

@@ -211,3 +211,78 @@ class TestErrors:
         path.write_text(dump_bundle(workloads.course_schema(),
                                     workloads.course_sigma()))
         assert main(["check", str(path)]) == 2
+
+
+class TestCounterNonemptySpec:
+    """The counter command must not silently drop a restrictive
+    non-empty spec: the Appendix-A construction is Section 3.1 only."""
+
+    def test_flag_rejected(self, course_bundle, capsys):
+        assert main(["counter", course_bundle, "Course:[time -> cnum]",
+                     "--nonempty", "Course:students"]) == 2
+        err = capsys.readouterr().err
+        assert "Section 3.1" in err
+
+    def test_bundle_spec_rejected(self, tmp_path, capsys):
+        import json
+
+        payload = json.loads(dump_bundle(workloads.course_schema(),
+                                         workloads.course_sigma(),
+                                         workloads.course_instance()))
+        payload["nonempty"] = ["Course:students"]
+        path = tmp_path / "gated.json"
+        path.write_text(json.dumps(payload))
+        assert main(["counter", str(path),
+                     "Course:[time -> cnum]"]) == 2
+        assert "Section 3.1" in capsys.readouterr().err
+
+    def test_all_nonempty_spec_allowed(self, tmp_path, capsys):
+        import json
+
+        payload = json.loads(dump_bundle(workloads.course_schema(),
+                                         workloads.course_sigma(),
+                                         workloads.course_instance()))
+        payload["nonempty"] = "*"
+        path = tmp_path / "explicit31.json"
+        path.write_text(json.dumps(payload))
+        assert main(["counter", str(path),
+                     "Course:[time -> cnum]"]) == 0
+
+
+class TestStatsFlag:
+    def test_implies_prints_stats_to_stderr(self, course_bundle, capsys):
+        assert main(["implies", course_bundle,
+                     "Course:[students:sid, time -> books]",
+                     "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "engine stats" not in captured.out
+        assert "engine stats (worklist strategy)" in captured.err
+        assert "apply attempts" in captured.err
+
+    def test_exit_codes_unchanged_by_stats(self, course_bundle, capsys):
+        assert main(["implies", course_bundle,
+                     "Course:[time -> cnum]", "--stats"]) == 1
+        assert main(["closure", course_bundle, "Course", "cnum",
+                     "--stats"]) == 0
+        assert main(["counter", course_bundle, "Course:[time -> cnum]",
+                     "--stats"]) == 0
+        assert "engine stats" in capsys.readouterr().err
+
+    def test_stats_off_by_default(self, course_bundle, capsys):
+        assert main(["implies", course_bundle,
+                     "Course:[cnum -> time]"]) == 0
+        assert "engine stats" not in capsys.readouterr().err
+
+
+class TestClosureBaseValidation:
+    def test_unknown_relation_is_usage_error(self, course_bundle, capsys):
+        assert main(["closure", course_bundle, "Nope", "cnum"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_empty_base_is_usage_error(self, course_bundle, capsys):
+        assert main(["closure", course_bundle, "", ""]) == 2
+        assert "bad closure base" in capsys.readouterr().err
+
+    def test_non_set_base_is_usage_error(self, course_bundle, capsys):
+        assert main(["closure", course_bundle, "Course:cnum"]) == 2
+        assert "set-valued" in capsys.readouterr().err

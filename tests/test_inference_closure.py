@@ -147,3 +147,141 @@ class TestSingletonReasoning:
         schema = parse_schema("R = {<A: {<B, C>}, D>}")
         engine = ClosureEngine(schema, parse_nfds("R:[D -> A:B]"))
         assert not engine.implies(parse_nfd("R:[D -> A]"))
+
+
+class TestBaseValidation:
+    """The closure base is validated up front (not via stray
+    IndexError/KeyError escapes)."""
+
+    def test_empty_base_rejected(self, course_engine):
+        with pytest.raises(InferenceError, match="bad closure base"):
+            course_engine.closure(parse_path(""), _paths("cnum"))
+
+    def test_unknown_relation_rejected(self, course_engine):
+        with pytest.raises(InferenceError, match="relation"):
+            course_engine.closure(parse_path("Nope"), _paths("cnum"))
+
+    def test_ill_typed_base_tail_rejected(self, course_engine):
+        with pytest.raises(InferenceError, match="bad closure base"):
+            course_engine.closure(parse_path("Course:nope"), set())
+
+    def test_non_set_base_rejected(self, course_engine):
+        # cnum is atomic: the base must reach a set-valued position
+        with pytest.raises(InferenceError, match="set-valued"):
+            course_engine.closure(parse_path("Course:cnum"), set())
+
+
+class TestStrategies:
+    def test_unknown_strategy_rejected(self, course_schema, course_sigma):
+        with pytest.raises(InferenceError, match="strategy"):
+            ClosureEngine(course_schema, course_sigma, strategy="magic")
+
+    def test_naive_reference_agrees(self, course_schema, course_sigma):
+        fast = ClosureEngine(course_schema, course_sigma)
+        slow = ClosureEngine(course_schema, course_sigma,
+                             strategy="naive")
+        for text in ["Course:[students:sid, time -> books]",
+                     "Course:[students:sid -> books]",
+                     "Course:students:[sid -> grade]"]:
+            assert fast.implies(parse_nfd(text)) == \
+                slow.implies(parse_nfd(text)), text
+
+
+class TestEngineStats:
+    def test_counters_accumulate(self, course_schema, course_sigma):
+        engine = ClosureEngine(course_schema, course_sigma)
+        assert engine.stats.attempts == 0
+        engine.implies(parse_nfd("Course:[students:sid, time -> books]"))
+        stats = engine.stats
+        assert stats.strategy == "worklist"
+        assert stats.attempts > 0
+        assert 0 < stats.successes <= stats.attempts
+        assert stats.saturations >= 1
+        assert stats.rounds >= 1
+        assert stats.wall_time > 0
+        assert stats.queries["Course"] >= 1
+        assert stats.derived["Course"] >= 1
+        assert stats.usables["Course"] >= len(course_sigma)
+        assert stats.candidates["Course"] == 2  # students, books
+
+    def test_warm_queries_add_no_attempts(self, course_engine):
+        nfd = parse_nfd("Course:[students:sid, time -> books]")
+        course_engine.implies(nfd)
+        cold = course_engine.stats.attempts
+        course_engine.implies(nfd)
+        assert course_engine.stats.attempts == cold
+
+    def test_snapshot_is_plain_data(self, course_engine):
+        course_engine.implies(parse_nfd("Course:[cnum -> time]"))
+        payload = course_engine.stats.as_dict()
+        assert payload["strategy"] == "worklist"
+        assert set(payload) >= {"attempts", "successes", "rounds",
+                                "usables", "queries", "derived"}
+        text = course_engine.stats.to_text()
+        assert "apply attempts" in text
+        assert "Course" in text
+
+
+class TestWithout:
+    def test_matches_fresh_rest_engine(self, course_schema, course_sigma):
+        engine = ClosureEngine(course_schema, course_sigma)
+        for index, member in enumerate(course_sigma):
+            sibling = engine.without(index)
+            rest = list(course_sigma[:index]) + \
+                list(course_sigma[index + 1:])
+            fresh = ClosureEngine(course_schema, rest)
+            assert sibling.implies(member) == fresh.implies(member)
+
+    def test_shares_schema_precomputation(self, course_engine):
+        sibling = course_engine.without(0)
+        assert sibling._paths is course_engine._paths
+        assert sibling._candidates is course_engine._candidates
+        assert len(sibling.sigma) == len(course_engine.sigma) - 1
+
+    def test_out_of_range_rejected(self, course_engine):
+        with pytest.raises(InferenceError, match="index"):
+            course_engine.without(len(course_engine.sigma))
+        with pytest.raises(InferenceError, match="index"):
+            course_engine.without(-1)
+
+
+class TestGatedPrefixCoverage:
+    """Coverage considers every admissible covering path.
+
+    With ``R:A:B`` declared non-empty but ``R:A`` not, the member
+    ``A:B:C`` of ``[A:B:C -> E]`` fails the Section 3.2 intermediate
+    gate itself (it traverses the undeclared ``A``), yet the gated
+    prefix rule may shorten it to ``A:B`` — which is in the query key
+    and therefore exempt.  A greedy member-first coverage (the
+    pre-worklist engine) missed this derivation once ``A:B:C`` entered
+    the closure; considering all covering options keeps the step rule
+    monotone and complete for the gated system.
+    """
+
+    @pytest.fixture
+    def gated_setup(self):
+        from repro.inference import NonEmptySpec
+
+        schema = parse_schema("R = {<A: {<B: {<C>}>}, E>}")
+        sigma = parse_nfds("""
+            R:[A:B -> A:B:C]
+            R:[A:B:C -> E]
+        """)
+        spec = NonEmptySpec({parse_path("R"), parse_path("R:A:B")})
+        return schema, sigma, spec
+
+    def test_prefix_covered_member_fires(self, gated_setup):
+        schema, sigma, spec = gated_setup
+        for strategy in ("worklist", "naive"):
+            engine = ClosureEngine(schema, sigma, nonempty=spec,
+                                   strategy=strategy)
+            assert engine.implies(parse_nfd("R:[A:B -> E]")), strategy
+
+    def test_blocked_without_declaration(self, gated_setup):
+        from repro.inference import NonEmptySpec
+
+        schema, sigma, _ = gated_setup
+        # withhold R:A:B as well: now the shortening is gated off too
+        spec = NonEmptySpec({parse_path("R")})
+        engine = ClosureEngine(schema, sigma, nonempty=spec)
+        assert not engine.implies(parse_nfd("R:[A:B -> E]"))
