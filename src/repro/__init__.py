@@ -48,6 +48,9 @@ from .inference import (
 )
 from .nfd import (
     NFD,
+    ValidationResult,
+    ValidatorEngine,
+    ValidatorStats,
     find_violation,
     find_violations,
     holds_fol,
@@ -101,6 +104,7 @@ __all__ = [
     "satisfies", "satisfies_all", "satisfies_fast", "satisfies_all_fast",
     "holds_fol", "translate", "to_simple",
     "find_violation", "find_violations",
+    "ValidatorEngine", "ValidatorStats", "ValidationResult",
     # inference
     "ClosureEngine", "Derivation", "BruteForceProver",
     "NonEmptySpec", "implies",

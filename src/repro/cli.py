@@ -35,7 +35,10 @@ instead of silently ignoring it.
 Commands that build a closure engine accept ``--stats``, which prints
 the engine's saturation counters (see
 :class:`repro.inference.EngineStats`) to stderr after the normal
-output, so scripted stdout consumers are unaffected.
+output, so scripted stdout consumers are unaffected.  ``check --stats``
+does the same with the batch validation engine's counters
+(:class:`repro.nfd.ValidatorStats`); exit codes are unchanged either
+way.
 
 Every command returns a conventional exit status (0 success / holds,
 1 violation / does not hold, 2 usage error), so the CLI composes with
@@ -53,7 +56,7 @@ from .chase import repair as chase_repair
 from .errors import ReproError
 from .inference import ClosureEngine, NonEmptySpec, build_countermodel
 from .io import dump_bundle, load_bundle, load_spec, render_instance
-from .nfd import find_violations, parse_nfd
+from .nfd import ValidatorEngine, parse_nfd
 from .paths import parse_path
 
 __all__ = ["main", "build_parser"]
@@ -87,8 +90,12 @@ def _spec_from_args(args) -> NonEmptySpec | None:
     return None
 
 
-def _emit_stats(args, engine: ClosureEngine) -> None:
-    """Print the engine's saturation counters when ``--stats`` was given."""
+def _emit_stats(args, engine) -> None:
+    """Print an engine's counters to stderr when ``--stats`` was given.
+
+    Works for any engine exposing ``.stats.to_text()`` — the closure
+    engine and the batch validation engine both do.
+    """
     if getattr(args, "stats", False):
         print(engine.stats.to_text(), file=sys.stderr)
 
@@ -100,14 +107,14 @@ def _cmd_check(args) -> int:
         return 2
     from .values import check_instance
     check_instance(instance)
-    total = 0
-    for nfd in sigma:
-        for violation in find_violations(instance, nfd):
-            total += 1
-            print(violation.describe())
-            print()
-    if total:
-        print(f"{total} violation(s)")
+    engine = ValidatorEngine(schema, sigma)
+    result = engine.validate(instance, all_violations=True)
+    for violation in result.violations:
+        print(violation.describe())
+        print()
+    _emit_stats(args, engine)
+    if result.violations:
+        print(f"{len(result.violations)} violation(s)")
         return 1
     print("instance satisfies all constraints")
     return 0
@@ -299,6 +306,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub = commands.add_parser("check", help="validate the instance")
     bundle_arg(sub)
+    sub.add_argument(
+        "--stats", action="store_true",
+        help="print the validation engine's counters to stderr",
+    )
     sub.set_defaults(handler=_cmd_check)
 
     sub = commands.add_parser("implies", help="decide implication")

@@ -10,6 +10,15 @@ just the inserted or removed tuple.  *Local* NFDs (nested base paths)
 never relate two different tuples, so they are checked once per
 inserted tuple and need no cross-tuple state.
 
+Per-row binding extraction rides the compiled plans of
+:class:`repro.nfd.batch_validate.ValidatorEngine`: one engine is built
+for Σ at construction, ``engine.bindings_of`` materializes a tuple's
+shared binding trie once for *all* global NFDs of its relation, and
+``engine.row_violates`` answers the per-tuple question for local NFDs.
+Bulk initialization (constructing with an ``instance=``) applies every
+tuple's bindings first and collects conflicts once at the end, instead
+of re-scanning conflict state after each row.
+
 The checker tracks the exact conflict set, so consistency can be asked
 at any time in O(1); the invariant
 
@@ -24,18 +33,10 @@ from collections import Counter
 from typing import Any, Iterable
 
 from ..errors import InferenceError, InstanceError
+from ..nfd.batch_validate import ValidatorEngine
 from ..nfd.nfd import NFD
-from ..nfd.satisfy import (
-    defined_elements,
-    iter_bindings,
-    keyed_bindings,
-    traversed_prefixes,
-    value_at_binding,
-)
-from ..paths.path import Path
 from ..types.schema import Schema
 from ..values.build import Instance, from_python
-from ..values.navigate import iter_base_sets
 from ..values.value import Record, SetValue, Value
 
 __all__ = ["Conflict", "IncrementalChecker"]
@@ -72,23 +73,19 @@ class Conflict:
 
 
 class _GlobalState:
-    """Cross-tuple index for one relation-based NFD."""
+    """Cross-tuple index for one relation-based NFD.
 
-    __slots__ = ("nfd", "paths", "prefixes", "index")
+    The bindings themselves come from the shared validation engine
+    (:meth:`ValidatorEngine.bindings_of`); this class only owns the
+    antecedent-key index they are applied to.
+    """
+
+    __slots__ = ("nfd", "index")
 
     def __init__(self, nfd: NFD):
         self.nfd = nfd
-        self.paths = sorted(nfd.all_paths)
-        self.prefixes = traversed_prefixes(self.paths)
         # antecedent key -> Counter of rhs values
         self.index: dict[tuple, Counter] = {}
-
-    def bindings_of(self, tuple_value: Record) -> list[tuple[tuple, Value]]:
-        if not all(_defined(tuple_value, p) for p in self.paths):
-            # Definition 2.4: a tuple with an undefined path constrains
-            # nothing for this NFD.
-            return []
-        return keyed_bindings(self.nfd, tuple_value, self.prefixes)
 
     def apply(self, entries: list[tuple[tuple, Value]], delta: int) -> None:
         for key, rhs_value in entries:
@@ -113,47 +110,18 @@ class _GlobalState:
 
 
 class _LocalState:
-    """Per-tuple checking data for one nested-base NFD."""
+    """Per-tuple state for one nested-base NFD.
 
-    __slots__ = ("nfd", "paths", "prefixes", "inner_base", "offenders")
+    The per-tuple violation question itself is answered by
+    :meth:`ValidatorEngine.row_violates` on the shared compiled plan;
+    this class only remembers which live tuples are offenders.
+    """
+
+    __slots__ = ("nfd", "offenders")
 
     def __init__(self, nfd: NFD):
         self.nfd = nfd
-        self.paths = sorted(nfd.all_paths)
-        self.prefixes = traversed_prefixes(self.paths)
-        self.inner_base = nfd.base.tail  # path inside one tuple
         self.offenders: set[Record] = set()
-
-    def tuple_violates(self, tuple_value: Record) -> bool:
-        wrapper = SetValue({tuple_value})
-        by_key: dict[tuple, Value] = {}
-        for base_set in _iter_inner_sets(wrapper, self.inner_base):
-            by_key.clear()
-            for element in defined_elements(base_set, self.paths):
-                for binding in iter_bindings(element, self.prefixes):
-                    key = tuple(value_at_binding(p, binding)
-                                for p in self.nfd.sorted_lhs())
-                    rhs_value = value_at_binding(self.nfd.rhs, binding)
-                    seen = by_key.get(key)
-                    if seen is None:
-                        by_key[key] = rhs_value
-                    elif seen != rhs_value:
-                        return True
-        return False
-
-
-def _defined(value: Record, path: Path) -> bool:
-    from ..values.navigate import path_defined
-    return path_defined(value, path)
-
-
-def _iter_inner_sets(relation: SetValue, inner_base: Path):
-    """Base sets of a nested-base NFD within a single-tuple relation."""
-    if inner_base.is_empty:
-        yield relation
-        return
-    from ..values.navigate import _iter_sets_from
-    yield from _iter_sets_from(relation, inner_base)
 
 
 class IncrementalChecker:
@@ -177,6 +145,9 @@ class IncrementalChecker:
                  instance: Instance | None = None):
         self.schema = schema
         self.sigma = tuple(sigma)
+        # Compiles the shared path-trie plans and checks Σ's
+        # well-formedness against the schema.
+        self._engine = ValidatorEngine(schema, self.sigma)
         self._tuples: dict[str, set[Record]] = {
             name: set() for name in schema.relation_names
         }
@@ -186,11 +157,13 @@ class IncrementalChecker:
         self._local: dict[str, list[_LocalState]] = {
             name: [] for name in schema.relation_names
         }
+        self._global_by_nfd: dict[NFD, _GlobalState] = {}
         self._conflicts: dict[tuple, Conflict] = {}
         for nfd in self.sigma:
-            nfd.check_well_formed(schema)
             if nfd.is_simple:
-                self._global[nfd.relation].append(_GlobalState(nfd))
+                state = _GlobalState(nfd)
+                self._global[nfd.relation].append(state)
+                self._global_by_nfd[nfd] = state
             else:
                 self._local[nfd.relation].append(_LocalState(nfd))
         if instance is not None:
@@ -198,9 +171,36 @@ class IncrementalChecker:
                 raise InferenceError(
                     "the initial instance uses a different schema"
                 )
-            for name, relation in instance.relations():
-                for element in relation:
-                    self.insert(name, element)
+            self._bulk_load(instance)
+
+    def _bulk_load(self, instance: Instance) -> None:
+        """Load an initial instance: apply all bindings, then collect
+        conflicts once.
+
+        Equivalent to inserting every tuple, but the per-insert conflict
+        bookkeeping (probing the touched keys after every row) is
+        deferred to a single sweep over the indexes at the end.
+        """
+        for name, relation in instance.relations():
+            for element in relation:
+                record = self._coerce(name, element)
+                if record in self._tuples[name]:
+                    continue
+                self._tuples[name].add(record)
+                for state in self._local[name]:
+                    if self._engine.row_violates(state.nfd, record):
+                        state.offenders.add(record)
+                        self._conflicts[(id(state), record)] = \
+                            Conflict(state.nfd, (record,), frozenset())
+                for nfd, entries in self._engine.bindings_of(name,
+                                                             record):
+                    self._global_by_nfd[nfd].apply(entries, +1)
+        for states in self._global.values():
+            for state in states:
+                for key, counter in state.index.items():
+                    if len(counter) > 1:
+                        self._conflicts[(id(state), key)] = \
+                            state.conflict_for(key)
 
     # -- updates -----------------------------------------------------------
 
@@ -222,13 +222,13 @@ class IncrementalChecker:
         self._tuples[relation].add(record)
         created: list[Conflict] = []
         for state in self._local[relation]:
-            if state.tuple_violates(record):
+            if self._engine.row_violates(state.nfd, record):
                 state.offenders.add(record)
                 conflict = Conflict(state.nfd, (record,), frozenset())
                 self._conflicts[(id(state), record)] = conflict
                 created.append(conflict)
-        for state in self._global[relation]:
-            entries = state.bindings_of(record)
+        for nfd, entries in self._engine.bindings_of(relation, record):
+            state = self._global_by_nfd[nfd]
             state.apply(entries, +1)
             for key in state.conflicted_keys(key for key, _ in entries):
                 conflict = state.conflict_for(key)
@@ -252,8 +252,8 @@ class IncrementalChecker:
                 state.offenders.discard(record)
                 resolved.append(
                     self._conflicts.pop((id(state), record)))
-        for state in self._global[relation]:
-            entries = state.bindings_of(record)
+        for nfd, entries in self._engine.bindings_of(relation, record):
+            state = self._global_by_nfd[nfd]
             state.apply(entries, -1)
             for key in {key for key, _ in entries}:
                 slot = (id(state), key)
@@ -275,10 +275,10 @@ class IncrementalChecker:
             return []
         found: list[Conflict] = []
         for state in self._local[relation]:
-            if state.tuple_violates(record):
+            if self._engine.row_violates(state.nfd, record):
                 found.append(Conflict(state.nfd, (record,), frozenset()))
-        for state in self._global[relation]:
-            entries = state.bindings_of(record)
+        for nfd, entries in self._engine.bindings_of(relation, record):
+            state = self._global_by_nfd[nfd]
             staged: dict[tuple, set] = {}
             for key, rhs_value in entries:
                 staged.setdefault(key, set()).add(rhs_value)

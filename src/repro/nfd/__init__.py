@@ -1,5 +1,6 @@
 """Nested functional dependencies: syntax, semantics, and logic form."""
 
+from .batch_validate import ValidationResult, ValidatorEngine, ValidatorStats
 from .fast_satisfy import satisfies_all_fast, satisfies_fast
 from .logic import Equality, NFDFormula, Quantifier, Term, translate
 from .logic_eval import evaluate, holds_fol
@@ -24,6 +25,9 @@ __all__ = [
     "satisfies_all",
     "satisfies_fast",
     "satisfies_all_fast",
+    "ValidatorEngine",
+    "ValidatorStats",
+    "ValidationResult",
     "translate",
     "NFDFormula",
     "Quantifier",

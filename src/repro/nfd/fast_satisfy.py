@@ -16,11 +16,18 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from ..paths.path import Path
 from ..values.build import Instance
 from ..values.navigate import iter_base_sets
 from ..values.value import Value
 from .nfd import NFD
-from .satisfy import defined_elements, keyed_bindings, traversed_prefixes
+from .satisfy import (
+    defined_elements,
+    defined_elements_cached,
+    group_by_base,
+    keyed_bindings,
+    traversed_prefixes,
+)
 
 __all__ = ["satisfies_fast", "satisfies_all_fast"]
 
@@ -42,5 +49,31 @@ def satisfies_fast(instance: Instance, nfd: NFD) -> bool:
 
 
 def satisfies_all_fast(instance: Instance, nfds: Iterable[NFD]) -> bool:
-    """True iff the instance satisfies every NFD in *nfds*."""
-    return all(satisfies_fast(instance, nfd) for nfd in nfds)
+    """True iff the instance satisfies every NFD in *nfds*.
+
+    NFDs sharing a base path share one definedness cache (their path
+    sets overlap on prefixes), so the per-element ``path_defined`` walks
+    are computed once per distinct ``(element, path)`` pair instead of
+    once per NFD.  Short-circuits on the first disagreement.
+
+    For validating a whole Σ in one instance walk — rather than one walk
+    per NFD — prefer :class:`repro.nfd.batch_validate.ValidatorEngine`.
+    """
+    for base, members in group_by_base(nfds).items():
+        plans = [(nfd, sorted(nfd.all_paths)) for nfd in members]
+        plans = [(nfd, paths, traversed_prefixes(paths))
+                 for nfd, paths in plans]
+        cache: dict[tuple[Value, Path], bool] = {}
+        for base_set in iter_base_sets(instance, base):
+            for nfd, paths, prefixes in plans:
+                by_key: dict[tuple, Value] = {}
+                for element in defined_elements_cached(base_set, paths,
+                                                       cache):
+                    for key, rhs_value in keyed_bindings(nfd, element,
+                                                         prefixes):
+                        seen = by_key.get(key)
+                        if seen is None:
+                            by_key[key] = rhs_value
+                        elif seen != rhs_value:
+                            return False
+    return True

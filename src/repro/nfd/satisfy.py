@@ -43,6 +43,8 @@ __all__ = [
     "iter_bindings",
     "keyed_bindings",
     "defined_elements",
+    "defined_elements_cached",
+    "group_by_base",
 ]
 
 
@@ -126,6 +128,41 @@ def defined_elements(base_set, paths: list[Path]) -> list[Record]:
     ]
 
 
+def defined_elements_cached(base_set, paths: list[Path],
+                            cache: dict[tuple[Value, Path], bool]) \
+        -> list[Record]:
+    """:func:`defined_elements` memoized per ``(element, path)``.
+
+    When several NFDs share a base path, their path sets overlap heavily
+    (shared prefixes, repeated LHS attributes); a cache shared across the
+    NFDs of one base avoids re-walking the same element/path pairs.  The
+    caller owns the cache and must not reuse it across instances.
+    """
+    out: list[Record] = []
+    for v in base_set:
+        ok = True
+        for p in paths:
+            key = (v, p)
+            defined = cache.get(key)
+            if defined is None:
+                defined = path_defined(v, p)
+                cache[key] = defined
+            if not defined:
+                ok = False
+                break
+        if ok:
+            out.append(v)
+    return out
+
+
+def group_by_base(nfds: Iterable[NFD]) -> dict[Path, list[NFD]]:
+    """Group *nfds* by base path, preserving first-mention order."""
+    groups: dict[Path, list[NFD]] = {}
+    for nfd in nfds:
+        groups.setdefault(nfd.base, []).append(nfd)
+    return groups
+
+
 def _pair_respects(keyed1: list[tuple[tuple, Value]],
                    keyed2: list[tuple[tuple, Value]]) -> bool:
     """Definition 2.4 for one (v1, v2) pair: compare strictly across sides.
@@ -164,5 +201,25 @@ def satisfies(instance: Instance, nfd: NFD) -> bool:
 
 
 def satisfies_all(instance: Instance, nfds: Iterable[NFD]) -> bool:
-    """True iff the instance satisfies every NFD in *nfds*."""
-    return all(satisfies(instance, nfd) for nfd in nfds)
+    """True iff the instance satisfies every NFD in *nfds*.
+
+    NFDs are grouped by base path so that definedness checks over a
+    shared base set are computed once (via
+    :func:`defined_elements_cached`) instead of once per NFD.
+    Short-circuits on the first violated NFD.
+    """
+    for base, members in group_by_base(nfds).items():
+        plans = [(nfd, sorted(nfd.all_paths)) for nfd in members]
+        plans = [(nfd, paths, traversed_prefixes(paths))
+                 for nfd, paths in plans]
+        cache: dict[tuple[Value, Path], bool] = {}
+        for base_set in iter_base_sets(instance, base):
+            for nfd, paths, prefixes in plans:
+                defined = defined_elements_cached(base_set, paths, cache)
+                keyed = [keyed_bindings(nfd, v, prefixes)
+                         for v in defined]
+                for i, j in combinations_with_replacement(
+                        range(len(defined)), 2):
+                    if not _pair_respects(keyed[i], keyed[j]):
+                        return False
+    return True

@@ -6,23 +6,22 @@ repair and for the warehouse-integration example).  A witness pins down
 the base-set binding, the two compared elements, the agreeing LHS values,
 and the two differing RHS values — enough for a human to audit the claim
 and for tests to assert precisely which rows clash.
+
+Both functions ride :class:`repro.nfd.batch_validate.ValidatorEngine`
+(hash-group tables, one witness per conflicting antecedent key per base
+set), so enumeration matches the linear-pass semantics of
+:mod:`repro.nfd.fast_satisfy` instead of the old quadratic pairwise scan.
+The engine import is deferred to call time because ``batch_validate``
+itself imports :class:`Violation` from this module.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
 
-from ..paths.path import Path
 from ..values.build import Instance
-from ..values.navigate import iter_base_sets
 from ..values.value import Record, Value
 from .nfd import NFD
-from .satisfy import (
-    defined_elements,
-    iter_bindings,
-    traversed_prefixes,
-    value_at_binding,
-)
 
 __all__ = ["Violation", "find_violation", "find_violations"]
 
@@ -72,36 +71,26 @@ def find_violations(instance: Instance, nfd: NFD) -> Iterator[Violation]:
     """Yield every violation witness, grouped per base set.
 
     Within one base set, each conflicting antecedent key yields one
-    witness per clashing RHS pair discovered (first conflicting pair per
-    key, to keep the output proportional to the number of distinct
-    problems rather than quadratic in duplicates).
+    witness (the first clashing RHS pair discovered for that key, to keep
+    the output proportional to the number of distinct problems rather
+    than quadratic in duplicates).  Output order is deterministic: base
+    sets in base-chain enumeration order, keys in discovery order within
+    each base set.
     """
-    paths = sorted(nfd.all_paths)
-    prefixes = traversed_prefixes(paths)
-    lhs_paths = nfd.sorted_lhs()
-    for base_index, base_set in enumerate(iter_base_sets(instance,
-                                                         nfd.base)):
-        # key -> (first rhs value seen, element that produced it)
-        by_key: dict[tuple, tuple[Value, Record]] = {}
-        reported: set[tuple] = set()
-        for element in defined_elements(base_set, paths):
-            for binding in iter_bindings(element, prefixes):
-                key = tuple(value_at_binding(p, binding)
-                            for p in lhs_paths)
-                rhs_value = value_at_binding(nfd.rhs, binding)
-                seen = by_key.get(key)
-                if seen is None:
-                    by_key[key] = (rhs_value, element)
-                elif seen[0] != rhs_value and key not in reported:
-                    reported.add(key)
-                    yield Violation(
-                        nfd, base_index, seen[1], element, key,
-                        seen[0], rhs_value,
-                    )
+    from .batch_validate import ValidatorEngine
+
+    engine = ValidatorEngine(instance.schema, (nfd,))
+    yield from engine.validate(instance, all_violations=True).violations
 
 
 def find_violation(instance: Instance, nfd: NFD) -> Violation | None:
-    """Return the first violation witness, or None if the NFD holds."""
-    for violation in find_violations(instance, nfd):
-        return violation
-    return None
+    """Return the first violation witness, or None if the NFD holds.
+
+    Short-circuits: the underlying engine stops walking as soon as one
+    disagreement for *nfd* is found.
+    """
+    from .batch_validate import ValidatorEngine
+
+    engine = ValidatorEngine(instance.schema, (nfd,))
+    result = engine.validate(instance)
+    return result.violations[0] if result.violations else None

@@ -13,6 +13,16 @@ The three constructors mirror the type constructors:
 
 Equality is structural and set equality is extensional, which is exactly
 what NFD satisfaction (Definition 2.4) compares.
+
+Because values are immutable, the structural hash of every constructor is
+computed *once at construction* and cached (``_hash``); ``__hash__`` then
+just returns it.  Nested values hash in O(depth) amortized instead of
+re-walking the whole subtree on every dictionary probe — the hash-group
+tables of :mod:`repro.nfd.fast_satisfy` and
+:mod:`repro.nfd.batch_validate` probe these hashes on every binding.
+:class:`SetValue` additionally caches its deterministic (sorted-by-repr)
+iteration order lazily, so repeated traversals of the same set do not
+re-sort it.
 """
 
 from __future__ import annotations
@@ -44,7 +54,7 @@ class Value:
 class Atom(Value):
     """An atomic value of one of the base types."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
 
     def __init__(self, value):
         if not isinstance(value, _ATOM_TYPES):
@@ -52,6 +62,9 @@ class Atom(Value):
                 f"atoms wrap int, str, or bool, not {type(value).__name__}"
             )
         object.__setattr__(self, "value", value)
+        object.__setattr__(
+            self, "_hash",
+            hash(("Atom", type(value).__name__, value)))
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability
         raise AttributeError("Atom is immutable")
@@ -66,7 +79,7 @@ class Atom(Value):
         return self.value == other.value
 
     def __hash__(self) -> int:
-        return hash(("Atom", type(self.value).__name__, self.value))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Atom({self.value!r})"
@@ -83,7 +96,7 @@ class Record(Value):
     Label order is preserved for display; equality and hashing ignore it.
     """
 
-    __slots__ = ("fields", "_by_label")
+    __slots__ = ("fields", "_by_label", "_hash")
 
     def __init__(self, fields):
         """Create a record from ``(label, value)`` pairs or a mapping."""
@@ -109,6 +122,10 @@ class Record(Value):
             raise ValueError_("records must have at least one field")
         object.__setattr__(self, "fields", pairs)
         object.__setattr__(self, "_by_label", dict(pairs))
+        # Label order is display-only: hash the label/value pairs as a
+        # frozenset so reordered constructions collide, as equality does.
+        object.__setattr__(
+            self, "_hash", hash(("Record", frozenset(pairs))))
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability
         raise AttributeError("Record is immutable")
@@ -148,7 +165,7 @@ class Record(Value):
         return self._by_label == other._by_label
 
     def __hash__(self) -> int:
-        return hash(("Record", frozenset(self._by_label.items())))
+        return self._hash
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{label}={value!r}"
@@ -164,7 +181,7 @@ class Record(Value):
 class SetValue(Value):
     """A finite set of values with extensional equality."""
 
-    __slots__ = ("elements",)
+    __slots__ = ("elements", "_hash", "_sorted")
 
     def __init__(self, elements: Iterable[Value] = ()):
         frozen = frozenset(elements)
@@ -175,6 +192,9 @@ class SetValue(Value):
                     f"{type(element).__name__}"
                 )
         object.__setattr__(self, "elements", frozen)
+        object.__setattr__(self, "_hash", hash(("SetValue", frozen)))
+        # Deterministic iteration order, computed lazily on first use.
+        object.__setattr__(self, "_sorted", None)
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability
         raise AttributeError("SetValue is immutable")
@@ -183,10 +203,15 @@ class SetValue(Value):
         return len(self.elements)
 
     def __iter__(self) -> Iterator[Value]:
-        # Deterministic iteration order: sort by repr.  Sets are small in
-        # this domain, and stable order keeps printing and tests
-        # reproducible across hash randomization.
-        return iter(sorted(self.elements, key=repr))
+        # Deterministic iteration order: sort by repr.  Stable order
+        # keeps printing and tests reproducible across hash
+        # randomization; the sorted tuple is cached because validation
+        # engines iterate the same sets many times.
+        ordered = self._sorted
+        if ordered is None:
+            ordered = tuple(sorted(self.elements, key=repr))
+            object.__setattr__(self, "_sorted", ordered)
+        return iter(ordered)
 
     def __contains__(self, value: Value) -> bool:
         return value in self.elements
@@ -226,7 +251,7 @@ class SetValue(Value):
             self.elements == other.elements
 
     def __hash__(self) -> int:
-        return hash(("SetValue", self.elements))
+        return self._hash
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(element) for element in self)

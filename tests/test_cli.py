@@ -44,6 +44,26 @@ class TestCheck:
         assert "students:sid" in out
         assert "violation" in out
 
+    def test_stats_go_to_stderr(self, course_bundle, capsys):
+        assert main(["check", course_bundle, "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "validator stats" not in captured.out
+        assert "validator stats (single-pass batch engine)" in \
+            captured.err
+        assert "elements walked" in captured.err
+        assert "satisfies all" in captured.out
+
+    def test_stats_keep_exit_code_on_violation(self, broken_bundle,
+                                               capsys):
+        assert main(["check", broken_bundle, "--stats"]) == 1
+        captured = capsys.readouterr()
+        assert "violation" in captured.out
+        assert "validator stats" in captured.err
+
+    def test_stats_off_by_default(self, course_bundle, capsys):
+        assert main(["check", course_bundle]) == 0
+        assert "validator stats" not in capsys.readouterr().err
+
 
 class TestImplies:
     def test_implied(self, course_bundle, capsys):

@@ -132,3 +132,47 @@ class TestSetValue:
     def test_rejects_non_values(self):
         with pytest.raises(ValueError_):
             SetValue([1, 2])
+
+
+class TestCachedHashes:
+    """Structural hashes are computed at construction and cached; the
+    cache must be invisible — equal values hash equal no matter how
+    they were built."""
+
+    def test_record_hash_ignores_label_order(self):
+        r1 = Record([("A", Atom(1)), ("B", Atom(2))])
+        r2 = Record([("B", Atom(2)), ("A", Atom(1))])
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+
+    def test_record_hash_distinguishes_values(self):
+        r1 = Record([("A", Atom(1))])
+        r2 = Record([("A", Atom(2))])
+        assert hash(r1) != hash(r2) or r1 != r2  # hash law only
+
+    def test_set_hash_ignores_order_and_duplicates(self):
+        s1 = SetValue([Atom(1), Atom(2), Atom(3)])
+        s2 = SetValue([Atom(3), Atom(1), Atom(2), Atom(1)])
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+
+    def test_nested_values_hash_equal_when_equal(self):
+        v1 = Record([("A", SetValue([Record([("B", Atom(1)),
+                                             ("C", Atom(2))])]))])
+        v2 = Record([("A", SetValue([Record([("C", Atom(2)),
+                                             ("B", Atom(1))])]))])
+        assert v1 == v2
+        assert hash(v1) == hash(v2)
+
+    def test_hash_stable_across_uses(self):
+        s = SetValue([Record([("A", Atom(n))]) for n in range(3)])
+        before = hash(s)
+        list(s)          # populates the cached iteration order
+        {s: "probe"}     # exercises __hash__ via a dict
+        assert hash(s) == before
+
+    def test_atoms_keep_cross_type_hash_laws(self):
+        # equal values must hash equal; these are unequal by design
+        assert Atom(True) != Atom(1)
+        assert Atom("1") != Atom(1)
+        assert hash(Atom(5)) == hash(Atom(5))
