@@ -1,0 +1,198 @@
+"""Implication sessions: memoized analysis vs per-query fresh engines.
+
+The analysis layer (key sweeps, minimal covers, redundancy scans) fires
+long streams of implication queries against one-member perturbations of
+the same Sigma.  :class:`repro.inference.ImplicationSession` answers
+them over a single compiled Sigma pool with cross-query closure
+memoization and subset seeding; the old pattern constructed a fresh
+:class:`~repro.inference.closure.ClosureEngine` per query.
+
+``test_saturation_gate`` is the acceptance gate for the session claim:
+running the combined candidate-key + minimal-cover workload through one
+session must cost **at least 3x fewer rule-application attempts**
+(counted via :func:`repro.inference.closure.engine_counters`) than the
+per-query fresh-engine baseline, on identical results.  It prints the
+session's memo hit rate and the serial-vs-parallel wall-clock of the
+key sweep (visible under ``-rA``).
+
+The remaining benchmarks time both sides under pytest-benchmark.
+"""
+
+import time
+
+from repro.analysis.cover import minimal_cover, non_redundant
+from repro.analysis.keys import is_key, minimal_keys
+from repro.generators import workloads
+from repro.inference import ImplicationSession
+from repro.inference.closure import ClosureEngine, engine_counters
+from repro.nfd import parse_nfds
+from repro.paths.path import Path
+from repro.paths.typing import resolve_base_path
+from repro.types.parser import parse_schema
+
+#: The relations whose candidate keys the workload sweeps.
+RELATIONS = ("Course", "Audit")
+
+
+def _analysis_schema():
+    """course_schema() plus a flat audit-trail relation whose
+    functional dependencies chain (``actor -> action -> ... ``), the
+    shape where adjacent key candidates share most of their closure."""
+    return parse_schema("""
+        Course = {<cnum: string, time: int,
+                   students: {<sid: int, age: int, grade: string>},
+                   books: {<isbn: int, title: string>}>} ;
+        Audit = {<actor: string, action: string, target: string,
+                  shift: int, terminal: string, room: string,
+                  badge: int, vendor: string, zone: string>}
+    """)
+
+
+def _analysis_sigma():
+    """course_sigma() plus shrinkable and redundant members (so the
+    cover has real work to do) plus the Audit chain."""
+    extra = parse_nfds("""
+        Course:[cnum, time -> students]
+        Course:[cnum, books:isbn -> time]
+        Course:[time, students:sid -> books]
+        Course:[cnum, students:sid -> students:age]
+        Course:students:[sid, age -> grade]
+        Course:[books:isbn, cnum -> books:title]
+        # the audit chain: actor determines everything, transitively
+        Audit:[actor -> action]
+        Audit:[action -> target]
+        Audit:[target -> shift]
+        Audit:[shift -> terminal]
+        Audit:[terminal -> room]
+        Audit:[room -> badge]
+        Audit:[badge -> vendor]
+        Audit:[vendor -> zone]
+    """)
+    return workloads.course_sigma() + extra
+
+
+def _workload():
+    return _analysis_schema(), _analysis_sigma()
+
+
+def _fresh_engine_keys(schema, sigma, relation):
+    """The old pattern: one ClosureEngine per is_key query."""
+    base = Path((relation,))
+    scope = resolve_base_path(schema, base)
+    attributes = [Path((label,)) for label in scope.labels]
+    from itertools import combinations
+    keys = []
+    for size in range(1, len(attributes) + 1):
+        for combo in combinations(attributes, size):
+            candidate = frozenset(combo)
+            if any(key <= candidate for key in keys):
+                continue
+            if is_key(ClosureEngine(schema, sigma), base, candidate):
+                keys.append(candidate)
+    return sorted(keys, key=lambda key: (len(key), sorted(map(str, key))))
+
+
+def _fresh_engine_cover(schema, sigma):
+    """The old pattern: one ClosureEngine per shrink / redundancy probe."""
+    working = list(sigma)
+    for index in range(len(working)):
+        current = working[index]
+        for path in sorted(current.lhs, reverse=True):
+            if path not in current.lhs:
+                continue
+            candidate = current.with_lhs(current.lhs - {path})
+            if ClosureEngine(schema, working).implies(candidate):
+                current = candidate
+                working[index] = current
+    index = 0
+    while index < len(working):
+        rest = working[:index] + working[index + 1:]
+        if ClosureEngine(schema, rest).implies(working[index]):
+            del working[index]
+        else:
+            index += 1
+    return working
+
+
+def test_saturation_gate():
+    """Gate: >=3x fewer rule-application attempts than fresh engines."""
+    schema, sigma = _workload()
+
+    before = engine_counters()["attempts"]
+    fresh_keys = {relation: _fresh_engine_keys(schema, sigma, relation)
+                  for relation in RELATIONS}
+    fresh_cover = _fresh_engine_cover(schema, sigma)
+    fresh_attempts = engine_counters()["attempts"] - before
+
+    session = ImplicationSession(schema, sigma)
+    before = engine_counters()["attempts"]
+    session_keys = {
+        relation: minimal_keys(schema, sigma, relation, engine=session)
+        for relation in RELATIONS
+    }
+    session_cover = minimal_cover(schema, sigma, session=session)
+    session_attempts = engine_counters()["attempts"] - before
+
+    assert session_keys == fresh_keys
+    assert session_cover == fresh_cover
+
+    serial_start = time.perf_counter()
+    for relation in RELATIONS:
+        minimal_keys(schema, sigma, relation)
+    serial_seconds = time.perf_counter() - serial_start
+    parallel_start = time.perf_counter()
+    for relation in RELATIONS:
+        parallel_keys = minimal_keys(schema, sigma, relation, jobs=2)
+        assert parallel_keys == session_keys[relation]
+    parallel_seconds = time.perf_counter() - parallel_start
+
+    stats = session.stats
+    ratio = fresh_attempts / max(session_attempts, 1)
+    print(f"\nimplication session on the Course+Audit analysis workload: "
+          f"{session_attempts} rule-application attempts vs "
+          f"{fresh_attempts} with per-query fresh engines "
+          f"({ratio:.1f}x fewer); memo hit rate {stats.hit_rate:.1%} "
+          f"over {stats.queries} queries ({stats.seed_reuses} subset "
+          f"seeds); key sweep wall-clock {serial_seconds:.4f}s serial "
+          f"vs {parallel_seconds:.4f}s with --jobs 2")
+    assert session_attempts * 3 <= fresh_attempts, (
+        f"session spent {session_attempts} attempts, fresh engines "
+        f"spent {fresh_attempts}: ratio {ratio:.2f} < 3"
+    )
+
+
+def test_session_agrees_on_redundancy():
+    """Sanity: the session-backed scan matches per-member fresh checks."""
+    schema, sigma = _workload()
+    session_result = non_redundant(schema, sigma)
+    fresh_result = _fresh_engine_cover(schema, list(sigma))
+    covers_fresh = ImplicationSession(schema, session_result)
+    assert covers_fresh.implies_all(fresh_result)
+    covers_session = ImplicationSession(schema, fresh_result)
+    assert covers_session.implies_all(session_result)
+
+
+def test_session_analysis(benchmark):
+    schema, sigma = _workload()
+    benchmark.group = "key sweep + minimal cover"
+
+    def run():
+        session = ImplicationSession(schema, sigma)
+        keys = minimal_keys(schema, sigma, "Course", engine=session)
+        cover = minimal_cover(schema, sigma, session=session)
+        return keys, cover
+
+    keys, cover = benchmark(run)
+    assert keys and cover
+
+
+def test_fresh_engine_analysis(benchmark):
+    schema, sigma = _workload()
+    benchmark.group = "key sweep + minimal cover"
+
+    def run():
+        return (_fresh_engine_keys(schema, sigma, "Course"),
+                _fresh_engine_cover(schema, sigma))
+
+    keys, cover = benchmark(run)
+    assert keys and cover

@@ -40,11 +40,14 @@ from .inference import (
     ClosureEngine,
     CountermodelBuilder,
     Derivation,
+    ImplicationSession,
     NonEmptySpec,
+    SessionStats,
     build_countermodel,
     find_countermodel,
     implies,
     search_countermodel,
+    sigma_fingerprint,
 )
 from .nfd import (
     NFD,
@@ -107,6 +110,7 @@ __all__ = [
     "ValidatorEngine", "ValidatorStats", "ValidationResult",
     # inference
     "ClosureEngine", "Derivation", "BruteForceProver",
+    "ImplicationSession", "SessionStats", "sigma_fingerprint",
     "NonEmptySpec", "implies",
     "CountermodelBuilder", "build_countermodel", "find_countermodel",
     "search_countermodel",

@@ -5,6 +5,16 @@ of one NFD per sibling attribute.  This module finds minimal keys — both
 at the top level of a relation and locally inside any set-valued path —
 by querying the closure engine, and offers the converse construction:
 the NFDs declaring a chosen key.
+
+The combination sweep is the library's heaviest query stream: adjacent
+combinations share most of their members, so by default it runs through
+an :class:`~repro.inference.session.ImplicationSession` (cross-query
+memoization plus subset-closure seeding).  With ``jobs > 1`` each
+size-level of the sweep fans out across worker processes via
+:func:`repro.parallel.process_map`; results are deterministic because
+same-size candidates can never prune one another (a key can only prune
+strictly larger candidates), so the parallel sweep answers exactly the
+serial questions, in order.
 """
 
 from __future__ import annotations
@@ -13,8 +23,10 @@ from itertools import combinations
 from typing import Iterable
 
 from ..inference.closure import ClosureEngine
+from ..inference.empty_sets import NonEmptySpec
+from ..inference.session import ImplicationSession
 from ..nfd.nfd import NFD
-from ..paths.path import Path
+from ..paths.path import Path, parse_path
 from ..paths.typing import resolve_base_path
 from ..types.schema import Schema
 
@@ -38,13 +50,13 @@ def key_nfds(base: Path, key: Iterable[Path],
     return result
 
 
-def is_key(engine: ClosureEngine, base: Path,
-           candidate: Iterable[Path]) -> bool:
+def is_key(engine, base: Path, candidate: Iterable[Path]) -> bool:
     """Does *candidate* determine every top-level attribute at *base*?
 
     Determining all top-level attributes pins the whole element: deeper
     paths are reached through their top-level set, which is itself
-    determined.
+    determined.  *engine* is a :class:`ClosureEngine` or an
+    :class:`ImplicationSession` (anything with ``schema``/``closure``).
     """
     scope = resolve_base_path(engine.schema, base)
     closed = engine.closure(base, candidate)
@@ -52,35 +64,85 @@ def is_key(engine: ClosureEngine, base: Path,
 
 
 def minimal_keys(schema: Schema, sigma: Iterable[NFD], relation: str,
-                 engine: ClosureEngine | None = None) \
-        -> list[frozenset[Path]]:
+                 engine=None, *, nonempty: NonEmptySpec | None = None,
+                 jobs: int = 1) -> list[frozenset[Path]]:
     """All minimal keys of *relation* over its top-level attributes.
 
     Exponential in attribute count (key discovery is NP-hard in general);
-    practical for the schema sizes of the paper's setting.
+    practical for the schema sizes of the paper's setting.  *nonempty*
+    selects the gated (Section 3.2) semantics; *jobs* fans the sweep out
+    across processes.
     """
-    return local_minimal_keys(schema, sigma, Path((relation,)), engine)
+    return local_minimal_keys(schema, sigma, Path((relation,)), engine,
+                              nonempty=nonempty, jobs=jobs)
+
+
+def _keys_setup(payload):
+    """Worker initializer: rebuild the session from pickle-safe texts."""
+    from ..io.json_io import load_bundle
+    from ..parallel import spec_from_payload
+
+    bundle_text, spec_data, base_text = payload
+    schema, sigma, _ = load_bundle(bundle_text)
+    session = ImplicationSession(schema, sigma,
+                                 spec_from_payload(spec_data))
+    return session, parse_path(base_text)
+
+
+def _keys_probe(context, candidate_texts: tuple[str, ...]) -> bool:
+    """Worker task: one is_key query against the per-process session."""
+    session, base = context
+    candidate = frozenset(parse_path(text) for text in candidate_texts)
+    return is_key(session, base, candidate)
 
 
 def local_minimal_keys(schema: Schema, sigma: Iterable[NFD], base: Path,
-                       engine: ClosureEngine | None = None) \
-        -> list[frozenset[Path]]:
+                       engine=None, *,
+                       nonempty: NonEmptySpec | None = None,
+                       jobs: int = 1) -> list[frozenset[Path]]:
     """Minimal keys at an arbitrary base path (local keys).
 
     For ``base = Course:students`` this answers "which attribute sets
     identify a student within one course" — e.g. ``{sid}`` under the
     constraint of Example 2.3.
+
+    When *engine* is given (a :class:`ClosureEngine` or
+    :class:`ImplicationSession`) its Sigma and nonempty spec are
+    authoritative; otherwise a session over ``(schema, sigma,
+    nonempty)`` is built.  With ``jobs > 1`` and no shared engine, each
+    size-level of the sweep is answered by worker processes (one
+    session per process, results in candidate order).
     """
+    sigma_list = list(sigma)
     working = engine if engine is not None \
-        else ClosureEngine(schema, list(sigma))
+        else ImplicationSession(schema, sigma_list, nonempty)
     scope = resolve_base_path(schema, base)
     attributes = [Path((label,)) for label in scope.labels]
+    parallel = jobs > 1 and engine is None
+    if parallel:
+        from ..io.json_io import dump_bundle
+        from ..parallel import process_map, spec_payload
+
+        payload = (dump_bundle(schema, sigma_list),
+                   spec_payload(nonempty), str(base))
     keys: list[frozenset[Path]] = []
     for size in range(1, len(attributes) + 1):
-        for combo in combinations(attributes, size):
-            candidate = frozenset(combo)
-            if any(key <= candidate for key in keys):
-                continue
-            if is_key(working, base, candidate):
+        candidates = [
+            frozenset(combo)
+            for combo in combinations(attributes, size)
+            if not any(key <= frozenset(combo) for key in keys)
+        ]
+        if not candidates:
+            continue
+        if parallel:
+            texts = [tuple(str(p) for p in sorted(candidate))
+                     for candidate in candidates]
+            verdicts = process_map(_keys_setup, payload, _keys_probe,
+                                   texts, jobs)
+        else:
+            verdicts = [is_key(working, base, candidate)
+                        for candidate in candidates]
+        for candidate, verdict in zip(candidates, verdicts):
+            if verdict:
                 keys.append(candidate)
     return sorted(keys, key=lambda key: (len(key), sorted(map(str, key))))

@@ -40,6 +40,13 @@ does the same with the batch validation engine's counters
 (:class:`repro.nfd.ValidatorStats`); exit codes are unchanged either
 way.
 
+Query commands that run through an implication session additionally
+accept ``--cache-stats``, printing the session's memoization counters
+(:class:`repro.inference.SessionStats`) to stderr, and the analysis
+commands ``keys`` and ``check`` accept ``--jobs N`` to fan their work
+out across *N* worker processes — stdout is byte-identical to the
+serial run (deterministic result ordering), only wall-clock changes.
+
 Every command returns a conventional exit status (0 success / holds,
 1 violation / does not hold, 2 usage error), so the CLI composes with
 shell scripting.
@@ -54,7 +61,12 @@ from pathlib import Path as FilePath
 from .analysis import minimal_keys
 from .chase import repair as chase_repair
 from .errors import ReproError
-from .inference import ClosureEngine, NonEmptySpec, build_countermodel
+from .inference import (
+    ClosureEngine,
+    ImplicationSession,
+    NonEmptySpec,
+    build_countermodel,
+)
 from .io import dump_bundle, load_bundle, load_spec, render_instance
 from .nfd import ValidatorEngine, parse_nfd
 from .paths import parse_path
@@ -100,6 +112,13 @@ def _emit_stats(args, engine) -> None:
         print(engine.stats.to_text(), file=sys.stderr)
 
 
+def _emit_cache_stats(args, session) -> None:
+    """Print a session's memoization counters to stderr when
+    ``--cache-stats`` was given (None sessions are skipped)."""
+    if getattr(args, "cache_stats", False) and session is not None:
+        print(session.stats.to_text(), file=sys.stderr)
+
+
 def _cmd_check(args) -> int:
     schema, sigma, instance = _load(args.bundle)
     if instance is None:
@@ -108,7 +127,8 @@ def _cmd_check(args) -> int:
     from .values import check_instance
     check_instance(instance)
     engine = ValidatorEngine(schema, sigma)
-    result = engine.validate(instance, all_violations=True)
+    result = engine.validate(instance, all_violations=True,
+                             jobs=getattr(args, "jobs", 1))
     for violation in result.violations:
         print(violation.describe())
         print()
@@ -123,10 +143,12 @@ def _cmd_check(args) -> int:
 def _cmd_implies(args) -> int:
     schema, sigma, _ = _load(args.bundle)
     candidate = parse_nfd(args.nfd)
-    engine = ClosureEngine(schema, sigma, nonempty=_spec_from_args(args))
-    status = 0 if engine.implies(candidate) else 1
+    session = ImplicationSession(schema, sigma,
+                                 nonempty=_spec_from_args(args))
+    status = 0 if session.implies(candidate) else 1
     print(f"{'implied' if status == 0 else 'not implied'}: {candidate}")
-    _emit_stats(args, engine)
+    _emit_stats(args, session.engine)
+    _emit_cache_stats(args, session)
     return status
 
 
@@ -134,13 +156,15 @@ def _cmd_closure(args) -> int:
     schema, sigma, _ = _load(args.bundle)
     base = parse_path(args.base)
     lhs = {parse_path(text) for text in args.paths}
-    engine = ClosureEngine(schema, sigma, nonempty=_spec_from_args(args))
-    closed = engine.closure(base, lhs)
+    session = ImplicationSession(schema, sigma,
+                                 nonempty=_spec_from_args(args))
+    closed = session.closure(base, lhs)
     lhs_text = ", ".join(sorted(map(str, lhs))) or "∅"
     print(f"({base}, {{{lhs_text}}})* =")
     for path in sorted(closed):
         print(f"  {path}")
-    _emit_stats(args, engine)
+    _emit_stats(args, session.engine)
+    _emit_cache_stats(args, session)
     return 0
 
 
@@ -216,12 +240,23 @@ def _cmd_render(args) -> int:
 def _cmd_keys(args) -> int:
     schema, sigma, _ = _load(args.bundle)
     relation = args.relation or schema.relation_names[0]
-    keys = minimal_keys(schema, sigma, relation)
+    spec = _spec_from_args(args)
+    jobs = getattr(args, "jobs", 1)
+    session = None
+    if jobs <= 1:
+        session = ImplicationSession(schema, sigma, spec)
+    elif getattr(args, "cache_stats", False):
+        print("cache stats unavailable with --jobs > 1 (each worker "
+              "process holds its own session)", file=sys.stderr)
+    keys = minimal_keys(schema, sigma, relation, engine=session,
+                        nonempty=spec, jobs=jobs)
     if not keys:
         print(f"{relation}: no key among the top-level attributes")
+        _emit_cache_stats(args, session)
         return 1
     for key in keys:
         print(f"{relation}: {{{', '.join(sorted(map(str, key)))}}}")
+    _emit_cache_stats(args, session)
     return 0
 
 
@@ -234,9 +269,15 @@ def _cmd_diff(args) -> int:
         print("error: the two bundles declare different schemas",
               file=sys.stderr)
         return 2
-    diff = diff_sigmas(schema, old_sigma, new_sigma,
-                       nonempty=_spec_from_args(args))
+    spec = _spec_from_args(args)
+    old_session = ImplicationSession(schema, old_sigma, spec)
+    new_session = ImplicationSession(schema, new_sigma, spec)
+    diff = diff_sigmas(schema, old_sigma, new_sigma, nonempty=spec,
+                       old_session=old_session,
+                       new_session=new_session)
     print(diff.to_text())
+    _emit_cache_stats(args, old_session)
+    _emit_cache_stats(args, new_session)
     return 0 if diff.equivalent else 1
 
 
@@ -244,9 +285,12 @@ def _cmd_analyze(args) -> int:
     from .analysis import analyze_constraints
 
     schema, sigma, _ = _load(args.bundle)
-    report = analyze_constraints(schema, sigma,
-                                 nonempty=_spec_from_args(args))
+    spec = _spec_from_args(args)
+    session = ImplicationSession(schema, list(sigma), spec)
+    report = analyze_constraints(schema, sigma, nonempty=spec,
+                                 session=session)
     print(report.to_text())
+    _emit_cache_stats(args, session)
     return 0
 
 
@@ -304,12 +348,27 @@ def build_parser() -> argparse.ArgumentParser:
                  "stderr",
         )
 
+    def cache_stats_arg(sub):
+        sub.add_argument(
+            "--cache-stats", action="store_true", dest="cache_stats",
+            help="print the implication session's memoization counters "
+                 "to stderr",
+        )
+
+    def jobs_arg(sub):
+        sub.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="fan the work out across N worker processes "
+                 "(default 1: serial; output is identical either way)",
+        )
+
     sub = commands.add_parser("check", help="validate the instance")
     bundle_arg(sub)
     sub.add_argument(
         "--stats", action="store_true",
         help="print the validation engine's counters to stderr",
     )
+    jobs_arg(sub)
     sub.set_defaults(handler=_cmd_check)
 
     sub = commands.add_parser("implies", help="decide implication")
@@ -317,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("nfd", help='candidate, e.g. "Course:[cnum -> time]"')
     nonempty_arg(sub)
     stats_arg(sub)
+    cache_stats_arg(sub)
     sub.set_defaults(handler=_cmd_implies)
 
     sub = commands.add_parser("closure", help="compute (x0, X, Sigma)*")
@@ -325,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("paths", nargs="*", help="LHS paths")
     nonempty_arg(sub)
     stats_arg(sub)
+    cache_stats_arg(sub)
     sub.set_defaults(handler=_cmd_closure)
 
     sub = commands.add_parser("explain", help="justify an implication")
@@ -359,6 +420,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = commands.add_parser("keys", help="minimal keys of a relation")
     bundle_arg(sub)
     sub.add_argument("relation", nargs="?", default=None)
+    nonempty_arg(sub)
+    cache_stats_arg(sub)
+    jobs_arg(sub)
     sub.set_defaults(handler=_cmd_keys)
 
     sub = commands.add_parser("diff",
@@ -366,12 +430,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("old_bundle")
     sub.add_argument("new_bundle")
     nonempty_arg(sub)
+    cache_stats_arg(sub)
     sub.set_defaults(handler=_cmd_diff)
 
     sub = commands.add_parser("analyze",
                               help="keys, singletons, redundancy report")
     bundle_arg(sub)
     nonempty_arg(sub)
+    cache_stats_arg(sub)
     sub.set_defaults(handler=_cmd_analyze)
 
     sub = commands.add_parser("report",

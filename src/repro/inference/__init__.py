@@ -40,6 +40,7 @@ from .mvds import (
     satisfies_mvd,
 )
 from .proof_compiler import compile_proof
+from .session import ImplicationSession, SessionStats, sigma_fingerprint
 from .simple_rules import (
     SIMPLE_RULE_NAMES,
     full_locality,
@@ -52,6 +53,9 @@ __all__ = [
     "ClosureEngine",
     "EngineStats",
     "Explanation",
+    "ImplicationSession",
+    "SessionStats",
+    "sigma_fingerprint",
     "Derivation",
     "Step",
     "BruteForceProver",

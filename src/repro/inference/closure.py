@@ -45,6 +45,20 @@ the least fixpoint of the same monotone step operator, so their results
 coincide; :attr:`ClosureEngine.stats` exposes the work counters that
 tell them apart.
 
+The usables compiled from Sigma — each member's simple form, its
+admissible localized variants, and the trigger index over their LHS
+members and coverable prefixes — depend only on ``(schema, member,
+nonempty)``, never on the rest of Sigma.  They are therefore compiled
+once into a :class:`_SigmaPool` tagged by member index and *shared* by
+the copy-on-write probe engines :meth:`ClosureEngine.without`,
+:meth:`ClosureEngine.with_added`, and :meth:`ClosureEngine.replace`: a
+probe masks members in or out of the shared pool and compiles only the
+members the pool has never seen, instead of rebuilding the whole pool
+per probe.  Saturation state (closure queries, activated singleton
+candidates) is per-engine — changing Sigma invalidates derived
+closures.  :class:`~repro.inference.session.ImplicationSession` builds
+its cross-query memoization and delta probes on these primitives.
+
 Passing a :class:`~repro.inference.empty_sets.NonEmptySpec` switches the
 engine to the Section 3.2 rules: prefix shortening requires the shortened
 positions to be declared non-empty, and intermediates of a transitivity
@@ -78,11 +92,34 @@ from ..types.base import SetType
 from ..types.schema import Schema
 from .empty_sets import NonEmptySpec
 
-__all__ = ["ClosureEngine", "EngineStats"]
+__all__ = ["ClosureEngine", "EngineStats", "engine_counters",
+           "pool_build_count"]
 
 #: Engine saturation strategies: the indexed worklist (default) and the
 #: retained global-rescan reference used for differential testing.
 STRATEGIES = ("worklist", "naive")
+
+# Process-global work counters, accumulated across every engine ever
+# constructed.  Benchmarks and tests snapshot/diff these to assert
+# construction bounds ("minimal_cover compiles exactly one pool") and
+# total saturation work independent of which engine instance did it.
+_COUNTERS = {"pool_builds": 0, "attempts": 0, "saturations": 0}
+
+
+def engine_counters() -> dict[str, int]:
+    """A snapshot of the process-global engine work counters.
+
+    ``pool_builds`` — full Sigma-pool compilations (copy-on-write probes
+    share their parent's pool and do not count); ``attempts`` /
+    ``saturations`` — transitivity-step attempts and saturation calls
+    summed over every engine in the process.
+    """
+    return dict(_COUNTERS)
+
+
+def pool_build_count() -> int:
+    """How many full Sigma pools this process has compiled."""
+    return _COUNTERS["pool_builds"]
 
 
 class EngineStats:
@@ -169,7 +206,9 @@ class _Usable:
     """A simple NFD ``[lhs -> rhs]`` in the engine's working pool.
 
     ``origin`` is one of ``"sigma"``, ``"localized"``, ``"singleton"``;
-    ``detail`` carries the provenance: the index into Sigma, a
+    ``detail`` carries the provenance: the originating Sigma member (the
+    NFD itself — pool usables are shared between engines whose Sigma
+    indexes differ, so positional references would not transfer), a
     ``(source usable, localization prefix)`` pair, or the singleton
     candidate, respectively.  Provenance feeds ``ClosureEngine.explain``.
     """
@@ -199,7 +238,7 @@ class _Usable:
         inner = ", ".join(str(p) for p in sorted(self.lhs)) or "∅"
         body = f"[{inner} -> {self.rhs}]"
         if self.origin == "sigma":
-            return f"{body} (Sigma member {sigma[self.detail]})"
+            return f"{body} (Sigma member {self.detail})"
         if self.origin == "localized":
             source, prefix = self.detail
             return (f"{body} (full-locality at {prefix} of "
@@ -231,202 +270,104 @@ class _SingletonCandidate:
         return (self.set_path, self.split)
 
 
-class ClosureEngine:
-    """Closure computation and implication for a schema and NFD set.
+def _localizations(relation: str, usable: _Usable,
+                   nonempty: NonEmptySpec) -> list[_Usable]:
+    """Localized variants ``[{x} u (lhs under x) -> rhs]``.
 
-    Example::
+    One variant per non-empty proper prefix ``x`` of the RHS.  In
+    non-empty-gated mode a variant is admitted only when every dropped
+    LHS path follows the RHS or is always defined.
+    """
+    variants: list[_Usable] = []
+    rhs = usable.rhs
+    for length in range(1, len(rhs)):
+        x = rhs[:length]
+        kept = {p for p in usable.lhs if x.is_proper_prefix_of(p)}
+        dropped = usable.lhs - kept - {x}
+        if not nonempty.declares_everything:
+            admissible = all(
+                p.follows(rhs) or
+                nonempty.always_defined(relation, p)
+                for p in dropped
+            )
+            if not admissible:
+                continue
+        variants.append(_Usable(frozenset(kept) | {x}, rhs,
+                                "localized", (usable, x)))
+    return variants
 
-        engine = ClosureEngine(schema, nfds)
-        engine.implies(NFD.parse("R:A:[B -> E]"))       # True/False
-        engine.closure(parse_path("R:A"), {parse_path("B")})
 
-    The engine caches its saturation state, so asking many queries against
-    the same ``(schema, Sigma)`` is cheap after the first.
+def _compile_member(nfd: NFD, nonempty: NonEmptySpec) \
+        -> tuple[str, list[_Usable]]:
+    """One Sigma member's usables: its simple form plus the admissible
+    localized variants, deduplicated within the member."""
+    simple = to_simple(nfd)
+    relation = simple.relation
+    main = _Usable(simple.lhs, simple.rhs, "sigma", nfd)
+    usables = [main]
+    seen = {main.key()}
+    for variant in _localizations(relation, main, nonempty):
+        if variant.key() not in seen:
+            seen.add(variant.key())
+            usables.append(variant)
+    return relation, usables
 
-    *strategy* selects the saturation algorithm: ``"worklist"`` (the
-    indexed semi-naive default) or ``"naive"`` (the reference global
-    fixpoint; same results, more work — see :attr:`stats`).
+
+class _SigmaPool:
+    """The compiled, shareable part of an engine for one root Sigma.
+
+    Everything here is derived member-by-member from ``(schema, Sigma,
+    nonempty)`` and never mutated after construction, so copy-on-write
+    probe engines (:meth:`ClosureEngine.without` / ``with_added`` /
+    ``replace``) share one pool and mask members in or out instead of
+    recompiling usables and trigger indexes per probe.  Entries are
+    tagged with the member index they came from; an engine filters them
+    against its active-member set at drain time.
     """
 
-    def __init__(self, schema: Schema, sigma: Iterable[NFD],
-                 nonempty: NonEmptySpec | None = None, *,
-                 strategy: str = "worklist", _shared=None):
-        if strategy not in STRATEGIES:
-            raise InferenceError(
-                f"unknown saturation strategy {strategy!r}; "
-                f"expected one of {', '.join(STRATEGIES)}"
-            )
+    __slots__ = ("schema", "nonempty", "paths", "candidates",
+                 "candidate_index", "member_usables", "trigger",
+                 "empty_lhs", "by_relation")
+
+    def __init__(self, schema: Schema, sigma: tuple[NFD, ...],
+                 nonempty: NonEmptySpec):
+        _COUNTERS["pool_builds"] += 1
         self.schema = schema
-        self.strategy = strategy
-        self.nonempty = nonempty if nonempty is not None \
-            else NonEmptySpec.all_nonempty()
-        self.sigma = tuple(sigma)
-
+        self.nonempty = nonempty
         names = schema.relation_names
-        # Per-relation state.
-        self._usable: dict[str, list[_Usable]] = {n: [] for n in names}
-        self._usable_keys: dict[str, set] = {n: set() for n in names}
-        self._queries: dict[str, dict[frozenset[Path], set[Path]]] = {
-            n: {} for n in names
+        self.paths: dict[str, frozenset[Path]] = {
+            n: frozenset(relation_paths(schema, n)) for n in names
         }
-        self._activated: dict[str, set] = {n: set() for n in names}
-
-        # Worklist state: the usable trigger index, usables with an empty
-        # LHS (never delta-triggered), pending deltas per query, usables
-        # not yet attempted against every query, queries not yet offered
-        # the empty-LHS usables, and whether the singleton premise
-        # queries have been created.
-        self._trigger: dict[str, dict[Path, list[_Usable]]] = {
-            n: {} for n in names
-        }
-        self._empty_lhs: dict[str, list[_Usable]] = {n: [] for n in names}
-        self._dirty: dict[str, dict[frozenset[Path], set[Path]]] = {
-            n: {} for n in names
-        }
-        self._new_usables: dict[str, list[_Usable]] = {
+        self.candidates: dict[str, list[_SingletonCandidate]] = {
             n: [] for n in names
         }
-        self._fresh: dict[str, list[frozenset[Path]]] = {
-            n: [] for n in names
-        }
-        self._seeded: dict[str, bool] = {n: False for n in names}
+        self.candidate_index: dict[
+            str, dict[frozenset[Path], list[_SingletonCandidate]]
+        ] = {n: {} for n in names}
+        self._build_singleton_candidates(schema)
 
-        # provenance: (query key, derived path) -> (usable, used paths)
-        self._provenance: dict[str, dict] = {n: {} for n in names}
+        # member-tagged usable structures
+        self.member_usables: list[list[_Usable]] = []
+        self.trigger: dict[str, dict[Path, list]] = {n: {} for n in names}
+        self.empty_lhs: dict[str, list] = {n: [] for n in names}
+        self.by_relation: dict[str, list] = {n: [] for n in names}
+        for index, nfd in enumerate(sigma):
+            relation, usables = _compile_member(nfd, nonempty)
+            self.member_usables.append(usables)
+            for usable in usables:
+                self.by_relation[relation].append((index, usable))
+                if usable.lhs:
+                    trigger = self.trigger[relation]
+                    for path in usable.trigger_paths():
+                        trigger.setdefault(path, []).append(
+                            (index, usable))
+                else:
+                    self.empty_lhs[relation].append((index, usable))
 
-        # counters behind the `stats` snapshot
-        self._saturations = 0
-        self._rounds = 0
-        self._attempts = 0
-        self._successes = 0
-        self._wall_time = 0.0
-
-        if _shared is None:
-            for nfd in self.sigma:
-                nfd.check_well_formed(schema)
-            self._paths: dict[str, frozenset[Path]] = {
-                n: frozenset(relation_paths(schema, n)) for n in names
-            }
-            self._candidates: dict[str, list[_SingletonCandidate]] = {
-                n: [] for n in names
-            }
-            self._candidate_index: dict[
-                str, dict[frozenset[Path], list[_SingletonCandidate]]
-            ] = {n: {} for n in names}
-            self._build_singleton_candidates()
-        else:
-            # Sigma members of a sibling engine were validated by the
-            # engine they came from; the schema-derived tables are
-            # immutable after construction and safe to share.
-            self._paths, self._candidates, self._candidate_index = _shared
-
-        for index, nfd in enumerate(self.sigma):
-            simple = to_simple(nfd)
-            self._add_usable(
-                simple.relation,
-                _Usable(simple.lhs, simple.rhs, "sigma", index))
-
-    def without(self, index: int) -> "ClosureEngine":
-        """A sibling engine over Sigma minus member *index*.
-
-        Shares the schema-level precomputation (typed path sets and the
-        singleton-candidate family) with this engine, so redundancy and
-        cover computations that probe each member against the rest avoid
-        rebuilding it per candidate.  Saturation state is *not* shared —
-        removing a member invalidates derived closures.
-        """
-        if not 0 <= index < len(self.sigma):
-            raise InferenceError(
-                f"no Sigma member at index {index}; Sigma has "
-                f"{len(self.sigma)} member(s)"
-            )
-        rest = self.sigma[:index] + self.sigma[index + 1:]
-        return ClosureEngine(
-            self.schema, rest, self.nonempty, strategy=self.strategy,
-            _shared=(self._paths, self._candidates,
-                     self._candidate_index),
-        )
-
-    # -- observability -----------------------------------------------------
-
-    @property
-    def stats(self) -> EngineStats:
-        """A point-in-time :class:`EngineStats` snapshot."""
-        derived = {
-            relation: sum(
-                len(closure_set) - len(key)
-                for key, closure_set in queries.items()
-            )
-            for relation, queries in self._queries.items()
-        }
-        return EngineStats(
-            strategy=self.strategy,
-            saturations=self._saturations,
-            rounds=self._rounds,
-            attempts=self._attempts,
-            successes=self._successes,
-            wall_time=self._wall_time,
-            usables={r: len(pool) for r, pool in self._usable.items()},
-            candidates={r: len(c) for r, c in self._candidates.items()},
-            activated={r: len(a) for r, a in self._activated.items()},
-            queries={r: len(q) for r, q in self._queries.items()},
-            derived=derived,
-        )
-
-    # -- pool construction -------------------------------------------------
-
-    def _add_usable(self, relation: str, usable: _Usable) -> None:
-        """Add a usable NFD plus its admissible localized variants."""
-        if usable.key() in self._usable_keys[relation]:
-            return
-        self._register(relation, usable)
-        for variant in self._localizations(relation, usable):
-            if variant.key() not in self._usable_keys[relation]:
-                self._register(relation, variant)
-
-    def _register(self, relation: str, usable: _Usable) -> None:
-        """Book-keeping for one new pool member: the trigger index and
-        the not-yet-broadcast list the worklist drains."""
-        self._usable_keys[relation].add(usable.key())
-        self._usable[relation].append(usable)
-        if usable.lhs:
-            trigger = self._trigger[relation]
-            for path in usable.trigger_paths():
-                trigger.setdefault(path, []).append(usable)
-        else:
-            self._empty_lhs[relation].append(usable)
-        self._new_usables[relation].append(usable)
-
-    def _localizations(self, relation: str, usable: _Usable) \
-            -> list[_Usable]:
-        """Localized variants ``[{x} u (lhs under x) -> rhs]``.
-
-        One variant per non-empty proper prefix ``x`` of the RHS.  In
-        non-empty-gated mode a variant is admitted only when every
-        dropped LHS path follows the RHS or is always defined.
-        """
-        variants: list[_Usable] = []
-        rhs = usable.rhs
-        for length in range(1, len(rhs)):
-            x = rhs[:length]
-            kept = {p for p in usable.lhs if x.is_proper_prefix_of(p)}
-            dropped = usable.lhs - kept - {x}
-            if not self.nonempty.declares_everything:
-                admissible = all(
-                    p.follows(rhs) or
-                    self.nonempty.always_defined(relation, p)
-                    for p in dropped
-                )
-                if not admissible:
-                    continue
-            variants.append(_Usable(frozenset(kept) | {x}, rhs,
-                                    "localized", (usable, x)))
-        return variants
-
-    def _build_singleton_candidates(self) -> None:
-        for relation in self.schema.relation_names:
-            element = self.schema.element_type(relation)
-            for s in set_paths(self.schema, relation):
+    def _build_singleton_candidates(self, schema: Schema) -> None:
+        for relation in schema.relation_names:
+            element = schema.element_type(relation)
+            for s in set_paths(schema, relation):
                 s_type = type_at(element, s)
                 assert isinstance(s_type, SetType)
                 attributes = s_type.element.labels
@@ -448,21 +389,292 @@ class ClosureEngine:
                         prefix_paths | attribute_paths, s, "singleton",
                         candidate,
                     )
-                    self._candidates[relation].append(candidate)
-                    self._candidate_index[relation].setdefault(
+                    self.candidates[relation].append(candidate)
+                    self.candidate_index[relation].setdefault(
                         candidate.premise_lhs, []).append(candidate)
+
+
+class ClosureEngine:
+    """Closure computation and implication for a schema and NFD set.
+
+    Example::
+
+        engine = ClosureEngine(schema, nfds)
+        engine.implies(NFD.parse("R:A:[B -> E]"))       # True/False
+        engine.closure(parse_path("R:A"), {parse_path("B")})
+
+    The engine caches its saturation state, so asking many queries against
+    the same ``(schema, Sigma)`` is cheap after the first.
+
+    *strategy* selects the saturation algorithm: ``"worklist"`` (the
+    indexed semi-naive default) or ``"naive"`` (the reference global
+    fixpoint; same results, more work — see :attr:`stats`).
+
+    Probing nearby Sigmas is copy-on-write: :meth:`without`,
+    :meth:`with_added`, and :meth:`replace` return sibling engines that
+    share this engine's compiled pool (usables, trigger indexes, typed
+    path sets, singleton candidates) and compile only members the pool
+    has never seen.  For cross-query memoization on top of one engine,
+    see :class:`~repro.inference.session.ImplicationSession`.
+    """
+
+    def __init__(self, schema: Schema, sigma: Iterable[NFD],
+                 nonempty: NonEmptySpec | None = None, *,
+                 strategy: str = "worklist", _cow=None):
+        if strategy not in STRATEGIES:
+            raise InferenceError(
+                f"unknown saturation strategy {strategy!r}; "
+                f"expected one of {', '.join(STRATEGIES)}"
+            )
+        self.schema = schema
+        self.strategy = strategy
+        self.nonempty = nonempty if nonempty is not None \
+            else NonEmptySpec.all_nonempty()
+        self.sigma = tuple(sigma)
+
+        if _cow is None:
+            for nfd in self.sigma:
+                nfd.check_well_formed(schema)
+            self._pool = _SigmaPool(schema, self.sigma, self.nonempty)
+            # own Sigma index -> pool member index (None = overlay)
+            self._member_map: tuple = tuple(range(len(self.sigma)))
+        else:
+            self._pool, self._member_map = _cow
+        self._active = frozenset(
+            index for index in self._member_map if index is not None
+        )
+
+        names = schema.relation_names
+        # Per-relation mutable state.
+        self._queries: dict[str, dict[frozenset[Path], set[Path]]] = {
+            n: {} for n in names
+        }
+        self._activated: dict[str, set] = {n: set() for n in names}
+
+        # Overlay pool: usables not backed by the shared pool — members
+        # added or replaced after the pool was compiled, plus singleton
+        # usables activated at runtime.  Mutations never touch the
+        # shared pool, so sibling engines are unaffected.
+        self._overlay_usables: dict[str, list[_Usable]] = {
+            n: [] for n in names
+        }
+        self._overlay_keys: dict[str, set] = {n: set() for n in names}
+        self._overlay_trigger: dict[str, dict[Path, list[_Usable]]] = {
+            n: {} for n in names
+        }
+        self._overlay_empty: dict[str, list[_Usable]] = {
+            n: [] for n in names
+        }
+
+        # Worklist state: pending deltas per query, usables not yet
+        # attempted against every query, queries not yet offered the
+        # empty-LHS usables, and whether the singleton premise queries
+        # have been created.
+        self._dirty: dict[str, dict[frozenset[Path], set[Path]]] = {
+            n: {} for n in names
+        }
+        self._new_usables: dict[str, list[_Usable]] = {
+            n: [] for n in names
+        }
+        self._fresh: dict[str, list[frozenset[Path]]] = {
+            n: [] for n in names
+        }
+        self._seeded: dict[str, bool] = {n: False for n in names}
+
+        # provenance: query key -> derived path -> (usable, used paths)
+        self._provenance: dict[str, dict] = {n: {} for n in names}
+
+        # counters behind the `stats` snapshot
+        self._saturations = 0
+        self._rounds = 0
+        self._attempts = 0
+        self._successes = 0
+        self._wall_time = 0.0
+
+        # Compile overlay members (no broadcast needed: the engine has
+        # no closure queries yet).
+        for own_index, pool_index in enumerate(self._member_map):
+            if pool_index is not None:
+                continue
+            nfd = self.sigma[own_index]
+            nfd.check_well_formed(schema)
+            relation, usables = _compile_member(nfd, self.nonempty)
+            for usable in usables:
+                if usable.key() not in self._overlay_keys[relation]:
+                    self._register(relation, usable, broadcast=False)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self.sigma):
+            raise InferenceError(
+                f"no Sigma member at index {index}; Sigma has "
+                f"{len(self.sigma)} member(s)"
+            )
+
+    def without(self, index: int) -> "ClosureEngine":
+        """A sibling engine over Sigma minus member *index*.
+
+        Copy-on-write: shares this engine's compiled pool (usables,
+        trigger indexes, typed path sets, singleton candidates) and
+        masks the member out, so redundancy and cover computations that
+        probe each member against the rest avoid recompiling anything.
+        Saturation state is *not* shared — removing a member
+        invalidates derived closures.
+        """
+        self._check_index(index)
+        rest = self.sigma[:index] + self.sigma[index + 1:]
+        member_map = self._member_map[:index] + \
+            self._member_map[index + 1:]
+        return ClosureEngine(
+            self.schema, rest, self.nonempty, strategy=self.strategy,
+            _cow=(self._pool, member_map),
+        )
+
+    def with_added(self, nfd: NFD) -> "ClosureEngine":
+        """A sibling engine over Sigma plus *nfd* (appended).
+
+        Copy-on-write like :meth:`without`: only the new member is
+        compiled; everything else is shared with this engine.
+        """
+        return ClosureEngine(
+            self.schema, self.sigma + (nfd,), self.nonempty,
+            strategy=self.strategy,
+            _cow=(self._pool, self._member_map + (None,)),
+        )
+
+    def replace(self, index: int, nfd: NFD) -> "ClosureEngine":
+        """A sibling engine with member *index* replaced by *nfd*.
+
+        Keeps Sigma order (unlike ``without(i).with_added(nfd)``), so
+        positional bookkeeping in callers survives the swap.  Only the
+        replacement member is compiled.
+        """
+        self._check_index(index)
+        sigma = self.sigma[:index] + (nfd,) + self.sigma[index + 1:]
+        member_map = self._member_map[:index] + (None,) + \
+            self._member_map[index + 1:]
+        return ClosureEngine(
+            self.schema, sigma, self.nonempty, strategy=self.strategy,
+            _cow=(self._pool, member_map),
+        )
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def stats(self) -> EngineStats:
+        """A point-in-time :class:`EngineStats` snapshot."""
+        derived = {
+            relation: sum(
+                len(closure_set) - len(key)
+                for key, closure_set in queries.items()
+            )
+            for relation, queries in self._queries.items()
+        }
+        return EngineStats(
+            strategy=self.strategy,
+            saturations=self._saturations,
+            rounds=self._rounds,
+            attempts=self._attempts,
+            successes=self._successes,
+            wall_time=self._wall_time,
+            usables={r: sum(1 for _ in self._all_usables(r))
+                     for r in self.schema.relation_names},
+            candidates={r: len(c)
+                        for r, c in self._pool.candidates.items()},
+            activated={r: len(a) for r, a in self._activated.items()},
+            queries={r: len(q) for r, q in self._queries.items()},
+            derived=derived,
+        )
+
+    # -- pool layering -----------------------------------------------------
+
+    def _all_usables(self, relation: str):
+        """Every usable active for this engine: the shared pool masked
+        by the active-member set, then the overlay."""
+        for member, usable in self._pool.by_relation.get(relation, ()):
+            if member in self._active:
+                yield usable
+        yield from self._overlay_usables[relation]
+
+    def _triggered(self, relation: str, path: Path):
+        """The active usables whose LHS (or a coverable prefix of one
+        of its members) contains *path*."""
+        pool_hits = self._pool.trigger.get(relation, {}).get(path)
+        if pool_hits:
+            for member, usable in pool_hits:
+                if member in self._active:
+                    yield usable
+        overlay_hits = self._overlay_trigger[relation].get(path)
+        if overlay_hits:
+            yield from overlay_hits
+
+    def _empty_lhs_usables(self, relation: str):
+        for member, usable in self._pool.empty_lhs.get(relation, ()):
+            if member in self._active:
+                yield usable
+        yield from self._overlay_empty[relation]
+
+    def _add_usable(self, relation: str, usable: _Usable) -> None:
+        """Add a runtime usable (an activated singleton NFD) plus its
+        admissible localized variants to the overlay."""
+        if usable.key() in self._overlay_keys[relation]:
+            return
+        self._register(relation, usable, broadcast=True)
+        for variant in _localizations(relation, usable, self.nonempty):
+            if variant.key() not in self._overlay_keys[relation]:
+                self._register(relation, variant, broadcast=True)
+
+    def _register(self, relation: str, usable: _Usable,
+                  broadcast: bool) -> None:
+        """Book-keeping for one overlay member: the trigger index and —
+        when queries may already exist — the not-yet-broadcast list the
+        worklist drains."""
+        self._overlay_keys[relation].add(usable.key())
+        self._overlay_usables[relation].append(usable)
+        if usable.lhs:
+            trigger = self._overlay_trigger[relation]
+            for path in usable.trigger_paths():
+                trigger.setdefault(path, []).append(usable)
+        else:
+            self._overlay_empty[relation].append(usable)
+        if broadcast:
+            self._new_usables[relation].append(usable)
 
     # -- saturation ----------------------------------------------------------
 
-    def _ensure(self, relation: str, key: frozenset[Path]) -> set[Path]:
+    def _ensure(self, relation: str, key: frozenset[Path],
+                seed: Iterable[Path] = ()) -> set[Path]:
         queries = self._queries[relation]
         closure_set = queries.get(key)
         if closure_set is None:
             closure_set = set(key)
+            closure_set.update(seed)
             queries[key] = closure_set
-            self._dirty[relation].setdefault(key, set()).update(key)
+            self._dirty[relation].setdefault(key, set()).update(
+                closure_set)
             self._fresh[relation].append(key)
         return closure_set
+
+    def forget_query(self, relation: str, key: frozenset[Path]) -> bool:
+        """Drop a saturated closure query (memo-eviction support).
+
+        Returns True when the query was dropped.  Singleton premise
+        queries are retained — they drive candidate activation and are
+        created only once per relation — as are unknown keys.  Dropping
+        a query discards its provenance, so ``explain`` can no longer
+        justify conclusions that depended on it.
+        """
+        if key in self._pool.candidate_index[relation]:
+            return False
+        queries = self._queries[relation]
+        if key not in queries:
+            return False
+        del queries[key]
+        self._dirty[relation].pop(key, None)
+        self._provenance[relation].pop(key, None)
+        fresh = self._fresh[relation]
+        if key in fresh:  # defensive: never-saturated query
+            self._fresh[relation] = [k for k in fresh if k != key]
+        return True
 
     def _coverage(self, relation: str, member: Path,
                   key: frozenset[Path], closure_set: set[Path],
@@ -510,6 +722,7 @@ class ClosureEngine:
                       closure_set: set[Path], usable: _Usable) -> bool:
         """Try one transitivity step; returns True if the closure grew."""
         self._attempts += 1
+        _COUNTERS["attempts"] += 1
         if usable.rhs in closure_set:
             return False
         member_pairs: list[tuple[Path, Path]] = []
@@ -521,13 +734,14 @@ class ClosureEngine:
             member_pairs.append((member, found))
         closure_set.add(usable.rhs)
         self._successes += 1
-        self._provenance[relation][(key, usable.rhs)] = \
+        self._provenance[relation].setdefault(key, {})[usable.rhs] = \
             (usable, tuple(member_pairs))
         return True
 
     def _saturate(self, relation: str) -> None:
         started = time.perf_counter()
         self._saturations += 1
+        _COUNTERS["saturations"] += 1
         if self.strategy == "naive":
             self._saturate_naive(relation)
         else:
@@ -548,20 +762,21 @@ class ClosureEngine:
         """
         if not self._seeded[relation]:
             self._seeded[relation] = True
-            for candidate in self._candidates[relation]:
+            for candidate in self._pool.candidates[relation]:
                 self._ensure(relation, candidate.premise_lhs)
         queries = self._queries[relation]
         activated = self._activated[relation]
         dirty = self._dirty[relation]
         new_usables = self._new_usables[relation]
         fresh = self._fresh[relation]
-        trigger = self._trigger[relation]
-        candidate_index = self._candidate_index[relation]
+        candidate_index = self._pool.candidate_index[relation]
         while dirty or new_usables or fresh:
             self._rounds += 1
             if new_usables:
                 usable = new_usables.pop()
                 for key in list(queries):
+                    if usable.rhs in queries[key]:
+                        continue
                     if self._apply_usable(relation, key, queries[key],
                                           usable):
                         dirty.setdefault(key, set()).add(usable.rhs)
@@ -569,7 +784,9 @@ class ClosureEngine:
             if fresh:
                 key = fresh.pop()
                 closure_set = queries[key]
-                for usable in self._empty_lhs[relation]:
+                for usable in self._empty_lhs_usables(relation):
+                    if usable.rhs in closure_set:
+                        continue
                     if self._apply_usable(relation, key, closure_set,
                                           usable):
                         dirty.setdefault(key, set()).add(usable.rhs)
@@ -586,8 +803,16 @@ class ClosureEngine:
                     self._add_usable(relation, candidate.usable)
             attempted: set = set()
             for path in delta:
-                for usable in trigger.get(path, ()):
-                    mark = id(usable)
+                for usable in self._triggered(relation, path):
+                    # an rhs already derived needs no attempt — crucial
+                    # for seeded queries, whose initial delta re-triggers
+                    # the (already closed) seed set
+                    if usable.rhs in closure_set:
+                        continue
+                    # dedup by (lhs, rhs): the shared pool may carry the
+                    # same usable from two Sigma members, and one attempt
+                    # per delta suffices for a given step
+                    mark = usable.key()
                     if mark in attempted:
                         continue
                     attempted.add(mark)
@@ -599,7 +824,7 @@ class ClosureEngine:
         """The reference global fixpoint: rescan every candidate and
         re-attempt every usable against every query until stable."""
         queries = self._queries[relation]
-        candidates = self._candidates[relation]
+        candidates = self._pool.candidates[relation]
         activated = self._activated[relation]
         while True:
             self._rounds += 1
@@ -613,7 +838,7 @@ class ClosureEngine:
                     activated.add(candidate.key())
                     self._add_usable(relation, candidate.usable)
                     changed = True
-            usable_pool = self._usable[relation]
+            usable_pool = list(self._all_usables(relation))
             for key in list(queries):
                 closure_set = queries[key]
                 for usable in usable_pool:
@@ -636,44 +861,39 @@ class ClosureEngine:
         The result contains the seed paths themselves (reflexivity) and
         is restricted to well-typed paths of the relation.
         """
+        return self.closure_simple_seeded(relation, lhs, ())
+
+    def closure_simple_seeded(self, relation: str, lhs: Iterable[Path],
+                              seed: Iterable[Path]) -> frozenset[Path]:
+        """``CL(L)``, saturated starting from a pre-derived *seed*.
+
+        *seed* must contain only paths already known to lie in
+        ``CL(L)`` — typically a cached closure of a subset of *L*
+        (monotonicity: ``X ⊆ Y`` implies ``CL(X) ⊆ CL(Y)`` in both the
+        plain and the gated systems, because enlarging the query key
+        only loosens the Section 3.2 gates).  Passing paths outside
+        ``CL(L)`` is unsound and the engine does not check for it.
+        Seeded paths carry no provenance, so :meth:`explain` cannot
+        justify conclusions that rest on them;
+        :class:`~repro.inference.session.ImplicationSession` uses this
+        for cross-query seed reuse.
+        """
         if relation not in self.schema:
             raise InferenceError(f"unknown relation {relation!r}")
         key = frozenset(lhs)
         for path in key:
-            if path not in self._paths[relation]:
+            if path not in self._pool.paths[relation]:
                 raise InferenceError(
                     f"path {path} is not well-typed in relation "
                     f"{relation!r}"
                 )
-        self._ensure(relation, key)
+        self._ensure(relation, key, seed)
         self._saturate(relation)
         return frozenset(self._queries[relation][key])
 
-    def closure(self, base: Path, lhs: Iterable[Path]) \
-            -> frozenset[Path]:
-        """``(x0, X, Sigma)*`` relative to the base path *x0*.
-
-        Returns the relative paths ``q`` such that ``x0:[X -> q]`` is
-        derivable, computed through the simple-form translation::
-
-            x0:[X -> q]  <=>  R:[prefixes(ybar), ybar:X -> ybar:q]
-
-        :raises InferenceError: when *base* is empty, does not start
-            with a relation name of the schema, or does not reach a
-            set-valued position.
-
-        In gated (Section 3.2) mode the backward direction of that
-        equivalence — pull-out — needs its own definedness gate: with
-        empty sets, Definition 2.4's trivially-true clause can excuse a
-        *simple-form* pair because of an undefined branch in one element
-        of the base set while the *local* form still constrains a
-        sibling element.  A simple-form derivation therefore only
-        transfers to the local reading when every LHS path and the
-        conclusion traverse only sets declared non-empty (inside the
-        base's elements); NFDs stated at this exact base in Sigma are
-        additionally honoured directly (augmentation is sound under
-        empty sets).
-        """
+    def _push_in(self, base: Path, lhs: Iterable[Path]):
+        """The simple-form translation of a closure query at *base*:
+        ``(relation, ybar, lhs_set, simple_lhs)``."""
         try:
             resolve_base_path(self.schema, base)
         except PathError as exc:
@@ -683,7 +903,13 @@ class ClosureEngine:
         lhs_set = frozenset(lhs)
         prefix_paths = {ybar[:k] for k in range(1, len(ybar) + 1)}
         simple_lhs = prefix_paths | {ybar.concat(x) for x in lhs_set}
-        simple_closure = self.closure_simple(relation, simple_lhs)
+        return relation, ybar, lhs_set, frozenset(simple_lhs)
+
+    def _pull_out(self, base: Path, relation: str, ybar: Path,
+                  lhs_set: frozenset[Path],
+                  simple_closure: frozenset[Path]) -> frozenset[Path]:
+        """The local reading of a saturated simple closure, applying the
+        gated pull-out rules of Section 3.2 when needed."""
         result = frozenset(
             p.strip_prefix(ybar) for p in simple_closure
             if ybar.is_proper_prefix_of(p)
@@ -715,6 +941,36 @@ class ClosureEngine:
                 gated.add(q)
         return frozenset(gated)
 
+    def closure(self, base: Path, lhs: Iterable[Path]) \
+            -> frozenset[Path]:
+        """``(x0, X, Sigma)*`` relative to the base path *x0*.
+
+        Returns the relative paths ``q`` such that ``x0:[X -> q]`` is
+        derivable, computed through the simple-form translation::
+
+            x0:[X -> q]  <=>  R:[prefixes(ybar), ybar:X -> ybar:q]
+
+        :raises InferenceError: when *base* is empty, does not start
+            with a relation name of the schema, or does not reach a
+            set-valued position.
+
+        In gated (Section 3.2) mode the backward direction of that
+        equivalence — pull-out — needs its own definedness gate: with
+        empty sets, Definition 2.4's trivially-true clause can excuse a
+        *simple-form* pair because of an undefined branch in one element
+        of the base set while the *local* form still constrains a
+        sibling element.  A simple-form derivation therefore only
+        transfers to the local reading when every LHS path and the
+        conclusion traverse only sets declared non-empty (inside the
+        base's elements); NFDs stated at this exact base in Sigma are
+        additionally honoured directly (augmentation is sound under
+        empty sets).
+        """
+        relation, ybar, lhs_set, simple_lhs = self._push_in(base, lhs)
+        simple_closure = self.closure_simple(relation, simple_lhs)
+        return self._pull_out(base, relation, ybar, lhs_set,
+                              simple_closure)
+
     def _stated_at_base(self, base: Path, lhs_set: frozenset[Path],
                         q: Path) -> bool:
         """Is ``base:[lhs -> q]`` a (possibly augmented) Sigma member?"""
@@ -738,7 +994,8 @@ class ClosureEngine:
     def usable_pool(self, relation: str) -> list[tuple[frozenset[Path],
                                                        Path, str]]:
         """Introspection: the current usable-NFD pool (for debugging)."""
-        return [(u.lhs, u.rhs, u.origin) for u in self._usable[relation]]
+        return [(u.lhs, u.rhs, u.origin)
+                for u in self._all_usables(relation)]
 
     # -- explanations ------------------------------------------------------------
 
@@ -796,7 +1053,8 @@ class Explanation:
             lines.append(f"{pad}{path}: shown above")
             return
         seen.add(slot)
-        record = self.engine._provenance[self.relation].get(slot)
+        record = self.engine._provenance[self.relation] \
+            .get(key, {}).get(path)
         if record is None:  # pragma: no cover - defensive
             lines.append(f"{pad}{path}: (no recorded step)")
             return

@@ -63,6 +63,11 @@ class NonEmptySpec:
     def __setattr__(self, key, value):  # pragma: no cover - immutability
         raise AttributeError("NonEmptySpec is immutable")
 
+    def __reduce__(self):
+        # the immutability guard defeats pickle's default slot-state
+        # restore, so rebuild through the constructor
+        return (NonEmptySpec, (self._declared, self._all))
+
     @staticmethod
     def all_nonempty() -> "NonEmptySpec":
         """The spec modeling the paper's no-empty-sets assumption."""

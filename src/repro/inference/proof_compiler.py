@@ -57,7 +57,8 @@ class _Compiler:
             self.derivation.reflexivity(label, self.base, key, path)
             self._path_steps[memo_key] = label
             return label
-        record = self.engine._provenance[self.relation].get(memo_key)
+        record = self.engine._provenance[self.relation] \
+            .get(key, {}).get(path)
         if record is None:
             raise InferenceError(
                 f"no recorded derivation of {path} from "
@@ -107,8 +108,9 @@ class _Compiler:
         self._usable_steps[memo_key] = label
         return label
 
-    def _derive_sigma(self, index: int) -> str:
+    def _derive_sigma(self, member: NFD) -> str:
         """Push a Sigma member into simple form."""
+        index = self.engine.sigma.index(member)
         label = f"s{index + 1}"
         nfd = self.engine.sigma[index]
         while not nfd.is_simple:

@@ -56,6 +56,11 @@ class NFD:
     def __setattr__(self, key, value):  # pragma: no cover - immutability
         raise AttributeError("NFD is immutable")
 
+    def __reduce__(self):
+        # the immutability guard defeats pickle's default slot-state
+        # restore, so rebuild through the constructor
+        return (NFD, (self.base, self.lhs, self.rhs))
+
     # -- accessors --------------------------------------------------------
 
     @property

@@ -1,0 +1,108 @@
+"""Process-parallel fan-out for analysis workloads.
+
+The analysis layer's hot loops — the key-combination sweep, the
+cross-relation validation walk — are embarrassingly parallel over
+*independent* tasks that all consult one shared, read-only context (a
+compiled session or validator engine).  :func:`process_map` is the one
+fan-out primitive they share:
+
+* **per-process setup**: each worker process runs ``setup(payload)``
+  exactly once (a :class:`~concurrent.futures.ProcessPoolExecutor`
+  initializer) and caches the result — the expensive compilation
+  (engine construction, plan compilation) happens once per *process*,
+  not once per task;
+* **pickle-safe payloads**: the payload and the task items cross the
+  process boundary, so callers pass serializable specs (bundle-JSON
+  strings, path/NFD texts, tuples) rather than live engines;
+* **deterministic ordering**: results come back in task order
+  (``Executor.map`` semantics), so parallel runs are byte-identical to
+  serial runs;
+* **serial fallback**: with ``jobs <= 1``, or fewer than *threshold*
+  tasks (process startup would dominate), the same ``setup``/``func``
+  pair runs inline in the calling process — one code path to test,
+  identical answers by construction.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+from .inference.empty_sets import NonEmptySpec
+from .paths.path import parse_path
+
+__all__ = ["process_map", "spec_payload", "spec_from_payload",
+           "PARALLEL_THRESHOLD"]
+
+#: Below this many tasks a process pool costs more than it saves.
+PARALLEL_THRESHOLD = 4
+
+# Per-worker-process context, built once by _initialize.
+_CONTEXT: Any = None
+
+
+def _initialize(setup: Callable[[Any], Any], payload: Any) -> None:
+    global _CONTEXT
+    _CONTEXT = setup(payload)
+
+
+def _invoke(task: tuple[Callable[[Any, Any], Any], Any]) -> Any:
+    func, item = task
+    return func(_CONTEXT, item)
+
+
+def process_map(setup: Callable[[Any], Any], payload: Any,
+                func: Callable[[Any, Any], Any], items: Iterable[Any],
+                jobs: int = 1, *,
+                threshold: int = PARALLEL_THRESHOLD,
+                chunksize: int | None = None) -> list[Any]:
+    """Map ``func(context, item)`` over *items*, possibly in parallel.
+
+    ``context = setup(payload)`` is built once per worker process (or
+    once inline on the serial path).  *payload*, *items*, and the
+    results must be picklable; *setup* and *func* must be module-level
+    functions.  Results are returned in item order regardless of which
+    worker finished first, so callers are deterministic by
+    construction.
+
+    Serial execution is chosen when ``jobs <= 1`` or when there are
+    fewer than *threshold* items; both paths run the exact same
+    ``setup``/``func`` code.
+    """
+    work: Sequence[Any] = list(items)
+    if jobs <= 1 or len(work) < max(threshold, 2):
+        context = setup(payload)
+        return [func(context, item) for item in work]
+    workers = min(jobs, len(work))
+    if chunksize is None:
+        chunksize = max(1, len(work) // (workers * 4))
+    with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_initialize, initargs=(setup, payload),
+    ) as pool:
+        return list(pool.map(_invoke, [(func, item) for item in work],
+                             chunksize=chunksize))
+
+
+def spec_payload(nonempty: NonEmptySpec | None):
+    """A pickle-friendly, text-only encoding of a nonempty spec.
+
+    ``None`` stays ``None``, the all-nonempty spec becomes ``"*"``, and
+    a partial spec becomes its sorted declaration texts.  Decoded by
+    :func:`spec_from_payload` inside worker processes, keeping worker
+    payloads plain strings/tuples.
+    """
+    if nonempty is None:
+        return None
+    if nonempty.declares_everything:
+        return "*"
+    return tuple(sorted(str(p) for p in nonempty.declared))
+
+
+def spec_from_payload(data) -> NonEmptySpec | None:
+    """Invert :func:`spec_payload`."""
+    if data is None:
+        return None
+    if data == "*":
+        return NonEmptySpec.all_nonempty()
+    return NonEmptySpec(parse_path(text) for text in data)

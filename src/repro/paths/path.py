@@ -47,6 +47,11 @@ class Path:
     def __setattr__(self, key, value):  # pragma: no cover - immutability
         raise AttributeError("Path is immutable")
 
+    def __reduce__(self):
+        # the immutability guard defeats pickle's default slot-state
+        # restore, so rebuild through the constructor
+        return (Path, (self.labels,))
+
     # -- structure --------------------------------------------------------
 
     def __len__(self) -> int:

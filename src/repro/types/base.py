@@ -102,6 +102,11 @@ class BaseType(Type):
     def __setattr__(self, key, value):  # pragma: no cover - immutability
         raise AttributeError("BaseType is immutable")
 
+    def __reduce__(self):
+        # the immutability guard defeats pickle's default slot-state
+        # restore, so rebuild through the constructor
+        return (BaseType, (self.name,))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, BaseType) and self.name == other.name
 
@@ -145,6 +150,9 @@ class SetType(Type):
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability
         raise AttributeError("SetType is immutable")
+
+    def __reduce__(self):
+        return (SetType, (self.element,))
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, SetType) and self.element == other.element
@@ -212,6 +220,9 @@ class RecordType(Type):
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability
         raise AttributeError("RecordType is immutable")
+
+    def __reduce__(self):
+        return (RecordType, (self.fields,))
 
     @property
     def labels(self) -> tuple[str, ...]:

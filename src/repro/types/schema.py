@@ -59,6 +59,11 @@ class Schema:
     def __setattr__(self, key, value):  # pragma: no cover - immutability
         raise AttributeError("Schema is immutable")
 
+    def __reduce__(self):
+        # the immutability guard defeats pickle's default slot-state
+        # restore, so rebuild through the constructor
+        return (Schema, (dict(self._relations),))
+
     @property
     def relation_names(self) -> tuple[str, ...]:
         """All relation names, in declaration order."""

@@ -125,6 +125,11 @@ class Instance:
     def __setattr__(self, key, value):  # pragma: no cover - immutability
         raise AttributeError("Instance is immutable")
 
+    def __reduce__(self):
+        # the immutability guard defeats pickle's default slot-state
+        # restore, so rebuild through the constructor
+        return (Instance, (self.schema, dict(self._relations)))
+
     def relation(self, name: str) -> SetValue:
         """The set value of relation *name*."""
         try:

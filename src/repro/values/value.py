@@ -69,6 +69,11 @@ class Atom(Value):
     def __setattr__(self, key, value):  # pragma: no cover - immutability
         raise AttributeError("Atom is immutable")
 
+    def __reduce__(self):
+        # the immutability guard defeats pickle's default slot-state
+        # restore, so rebuild through the constructor
+        return (Atom, (self.value,))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Atom):
             return False
@@ -129,6 +134,9 @@ class Record(Value):
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability
         raise AttributeError("Record is immutable")
+
+    def __reduce__(self):
+        return (Record, (self.fields,))
 
     @property
     def labels(self) -> tuple[str, ...]:
@@ -198,6 +206,9 @@ class SetValue(Value):
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability
         raise AttributeError("SetValue is immutable")
+
+    def __reduce__(self):
+        return (SetValue, (self.elements,))
 
     def __len__(self) -> int:
         return len(self.elements)

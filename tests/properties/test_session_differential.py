@@ -1,0 +1,118 @@
+"""Differential tests: ImplicationSession vs fresh ClosureEngines.
+
+The session layers a bounded memo, subset-closure seeding, and
+copy-on-write Sigma probes over the engine; none of that machinery may
+change an answer.  Each case draws a random (schema, Sigma), serves a
+repetitive query stream through one session — repeating queries (memo
+hits), growing LHSs (seed reuse), a deliberately tiny memo bound
+(forced evictions), and interleaved ``without``/``with_added`` probes —
+and checks every answer against a fresh engine over the corresponding
+Sigma.
+
+A deterministic seed sweep guarantees the advertised case count (the
+acceptance bar is >= 200 randomized cases across the plain and gated
+modes); a hypothesis wrapper adds shrinking on failure.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import random_schema, random_sigma
+from repro.inference import ClosureEngine, ImplicationSession, NonEmptySpec
+from repro.paths import Path, relation_paths, set_paths
+
+SEEDS_PER_MODE = 100
+#: Small enough that the query stream below always overflows it.
+TINY_MEMO = 4
+
+
+def _draw(seed: int):
+    rng = random.Random(seed)
+    schema = random_schema(rng, relations=1, max_fields=3, max_depth=2,
+                           set_probability=0.5)
+    sigma = random_sigma(rng, schema, count=rng.randint(1, 4), max_lhs=2)
+    relation = schema.relation_names[0]
+    paths = relation_paths(schema, relation)
+    return rng, schema, sigma, relation, paths
+
+
+def _partial_spec(rng: random.Random, schema, relation: str) \
+        -> NonEmptySpec:
+    declared = {Path((relation,))}
+    for p in set_paths(schema, relation):
+        if rng.random() < 0.5:
+            declared.add(Path((relation,)).concat(p))
+    return NonEmptySpec(declared)
+
+
+def _query_stream(rng: random.Random, paths):
+    """Nested LHS chains plus repeats: the shapes that hit the memo,
+    the seeder, and (with TINY_MEMO) the evictor."""
+    queries = []
+    for _ in range(3):
+        chain = rng.sample(paths, min(len(paths), rng.randint(1, 3)))
+        for cut in range(1, len(chain) + 1):
+            queries.append(frozenset(chain[:cut]))
+    queries.extend(rng.sample(queries, min(len(queries), 4)))
+    queries.append(frozenset())
+    return queries
+
+
+def _check_agreement(seed: int, gated: bool) -> None:
+    rng, schema, sigma, relation, paths = _draw(seed)
+    spec = _partial_spec(rng, schema, relation) if gated else None
+    session = ImplicationSession(schema, sigma, spec,
+                                 max_memo=TINY_MEMO)
+    reference = ClosureEngine(schema, sigma, nonempty=spec)
+    base = Path((relation,))
+
+    for lhs in _query_stream(rng, paths):
+        assert session.closure_simple(relation, lhs) == \
+            reference.closure_simple(relation, lhs), (sigma, spec, lhs)
+        assert session.closure(base, lhs) == \
+            reference.closure(base, lhs), (sigma, spec, lhs)
+
+    # interleaved copy-on-write probes answer like fresh engines over
+    # the perturbed Sigma...
+    probe_lhs = frozenset(rng.sample(paths, min(len(paths), 2)))
+    if sigma:
+        index = rng.randrange(len(sigma))
+        rest = sigma[:index] + sigma[index + 1:]
+        assert session.without(index).closure_simple(relation, probe_lhs) \
+            == ClosureEngine(schema, rest, nonempty=spec) \
+            .closure_simple(relation, probe_lhs), (sigma, spec, index)
+        extra = sigma[index]
+        grown = sigma + [extra]
+        assert session.with_added(extra) \
+            .closure_simple(relation, probe_lhs) == \
+            ClosureEngine(schema, grown, nonempty=spec) \
+            .closure_simple(relation, probe_lhs), (sigma, spec, index)
+
+    # ...and the probed session keeps answering for the original Sigma,
+    # memo evictions and all
+    for lhs in _query_stream(rng, paths):
+        assert session.closure_simple(relation, lhs) == \
+            reference.closure_simple(relation, lhs), (sigma, spec, lhs)
+    assert session.stats.evictions > 0 or \
+        session.stats.memo_size <= TINY_MEMO
+
+
+@pytest.mark.parametrize("seed", range(SEEDS_PER_MODE))
+def test_session_equals_fresh_engine_plain(seed):
+    _check_agreement(seed, gated=False)
+
+
+@pytest.mark.parametrize("seed", range(SEEDS_PER_MODE))
+def test_session_equals_fresh_engine_gated(seed):
+    _check_agreement(seed, gated=True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000),
+       st.booleans())
+def test_session_equals_fresh_engine_hypothesis(seed, gated):
+    """Shrinkable variant of the seed sweep above."""
+    _check_agreement(seed, gated)

@@ -3,7 +3,8 @@
 from repro.analysis import covers, is_redundant, minimal_cover, \
     non_redundant
 from repro.generators import workloads
-from repro.inference import equivalent_sets
+from repro.inference import ImplicationSession, equivalent_sets
+from repro.inference.closure import pool_build_count
 from repro.nfd import parse_nfd, parse_nfds
 from repro.types import parse_schema
 
@@ -60,3 +61,23 @@ class TestMinimalCover:
         sigma = parse_nfds("R:[A -> A]\nR:[A -> B]")
         cover = minimal_cover(schema, sigma)
         assert parse_nfd("R:[A -> A]") not in cover
+
+    def test_single_pool_build(self):
+        """Every shrink and redundancy probe is a copy-on-write session,
+        so the whole cover compiles exactly one Sigma pool."""
+        schema = workloads.course_schema()
+        sigma = workloads.course_sigma() + parse_nfds(
+            "Course:[cnum, time -> students]\n"
+            "Course:[cnum, books:isbn -> books:title]")
+        before = pool_build_count()
+        cover = minimal_cover(schema, sigma)
+        assert pool_build_count() - before == 1
+        assert equivalent_sets(schema, sigma, cover)
+
+    def test_supplied_session_means_zero_builds(self):
+        schema = parse_schema("R = {<A, B, C>}")
+        sigma = parse_nfds("R:[A -> B]\nR:[B -> C]\nR:[A, B -> C]")
+        session = ImplicationSession(schema, sigma)
+        before = pool_build_count()
+        minimal_cover(schema, sigma, session=session)
+        assert pool_build_count() - before == 0

@@ -3,7 +3,7 @@
 from repro.analysis import is_key, key_nfds, local_minimal_keys, \
     minimal_keys
 from repro.generators import workloads
-from repro.inference import ClosureEngine
+from repro.inference import ClosureEngine, ImplicationSession, NonEmptySpec
 from repro.nfd import parse_nfds
 from repro.paths import parse_path
 from repro.types import parse_schema
@@ -35,6 +35,45 @@ class TestMinimalKeys:
         keys = minimal_keys(schema, sigma, "R")
         assert frozenset({parse_path("A")}) in keys
         assert frozenset({parse_path("A"), parse_path("B")}) not in keys
+
+
+class TestGatedKeys:
+    """Regression: the sweep must honour the nonempty spec (it used to
+    build its engine without one, silently answering in plain mode)."""
+
+    def _workload(self):
+        schema = parse_schema("R = {<a: string, b: {<c: int>}>}")
+        sigma = parse_nfds("R:[b:c -> a]")
+        return schema, sigma
+
+    def test_plain_mode_shortens_the_prefix(self):
+        schema, sigma = self._workload()
+        keys = minimal_keys(schema, sigma, "R")
+        assert keys == [frozenset({parse_path("b")})]
+
+    def test_gated_mode_blocks_the_shortening(self):
+        # with only R declared non-empty, b may be empty, so b:c -> a
+        # cannot be shortened to b -> a: {b} is no longer a key and the
+        # minimal key grows to {a, b}
+        schema, sigma = self._workload()
+        spec = NonEmptySpec({parse_path("R")})
+        keys = minimal_keys(schema, sigma, "R", nonempty=spec)
+        assert keys == [frozenset({parse_path("a"), parse_path("b")})]
+
+    def test_supplied_engine_spec_is_authoritative(self):
+        schema, sigma = self._workload()
+        spec = NonEmptySpec({parse_path("R")})
+        session = ImplicationSession(schema, sigma, spec)
+        keys = minimal_keys(schema, sigma, "R", engine=session)
+        assert keys == [frozenset({parse_path("a"), parse_path("b")})]
+
+    def test_local_keys_accept_the_spec(self):
+        schema = workloads.course_schema()
+        spec = NonEmptySpec.all_nonempty()
+        keys = local_minimal_keys(schema, workloads.course_sigma(),
+                                  parse_path("Course:students"),
+                                  nonempty=spec)
+        assert frozenset({parse_path("sid")}) in keys
 
 
 class TestLocalKeys:

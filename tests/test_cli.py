@@ -306,3 +306,85 @@ class TestClosureBaseValidation:
     def test_non_set_base_is_usage_error(self, course_bundle, capsys):
         assert main(["closure", course_bundle, "Course:cnum"]) == 2
         assert "set-valued" in capsys.readouterr().err
+
+
+class TestCacheStatsFlag:
+    def test_implies_prints_session_stats_to_stderr(self, course_bundle,
+                                                    capsys):
+        assert main(["implies", course_bundle,
+                     "Course:[students:sid, time -> books]",
+                     "--cache-stats"]) == 0
+        captured = capsys.readouterr()
+        assert "session stats" not in captured.out
+        assert "session stats (fingerprint " in captured.err
+        assert "hit rate" in captured.err
+
+    def test_exit_codes_unchanged_by_cache_stats(self, course_bundle,
+                                                 capsys):
+        assert main(["implies", course_bundle,
+                     "Course:[time -> cnum]", "--cache-stats"]) == 1
+        assert main(["closure", course_bundle, "Course", "cnum",
+                     "--cache-stats"]) == 0
+        assert main(["keys", course_bundle, "--cache-stats"]) == 0
+        assert main(["analyze", course_bundle, "--cache-stats"]) == 0
+        assert "session stats" in capsys.readouterr().err
+
+    def test_diff_prints_both_sessions(self, course_bundle, capsys):
+        assert main(["diff", course_bundle, course_bundle,
+                     "--cache-stats"]) == 0
+        err = capsys.readouterr().err
+        assert err.count("session stats (fingerprint ") == 2
+
+    def test_cache_stats_off_by_default(self, course_bundle, capsys):
+        assert main(["implies", course_bundle,
+                     "Course:[cnum -> time]"]) == 0
+        assert main(["keys", course_bundle]) == 0
+        assert "session stats" not in capsys.readouterr().err
+
+
+@pytest.fixture
+def broken_warehouse_bundle(tmp_path):
+    instance = workloads.warehouse_instance().with_relation("StoreA", [
+        {"order_id": 1, "customer": "ada", "lines": []},
+        {"order_id": 1, "customer": "grace", "lines": []},
+    ]).with_relation("StoreB", [
+        {"order_id": 2, "customer": "ada", "lines": []},
+        {"order_id": 2, "customer": "grace", "lines": []},
+    ])
+    path = tmp_path / "warehouse.json"
+    path.write_text(dump_bundle(workloads.warehouse_schema(),
+                                workloads.warehouse_sigma(), instance))
+    return str(path)
+
+
+class TestJobsFlag:
+    def test_keys_parallel_output_is_byte_identical(self, course_bundle,
+                                                    capsys):
+        assert main(["keys", course_bundle]) == 0
+        serial = capsys.readouterr()
+        assert main(["keys", course_bundle, "--jobs", "4"]) == 0
+        parallel = capsys.readouterr()
+        assert parallel.out == serial.out
+        assert "cnum" in serial.out
+
+    def test_check_parallel_output_is_byte_identical(
+            self, broken_warehouse_bundle, capsys):
+        assert main(["check", broken_warehouse_bundle]) == 1
+        serial = capsys.readouterr()
+        assert main(["check", broken_warehouse_bundle,
+                     "--jobs", "2"]) == 1
+        parallel = capsys.readouterr()
+        assert parallel.out == serial.out
+        assert "violation" in serial.out
+
+    def test_check_clean_parallel_exit_code(self, course_bundle, capsys):
+        assert main(["check", course_bundle, "--jobs", "2"]) == 0
+        assert "satisfies all" in capsys.readouterr().out
+
+    def test_jobs_disable_cache_stats_with_notice(self, course_bundle,
+                                                  capsys):
+        assert main(["keys", course_bundle, "--jobs", "4",
+                     "--cache-stats"]) == 0
+        captured = capsys.readouterr()
+        assert "session stats" not in captured.err
+        assert "cache stats unavailable" in captured.err

@@ -234,8 +234,7 @@ class TestWithout:
 
     def test_shares_schema_precomputation(self, course_engine):
         sibling = course_engine.without(0)
-        assert sibling._paths is course_engine._paths
-        assert sibling._candidates is course_engine._candidates
+        assert sibling._pool is course_engine._pool
         assert len(sibling.sigma) == len(course_engine.sigma) - 1
 
     def test_out_of_range_rejected(self, course_engine):
