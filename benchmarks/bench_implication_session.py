@@ -114,7 +114,7 @@ def _fresh_engine_cover(schema, sigma):
     return working
 
 
-def test_saturation_gate():
+def test_saturation_gate(gate_metrics):
     """Gate: >=3x fewer rule-application attempts than fresh engines."""
     schema, sigma = _workload()
 
@@ -147,14 +147,33 @@ def test_saturation_gate():
     parallel_seconds = time.perf_counter() - parallel_start
 
     stats = session.stats
-    ratio = fresh_attempts / max(session_attempts, 1)
+    # record the gate numbers in the session-wide registry, then print
+    # and assert from the registry: reported == asserted by construction
+    gauges = gate_metrics
+    gauges.gauge("implication.session_attempts").set(session_attempts)
+    gauges.gauge("implication.fresh_attempts").set(fresh_attempts)
+    gauges.gauge("implication.attempt_ratio").set(
+        fresh_attempts / max(session_attempts, 1))
+    gauges.gauge("implication.memo_hit_rate").set(stats.hit_rate)
+    gauges.gauge("implication.queries").set(stats.queries)
+    gauges.gauge("implication.seed_reuses").set(stats.seed_reuses)
+    gauges.gauge("implication.serial_seconds").set(serial_seconds)
+    gauges.gauge("implication.parallel_seconds").set(parallel_seconds)
+    session_attempts = gauges.gauge("implication.session_attempts").value
+    fresh_attempts = gauges.gauge("implication.fresh_attempts").value
+    ratio = gauges.gauge("implication.attempt_ratio").value
     print(f"\nimplication session on the Course+Audit analysis workload: "
           f"{session_attempts} rule-application attempts vs "
           f"{fresh_attempts} with per-query fresh engines "
-          f"({ratio:.1f}x fewer); memo hit rate {stats.hit_rate:.1%} "
-          f"over {stats.queries} queries ({stats.seed_reuses} subset "
-          f"seeds); key sweep wall-clock {serial_seconds:.4f}s serial "
-          f"vs {parallel_seconds:.4f}s with --jobs 2")
+          f"({ratio:.1f}x fewer); memo hit rate "
+          f"{gauges.gauge('implication.memo_hit_rate').value:.1%} "
+          f"over {gauges.gauge('implication.queries').value} queries "
+          f"({gauges.gauge('implication.seed_reuses').value} subset "
+          f"seeds); key sweep wall-clock "
+          f"{gauges.gauge('implication.serial_seconds').value:.4f}s "
+          f"serial vs "
+          f"{gauges.gauge('implication.parallel_seconds').value:.4f}s "
+          f"with --jobs 2")
     assert session_attempts * 3 <= fresh_attempts, (
         f"session spent {session_attempts} attempts, fresh engines "
         f"spent {fresh_attempts}: ratio {ratio:.2f} < 3"

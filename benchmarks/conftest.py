@@ -11,11 +11,22 @@ Run everything with::
 
 Add ``-s`` to see the regenerated tables inline; EXPERIMENTS.md records
 the checked outputs.
+
+Gate numbers (the quantities the acceptance assertions compare) are
+recorded into one session-wide :class:`repro.obs.MetricsRegistry` — the
+``gate_metrics`` fixture — and the registry is dumped as JSON at the
+end of the run, so the numbers a gate asserted on and the numbers it
+reported are the same values by construction.
 """
 
 from __future__ import annotations
 
 import pytest
+
+from repro.obs import MetricsRegistry
+
+#: One registry per benchmark session; every gate records into it.
+GATE_METRICS = MetricsRegistry()
 
 
 @pytest.fixture
@@ -28,3 +39,17 @@ def report():
         print(body)
 
     return _report
+
+
+@pytest.fixture
+def gate_metrics() -> MetricsRegistry:
+    """The session-wide registry the acceptance gates record into."""
+    return GATE_METRICS
+
+
+def pytest_terminal_summary(terminalreporter):
+    data = GATE_METRICS.as_dict()
+    if data["counters"] or data["gauges"] or data["histograms"]:
+        terminalreporter.write_line("")
+        terminalreporter.write_line("=== gate metrics ===")
+        terminalreporter.write_line(GATE_METRICS.to_json())

@@ -71,12 +71,24 @@ def non_redundant(schema: Schema, sigma: Iterable[NFD],
         return remaining
     if session is None:
         session = ImplicationSession(schema, remaining, nonempty)
+    tracer = session.tracer
+    if tracer is not None:
+        with tracer.span("analysis.non_redundant",
+                         members=len(remaining)) as span:
+            return _drop_redundant(remaining, session, span)
+    return _drop_redundant(remaining, session, None)
+
+
+def _drop_redundant(remaining: list[NFD],
+                    session: ImplicationSession, span) -> list[NFD]:
     index = 0
     while index < len(remaining):
         probe = session.without(index)
         if probe.implies(remaining[index]):
             del remaining[index]
             session = probe
+            if span is not None:
+                span.add("dropped")
         else:
             index += 1
     return remaining
@@ -127,6 +139,14 @@ def minimal_cover(schema: Schema, sigma: Iterable[NFD],
     working = list(sigma)
     if session is None:
         session = ImplicationSession(schema, working, nonempty)
-    for index in range(len(working)):
-        working[index], session = _shrink_lhs(session, working, index)
-    return non_redundant(schema, working, nonempty, session=session)
+    tracer = session.tracer
+    if tracer is None:
+        for index in range(len(working)):
+            working[index], session = _shrink_lhs(session, working, index)
+        return non_redundant(schema, working, nonempty, session=session)
+    with tracer.span("analysis.cover", members=len(working)) as span:
+        for index in range(len(working)):
+            before = len(working[index].lhs)
+            working[index], session = _shrink_lhs(session, working, index)
+            span.add("lhs_dropped", before - len(working[index].lhs))
+        return non_redundant(schema, working, nonempty, session=session)

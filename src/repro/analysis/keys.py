@@ -125,6 +125,21 @@ def local_minimal_keys(schema: Schema, sigma: Iterable[NFD], base: Path,
 
         payload = (dump_bundle(schema, sigma_list),
                    spec_payload(nonempty), str(base))
+    else:
+        payload = None
+    tracer = getattr(working, "tracer", None)
+    if tracer is not None:
+        with tracer.span("analysis.keys", base=str(base),
+                         attributes=len(attributes), jobs=jobs) as span:
+            return _sweep(working, base, attributes, parallel, payload,
+                          jobs, span)
+    return _sweep(working, base, attributes, parallel, payload, jobs,
+                  None)
+
+
+def _sweep(working, base, attributes, parallel, payload, jobs, span):
+    if parallel:
+        from ..parallel import process_map
     keys: list[frozenset[Path]] = []
     for size in range(1, len(attributes) + 1):
         candidates = [
@@ -134,6 +149,8 @@ def local_minimal_keys(schema: Schema, sigma: Iterable[NFD], base: Path,
         ]
         if not candidates:
             continue
+        if span is not None:
+            span.add("candidates", len(candidates))
         if parallel:
             texts = [tuple(str(p) for p in sorted(candidate))
                      for candidate in candidates]
@@ -145,4 +162,6 @@ def local_minimal_keys(schema: Schema, sigma: Iterable[NFD], base: Path,
         for candidate, verdict in zip(candidates, verdicts):
             if verdict:
                 keys.append(candidate)
+                if span is not None:
+                    span.add("keys")
     return sorted(keys, key=lambda key: (len(key), sorted(map(str, key))))

@@ -118,6 +118,6 @@ def analyze_constraints(schema: Schema, sigma: Iterable[NFD],
         for index in range(len(sigma_list))
         if session.without(index).implies(sigma_list[index])
     ]
-    cover = non_redundant(schema, sigma_list, nonempty)
+    cover = non_redundant(schema, sigma_list, nonempty, session=session)
     return ConstraintReport(schema, sigma_list, keys, singletons,
                             disjoint, trivial, redundant, cover)

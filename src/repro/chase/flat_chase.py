@@ -24,15 +24,28 @@ __all__ = ["chase", "fd_implies_chase", "lossless_join",
 
 
 def chase(tableau: Tableau, fds: Iterable[FD],
-          max_steps: int = 100_000) -> Tableau:
+          max_steps: int = 100_000, *, tracer=None) -> Tableau:
     """Apply FD rules to a fixpoint (in place; also returned).
 
     One step: two rows agree on an FD's LHS but differ on its RHS —
     equate the RHS symbols.  Terminates because each step reduces the
     count of distinct symbols; *max_steps* is a safety net, not a
     tuning knob.
+
+    *tracer* (a :class:`repro.obs.Tracer`) records one ``chase.flat``
+    span with a ``steps`` counter; it never changes the result.
     """
     fd_list = list(fds)
+    if tracer is not None:
+        with tracer.span("chase.flat", rows=len(tableau.rows),
+                         fds=len(fd_list)) as span:
+            _chase(tableau, fd_list, max_steps, span)
+        return tableau
+    return _chase(tableau, fd_list, max_steps, None)
+
+
+def _chase(tableau: Tableau, fd_list: list[FD],
+           max_steps: int, span) -> Tableau:
     steps = 0
     changed = True
     while changed and not tableau.contradictory:
@@ -54,6 +67,10 @@ def chase(tableau: Tableau, fds: Iterable[FD],
                     steps += 1
                     if steps >= max_steps:  # pragma: no cover - guard
                         raise RuntimeError("chase exceeded max_steps")
+    if span is not None:
+        span.add("steps", steps)
+        if tableau.contradictory:
+            span.attrs["contradictory"] = True
     return tableau
 
 

@@ -70,7 +70,7 @@ def _count_distinct_values(instance: Instance) -> int:
 
 
 def repair(instance: Instance, sigma: Iterable[NFD],
-           max_rounds: int = 10_000) -> Instance:
+           max_rounds: int = 10_000, *, tracer=None) -> Instance:
     """Chase the instance into satisfaction of *sigma*.
 
     Each round finds one violation witness and equates its two RHS
@@ -79,9 +79,21 @@ def repair(instance: Instance, sigma: Iterable[NFD],
     distinct values in the instance, so the procedure terminates; the
     *max_rounds* guard exists for safety only.
 
+    *tracer* (a :class:`repro.obs.Tracer`) records one ``chase.repair``
+    span with round/merge counters; it never changes the result.
+
     :returns: a new instance satisfying every NFD of *sigma*.
     """
     sigma_list = list(sigma)
+    if tracer is not None:
+        with tracer.span("chase.repair",
+                         nfds=len(sigma_list)) as span:
+            return _repair(instance, sigma_list, max_rounds, span)
+    return _repair(instance, sigma_list, max_rounds, None)
+
+
+def _repair(instance: Instance, sigma_list: list[NFD],
+            max_rounds: int, span) -> Instance:
     current = instance
     for _ in range(max_rounds):
         witness = None
@@ -100,6 +112,9 @@ def repair(instance: Instance, sigma: Iterable[NFD],
         }
         current = Instance(current.schema, updated)
         after = _count_distinct_values(current)
+        if span is not None:
+            span.add("rounds")
+            span.add("values_merged", before - after)
         if after >= before:  # pragma: no cover - termination guard
             raise InferenceError(
                 "repair failed to make progress; this indicates a bug "

@@ -47,6 +47,15 @@ commands ``keys`` and ``check`` accept ``--jobs N`` to fan their work
 out across *N* worker processes — stdout is byte-identical to the
 serial run (deterministic result ordering), only wall-clock changes.
 
+The observability commands — ``check``, ``implies``, ``closure``,
+``keys``, ``analyze`` — additionally accept ``--trace FILE`` (write a
+JSON Lines span trace of the run; see :class:`repro.obs.Tracer`) and
+``--metrics-json FILE`` (write one consolidated
+:class:`repro.obs.RunReport`).  Each command builds exactly one report;
+the ``--stats`` / ``--cache-stats`` stderr text and the metrics JSON
+render from the same frozen snapshots, so their numbers always
+reconcile.  Neither flag changes stdout or the exit code.
+
 Every command returns a conventional exit status (0 success / holds,
 1 violation / does not hold, 2 usage error), so the CLI composes with
 shell scripting.
@@ -69,6 +78,7 @@ from .inference import (
 )
 from .io import dump_bundle, load_bundle, load_spec, render_instance
 from .nfd import ValidatorEngine, parse_nfd
+from .obs import RunReport, Tracer
 from .paths import parse_path
 
 __all__ = ["main", "build_parser"]
@@ -102,6 +112,39 @@ def _spec_from_args(args) -> NonEmptySpec | None:
     return None
 
 
+def _tracer_from_args(args) -> Tracer | None:
+    """A :class:`Tracer` when ``--trace`` was given, else ``None``.
+
+    ``None`` keeps every instrumented call site on its exact pre-obs
+    code path (a single ``is None`` check); no tracer object exists
+    unless the user asked for one.
+    """
+    if getattr(args, "trace", None):
+        return Tracer()
+    return None
+
+
+def _obs_finish(args, report: RunReport, tracer: Tracer | None) -> None:
+    """Emit every observability output of a command from one report.
+
+    The ``--stats`` / ``--cache-stats`` stderr blocks and the
+    ``--metrics-json`` file all render from the *same* frozen
+    :class:`RunReport` snapshots, so their numbers reconcile by
+    construction; ``--trace`` dumps the tracer's span log as JSONL.
+    """
+    if getattr(args, "stats", False):
+        for name in ("closure", "validator"):
+            if name in report:
+                print(report.section_text(name), file=sys.stderr)
+    if getattr(args, "cache_stats", False) and "session" in report:
+        print(report.section_text("session"), file=sys.stderr)
+    path = getattr(args, "metrics_json", None)
+    if path:
+        report.write_json(path)
+    if tracer is not None:
+        tracer.write_jsonl(args.trace)
+
+
 def _emit_stats(args, engine) -> None:
     """Print an engine's counters to stderr when ``--stats`` was given.
 
@@ -126,13 +169,15 @@ def _cmd_check(args) -> int:
         return 2
     from .values import check_instance
     check_instance(instance)
-    engine = ValidatorEngine(schema, sigma)
+    tracer = _tracer_from_args(args)
+    engine = ValidatorEngine(schema, sigma, tracer=tracer)
     result = engine.validate(instance, all_violations=True,
                              jobs=getattr(args, "jobs", 1))
     for violation in result.violations:
         print(violation.describe())
         print()
-    _emit_stats(args, engine)
+    report = RunReport(command="check").add("validator", engine.stats)
+    _obs_finish(args, report, tracer)
     if result.violations:
         print(f"{len(result.violations)} violation(s)")
         return 1
@@ -143,12 +188,16 @@ def _cmd_check(args) -> int:
 def _cmd_implies(args) -> int:
     schema, sigma, _ = _load(args.bundle)
     candidate = parse_nfd(args.nfd)
+    tracer = _tracer_from_args(args)
     session = ImplicationSession(schema, sigma,
-                                 nonempty=_spec_from_args(args))
+                                 nonempty=_spec_from_args(args),
+                                 tracer=tracer)
     status = 0 if session.implies(candidate) else 1
     print(f"{'implied' if status == 0 else 'not implied'}: {candidate}")
-    _emit_stats(args, session.engine)
-    _emit_cache_stats(args, session)
+    report = (RunReport(command="implies")
+              .add("closure", session.engine.stats)
+              .add("session", session.stats))
+    _obs_finish(args, report, tracer)
     return status
 
 
@@ -156,15 +205,19 @@ def _cmd_closure(args) -> int:
     schema, sigma, _ = _load(args.bundle)
     base = parse_path(args.base)
     lhs = {parse_path(text) for text in args.paths}
+    tracer = _tracer_from_args(args)
     session = ImplicationSession(schema, sigma,
-                                 nonempty=_spec_from_args(args))
+                                 nonempty=_spec_from_args(args),
+                                 tracer=tracer)
     closed = session.closure(base, lhs)
     lhs_text = ", ".join(sorted(map(str, lhs))) or "∅"
     print(f"({base}, {{{lhs_text}}})* =")
     for path in sorted(closed):
         print(f"  {path}")
-    _emit_stats(args, session.engine)
-    _emit_cache_stats(args, session)
+    report = (RunReport(command="closure")
+              .add("closure", session.engine.stats)
+              .add("session", session.stats))
+    _obs_finish(args, report, tracer)
     return 0
 
 
@@ -242,21 +295,26 @@ def _cmd_keys(args) -> int:
     relation = args.relation or schema.relation_names[0]
     spec = _spec_from_args(args)
     jobs = getattr(args, "jobs", 1)
+    tracer = _tracer_from_args(args)
     session = None
     if jobs <= 1:
-        session = ImplicationSession(schema, sigma, spec)
+        session = ImplicationSession(schema, sigma, spec, tracer=tracer)
     elif getattr(args, "cache_stats", False):
         print("cache stats unavailable with --jobs > 1 (each worker "
               "process holds its own session)", file=sys.stderr)
     keys = minimal_keys(schema, sigma, relation, engine=session,
                         nonempty=spec, jobs=jobs)
+    report = RunReport(command="keys")
+    if session is not None:
+        report.add("closure", session.engine.stats)
+        report.add("session", session.stats)
     if not keys:
         print(f"{relation}: no key among the top-level attributes")
-        _emit_cache_stats(args, session)
+        _obs_finish(args, report, tracer)
         return 1
     for key in keys:
         print(f"{relation}: {{{', '.join(sorted(map(str, key)))}}}")
-    _emit_cache_stats(args, session)
+    _obs_finish(args, report, tracer)
     return 0
 
 
@@ -284,13 +342,26 @@ def _cmd_diff(args) -> int:
 def _cmd_analyze(args) -> int:
     from .analysis import analyze_constraints
 
-    schema, sigma, _ = _load(args.bundle)
+    schema, sigma, instance = _load(args.bundle)
     spec = _spec_from_args(args)
-    session = ImplicationSession(schema, list(sigma), spec)
-    report = analyze_constraints(schema, sigma, nonempty=spec,
-                                 session=session)
-    print(report.to_text())
-    _emit_cache_stats(args, session)
+    tracer = _tracer_from_args(args)
+    session = ImplicationSession(schema, list(sigma), spec,
+                                 tracer=tracer)
+    analysis = analyze_constraints(schema, sigma, nonempty=spec,
+                                   session=session)
+    print(analysis.to_text())
+    report = (RunReport(command="analyze")
+              .add("closure", session.engine.stats)
+              .add("session", session.stats))
+    if instance is not None:
+        # one run, one report: when the bundle carries an instance,
+        # validate it too so the analyze report consolidates closure,
+        # session, AND validator metrics (the exit code stays 0 —
+        # `check` is the verdict command)
+        validator = ValidatorEngine(schema, sigma, tracer=tracer)
+        validator.validate(instance, all_violations=True)
+        report.add("validator", validator.stats)
+    _obs_finish(args, report, tracer)
     return 0
 
 
@@ -362,6 +433,18 @@ def build_parser() -> argparse.ArgumentParser:
                  "(default 1: serial; output is identical either way)",
         )
 
+    def obs_args(sub):
+        sub.add_argument(
+            "--trace", metavar="FILE",
+            help="record a span trace of the run and write it to FILE "
+                 "as JSON Lines (stdout and exit code are unchanged)",
+        )
+        sub.add_argument(
+            "--metrics-json", metavar="FILE", dest="metrics_json",
+            help="write the run's consolidated metrics report (the "
+                 "same numbers --stats/--cache-stats print) to FILE",
+        )
+
     sub = commands.add_parser("check", help="validate the instance")
     bundle_arg(sub)
     sub.add_argument(
@@ -369,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the validation engine's counters to stderr",
     )
     jobs_arg(sub)
+    obs_args(sub)
     sub.set_defaults(handler=_cmd_check)
 
     sub = commands.add_parser("implies", help="decide implication")
@@ -377,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
     nonempty_arg(sub)
     stats_arg(sub)
     cache_stats_arg(sub)
+    obs_args(sub)
     sub.set_defaults(handler=_cmd_implies)
 
     sub = commands.add_parser("closure", help="compute (x0, X, Sigma)*")
@@ -386,6 +471,7 @@ def build_parser() -> argparse.ArgumentParser:
     nonempty_arg(sub)
     stats_arg(sub)
     cache_stats_arg(sub)
+    obs_args(sub)
     sub.set_defaults(handler=_cmd_closure)
 
     sub = commands.add_parser("explain", help="justify an implication")
@@ -423,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     nonempty_arg(sub)
     cache_stats_arg(sub)
     jobs_arg(sub)
+    obs_args(sub)
     sub.set_defaults(handler=_cmd_keys)
 
     sub = commands.add_parser("diff",
@@ -437,7 +524,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="keys, singletons, redundancy report")
     bundle_arg(sub)
     nonempty_arg(sub)
+    stats_arg(sub)
     cache_stats_arg(sub)
+    obs_args(sub)
     sub.set_defaults(handler=_cmd_analyze)
 
     sub = commands.add_parser("report",

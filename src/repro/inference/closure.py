@@ -125,8 +125,11 @@ def pool_build_count() -> int:
 class EngineStats:
     """A snapshot of the engine's saturation counters.
 
-    Totals are accumulated across every saturation the engine has run;
-    per-relation maps reflect the state at snapshot time.
+    Totals are accumulated across every saturation the engine has run
+    and are **never reset in place**: to measure a window (one query,
+    one analysis pass) take a snapshot before and after and
+    :meth:`diff` them.  Per-relation maps reflect the state at snapshot
+    time.
 
     * ``saturations`` — calls to the saturation loop;
     * ``rounds`` — work units: worklist items drained, or full rescan
@@ -161,6 +164,11 @@ class EngineStats:
         self.queries = queries
         self.derived = derived
 
+    #: Monotonic totals (subtracted by :meth:`diff`); the per-relation
+    #: maps are point-in-time state and diff to the later snapshot's.
+    CUMULATIVE = ("saturations", "rounds", "attempts", "successes",
+                  "wall_time")
+
     def as_dict(self) -> dict:
         """The snapshot as a plain (JSON-friendly) dictionary."""
         return {
@@ -176,6 +184,34 @@ class EngineStats:
             "queries": dict(self.queries),
             "derived": dict(self.derived),
         }
+
+    def as_metrics(self) -> dict:
+        """The :class:`~repro.obs.RunReport` section protocol."""
+        return self.as_dict()
+
+    def diff(self, baseline: "EngineStats") -> "EngineStats":
+        """The work done since *baseline* (an earlier snapshot of the
+        same engine): cumulative totals are subtracted, point-in-time
+        maps (usables, candidates, activated, queries, derived) keep
+        this snapshot's values.  This — not in-place resetting — is the
+        reset semantics for engines reused across queries."""
+        if baseline.strategy != self.strategy:
+            raise InferenceError(
+                "cannot diff snapshots from different strategies: "
+                f"{self.strategy!r} vs {baseline.strategy!r}")
+        return EngineStats(
+            strategy=self.strategy,
+            saturations=self.saturations - baseline.saturations,
+            rounds=self.rounds - baseline.rounds,
+            attempts=self.attempts - baseline.attempts,
+            successes=self.successes - baseline.successes,
+            wall_time=self.wall_time - baseline.wall_time,
+            usables=dict(self.usables),
+            candidates=dict(self.candidates),
+            activated=dict(self.activated),
+            queries=dict(self.queries),
+            derived=dict(self.derived),
+        )
 
     def to_text(self) -> str:
         lines = [
@@ -420,7 +456,7 @@ class ClosureEngine:
 
     def __init__(self, schema: Schema, sigma: Iterable[NFD],
                  nonempty: NonEmptySpec | None = None, *,
-                 strategy: str = "worklist", _cow=None):
+                 strategy: str = "worklist", tracer=None, _cow=None):
         if strategy not in STRATEGIES:
             raise InferenceError(
                 f"unknown saturation strategy {strategy!r}; "
@@ -431,11 +467,24 @@ class ClosureEngine:
         self.nonempty = nonempty if nonempty is not None \
             else NonEmptySpec.all_nonempty()
         self.sigma = tuple(sigma)
+        # Observability: a repro.obs.Tracer, or None (the default) for
+        # the untraced fast path.  Per-origin attempt/fire counters are
+        # maintained only while tracing (attached to saturation spans).
+        self.tracer = tracer
+        self._origin_counts: dict[str, int] | None = \
+            {} if tracer is not None else None
 
         if _cow is None:
             for nfd in self.sigma:
                 nfd.check_well_formed(schema)
-            self._pool = _SigmaPool(schema, self.sigma, self.nonempty)
+            if tracer is None:
+                self._pool = _SigmaPool(schema, self.sigma,
+                                        self.nonempty)
+            else:
+                with tracer.span("closure.compile_pool",
+                                 members=len(self.sigma)):
+                    self._pool = _SigmaPool(schema, self.sigma,
+                                            self.nonempty)
             # own Sigma index -> pool member index (None = overlay)
             self._member_map: tuple = tuple(range(len(self.sigma)))
         else:
@@ -526,7 +575,7 @@ class ClosureEngine:
             self._member_map[index + 1:]
         return ClosureEngine(
             self.schema, rest, self.nonempty, strategy=self.strategy,
-            _cow=(self._pool, member_map),
+            tracer=self.tracer, _cow=(self._pool, member_map),
         )
 
     def with_added(self, nfd: NFD) -> "ClosureEngine":
@@ -537,7 +586,7 @@ class ClosureEngine:
         """
         return ClosureEngine(
             self.schema, self.sigma + (nfd,), self.nonempty,
-            strategy=self.strategy,
+            strategy=self.strategy, tracer=self.tracer,
             _cow=(self._pool, self._member_map + (None,)),
         )
 
@@ -554,10 +603,17 @@ class ClosureEngine:
             self._member_map[index + 1:]
         return ClosureEngine(
             self.schema, sigma, self.nonempty, strategy=self.strategy,
-            _cow=(self._pool, member_map),
+            tracer=self.tracer, _cow=(self._pool, member_map),
         )
 
     # -- observability -----------------------------------------------------
+
+    def snapshot(self) -> EngineStats:
+        """An explicit alias of :attr:`stats`: counters are cumulative
+        and never reset in place; measure windows with
+        ``engine.snapshot()`` before / after and
+        :meth:`EngineStats.diff`."""
+        return self.stats
 
     @property
     def stats(self) -> EngineStats:
@@ -723,6 +779,12 @@ class ClosureEngine:
         """Try one transitivity step; returns True if the closure grew."""
         self._attempts += 1
         _COUNTERS["attempts"] += 1
+        origin_counts = self._origin_counts
+        if origin_counts is not None:
+            entry = origin_counts.get(usable.origin)
+            if entry is None:
+                entry = origin_counts[usable.origin] = [0, 0]
+            entry[0] += 1
         if usable.rhs in closure_set:
             return False
         member_pairs: list[tuple[Path, Path]] = []
@@ -734,11 +796,52 @@ class ClosureEngine:
             member_pairs.append((member, found))
         closure_set.add(usable.rhs)
         self._successes += 1
+        if origin_counts is not None:
+            entry[1] += 1
         self._provenance[relation].setdefault(key, {})[usable.rhs] = \
             (usable, tuple(member_pairs))
         return True
 
     def _saturate(self, relation: str) -> None:
+        if self.tracer is None:
+            started = time.perf_counter()
+            self._saturations += 1
+            _COUNTERS["saturations"] += 1
+            if self.strategy == "naive":
+                self._saturate_naive(relation)
+            else:
+                self._saturate_worklist(relation)
+            self._wall_time += time.perf_counter() - started
+            return
+        self._saturate_traced(relation)
+
+    def _saturate_traced(self, relation: str) -> None:
+        """The saturation loop with per-rule counter deltas recorded.
+
+        When a span is already open (a ``session.miss``, an analysis
+        sweep) the saturation is its 1:1 inner step, so the deltas are
+        charged to that span instead of opening a duplicate one — a
+        span per saturation on top of a span per miss roughly doubles
+        the trace for no information.  Only a *root* saturation (engine
+        used directly, no enclosing span) opens its own
+        ``closure.saturate`` span."""
+        tracer = self.tracer
+        current = tracer.current
+        if current is not None:
+            self._saturate_counted(relation, current)
+            return
+        with tracer.span("closure.saturate", relation=relation,
+                         strategy=self.strategy) as span:
+            self._saturate_counted(relation, span)
+
+    def _saturate_counted(self, relation: str, span) -> None:
+        """Run one saturation, adding counter deltas to *span*."""
+        before_attempts = self._attempts
+        before_successes = self._successes
+        before_rounds = self._rounds
+        origin_counts = self._origin_counts
+        origin_before = {origin: (entry[0], entry[1])
+                         for origin, entry in origin_counts.items()}
         started = time.perf_counter()
         self._saturations += 1
         _COUNTERS["saturations"] += 1
@@ -747,6 +850,17 @@ class ClosureEngine:
         else:
             self._saturate_worklist(relation)
         self._wall_time += time.perf_counter() - started
+        add = span.add
+        add("saturations")
+        add("attempts", self._attempts - before_attempts)
+        add("successes", self._successes - before_successes)
+        add("rounds", self._rounds - before_rounds)
+        for origin, entry in origin_counts.items():
+            was = origin_before.get(origin, (0, 0))
+            if entry[0] != was[0]:
+                add("attempts." + origin, entry[0] - was[0])
+            if entry[1] != was[1]:
+                add("fires." + origin, entry[1] - was[1])
 
     def _saturate_worklist(self, relation: str) -> None:
         """Semi-naive saturation: drain deltas through the trigger index.

@@ -152,6 +152,33 @@ class SessionStats:
             "engine": self.engine.as_dict(),
         }
 
+    def as_metrics(self) -> dict:
+        """The :class:`~repro.obs.RunReport` section protocol."""
+        return self.as_dict()
+
+    def diff(self, baseline: "SessionStats") -> "SessionStats":
+        """The memo activity since *baseline* (an earlier snapshot of
+        the same session): cumulative counters are subtracted (the
+        nested engine snapshot through :meth:`EngineStats.diff`);
+        ``memo_size`` / ``max_memo`` / ``fingerprint`` keep this
+        snapshot's values.  Counters are never reset in place."""
+        if baseline.fingerprint != self.fingerprint:
+            raise InferenceError(
+                "cannot diff snapshots of different sessions "
+                f"({self.fingerprint[:12]} vs "
+                f"{baseline.fingerprint[:12]})")
+        return SessionStats(
+            fingerprint=self.fingerprint,
+            queries=self.queries - baseline.queries,
+            hits=self.hits - baseline.hits,
+            misses=self.misses - baseline.misses,
+            seed_reuses=self.seed_reuses - baseline.seed_reuses,
+            evictions=self.evictions - baseline.evictions,
+            memo_size=self.memo_size,
+            max_memo=self.max_memo,
+            engine=self.engine.diff(baseline.engine),
+        )
+
     def to_text(self) -> str:
         lines = [
             f"session stats (fingerprint {self.fingerprint[:12]}):",
@@ -189,12 +216,13 @@ class ImplicationSession:
 
     def __init__(self, schema: Schema, sigma: Iterable[NFD],
                  nonempty: NonEmptySpec | None = None, *,
-                 max_memo: int = DEFAULT_MAX_MEMO,
+                 max_memo: int = DEFAULT_MAX_MEMO, tracer=None,
                  _engine: ClosureEngine | None = None):
         if _engine is not None:
             self.engine = _engine
         else:
-            self.engine = ClosureEngine(schema, sigma, nonempty)
+            self.engine = ClosureEngine(schema, sigma, nonempty,
+                                        tracer=tracer)
         if max_memo < 1:
             raise InferenceError("max_memo must be at least 1")
         self.max_memo = max_memo
@@ -227,6 +255,16 @@ class ImplicationSession:
         return self.engine.nonempty
 
     @property
+    def tracer(self):
+        """The engine's :class:`~repro.obs.Tracer` (None = untraced)."""
+        return self.engine.tracer
+
+    def snapshot(self) -> "SessionStats":
+        """An explicit alias of :attr:`stats`: counters are cumulative
+        and never reset; measure windows via :meth:`SessionStats.diff`."""
+        return self.stats
+
+    @property
     def stats(self) -> SessionStats:
         """A point-in-time :class:`SessionStats` snapshot."""
         return SessionStats(
@@ -253,20 +291,41 @@ class ImplicationSession:
         key = frozenset(lhs)
         self._queries += 1
         slot = (relation, key)
+        tracer = self.engine.tracer
         cached = self._memo.get(slot)
         if cached is not None:
             self._hits += 1
             self._memo.move_to_end(slot)
+            if tracer is not None:
+                # a hit is O(1): charge a counter to whichever span is
+                # open (e.g. an analysis sweep) instead of a span of
+                # its own
+                tracer.count("session.hits")
             return cached
         self._misses += 1
-        seed = self._best_seed(relation, key)
-        if seed is not None:
-            self._seed_reuses += 1
-            result = self.engine.closure_simple_seeded(relation, key,
-                                                       seed)
-        else:
-            result = self.engine.closure_simple(relation, key)
-        self._remember(relation, key, result)
+        if tracer is None:
+            seed = self._best_seed(relation, key)
+            if seed is not None:
+                self._seed_reuses += 1
+                result = self.engine.closure_simple_seeded(
+                    relation, key, seed)
+            else:
+                result = self.engine.closure_simple(relation, key)
+            self._remember(relation, key, result)
+            return result
+        with tracer.span("session.miss", relation=relation,
+                         lhs_size=len(key)) as span:
+            seed = self._best_seed(relation, key)
+            if seed is not None:
+                self._seed_reuses += 1
+                span.add("seeded")
+                span.add("seed_size", len(seed))
+                result = self.engine.closure_simple_seeded(
+                    relation, key, seed)
+            else:
+                result = self.engine.closure_simple(relation, key)
+            self._remember(relation, key, result)
+            span.add("derived", len(result) - len(key))
         return result
 
     def _best_seed(self, relation: str,

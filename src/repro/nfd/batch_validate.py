@@ -112,6 +112,30 @@ class ValidatorStats:
             "wall_time": self.wall_time,
         }
 
+    def as_metrics(self) -> dict:
+        """The :class:`~repro.obs.RunReport` section protocol."""
+        return self.as_dict()
+
+    def diff(self, baseline: "ValidatorStats") -> "ValidatorStats":
+        """The work done since *baseline* (an earlier snapshot of the
+        same engine): cumulative counters — including the per-NFD group
+        counts — are subtracted; ``trie_nodes`` (fixed at compile time)
+        keeps its value.  Counters are never reset in place; this is
+        how windows are measured on an engine reused across queries,
+        and how the ``jobs=N`` fan-out ships worker deltas back."""
+        return ValidatorStats(
+            validations=self.validations - baseline.validations,
+            elements_walked=(self.elements_walked
+                             - baseline.elements_walked),
+            bindings_emitted=(self.bindings_emitted
+                              - baseline.bindings_emitted),
+            base_sets=self.base_sets - baseline.base_sets,
+            trie_nodes=self.trie_nodes,
+            groups={name: count - baseline.groups.get(name, 0)
+                    for name, count in self.groups.items()},
+            wall_time=self.wall_time - baseline.wall_time,
+        )
+
     def to_text(self) -> str:
         lines = [
             "validator stats (single-pass batch engine):",
@@ -362,9 +386,13 @@ class ValidatorEngine:
     updates via :meth:`bindings_of` and :meth:`row_violates`.
     """
 
-    def __init__(self, schema: Schema, sigma: Iterable[NFD]):
+    def __init__(self, schema: Schema, sigma: Iterable[NFD], *,
+                 tracer=None):
         self.schema = schema
         self.sigma = tuple(sigma)
+        # Observability: a repro.obs.Tracer, or None for the untraced
+        # fast path (a single `is None` check per walk boundary).
+        self.tracer = tracer
         for nfd in self.sigma:
             nfd.check_well_formed(schema)
         # relation -> scope tree; relations in Σ first-mention order.
@@ -418,12 +446,28 @@ class ValidatorEngine:
         are independent); the merged result is identical to the serial
         one, and the workers' counters are folded into :attr:`stats`.
         """
-        if jobs > 1 and len(self._relations) > 1:
-            return self._validate_fanout(instance, all_violations, jobs)
-        run = _Run(len(self.sigma), first_only=not all_violations,
-                   mask=None)
-        self._execute(instance, run)
-        return self._result(run)
+        tracer = self.tracer
+        if tracer is None:
+            if jobs > 1 and len(self._relations) > 1:
+                return self._validate_fanout(instance, all_violations,
+                                             jobs)
+            run = _Run(len(self.sigma), first_only=not all_violations,
+                       mask=None)
+            self._execute(instance, run)
+            return self._result(run)
+        with tracer.span("validate.run", jobs=jobs,
+                         all_violations=all_violations,
+                         nfds=len(self.sigma)) as span:
+            if jobs > 1 and len(self._relations) > 1:
+                result = self._validate_fanout(instance, all_violations,
+                                               jobs)
+            else:
+                run = _Run(len(self.sigma),
+                           first_only=not all_violations, mask=None)
+                self._execute(instance, run)
+                result = self._result(run)
+            span.add("violations", len(result.violations))
+            return result
 
     def check(self, instance: Instance) -> bool:
         """``I |= Σ`` in one short-circuiting pass."""
@@ -486,6 +530,12 @@ class ValidatorEngine:
         self._wall_time += time.perf_counter() - start
         return bool(run.violations)
 
+    def snapshot(self) -> ValidatorStats:
+        """An explicit alias of :attr:`stats`: counters are cumulative
+        and never reset in place; measure windows with a snapshot
+        before / after and :meth:`ValidatorStats.diff`."""
+        return self.stats
+
     @property
     def stats(self) -> ValidatorStats:
         """A point-in-time :class:`ValidatorStats` snapshot."""
@@ -526,6 +576,13 @@ class ValidatorEngine:
         so sorting the merged triples by ``(plan, position)`` — the
         same sort :meth:`_result` applies — reproduces the serial order
         byte for byte.
+
+        Worker counters come back as :meth:`ValidatorStats.diff`
+        snapshots (one per task) and are folded into this engine's
+        totals **in task order** — every fold is an addition, so the
+        merged stats are deterministic and, wall time aside, identical
+        to the serial walk's.  Under a tracer each task's delta is also
+        attached to a per-relation child span.
         """
         from ..parallel import process_map
 
@@ -538,33 +595,76 @@ class ValidatorEngine:
         results = process_map(_fanout_setup, payload, _fanout_probe,
                               tasks, jobs, threshold=2)
         self._validations += 1
+        tracer = self.tracer
         triples: list[tuple[int, int, Violation]] = []
-        for violations, delta in results:
+        for (relation, _), (violations, delta) in zip(tasks, results):
             triples.extend(violations)
-            self._elements_walked += delta["elements_walked"]
-            self._bindings_emitted += delta["bindings_emitted"]
-            self._base_sets += delta["base_sets"]
-            self._wall_time += delta["wall_time"]
-            for name, count in delta["groups"].items():
-                self._groups[name] += count
+            self._absorb(delta)
+            if tracer is not None:
+                with tracer.span("validate.relation",
+                                 relation=relation,
+                                 worker=True) as span:
+                    for name in ("elements_walked", "bindings_emitted",
+                                 "base_sets"):
+                        span.add(name, delta[name])
+                    span.add("violations", len(violations))
         ordered = sorted(triples, key=lambda v: (v[0], v[1]))
         return ValidationResult(not ordered,
                                 tuple(v for _, _, v in ordered))
+
+    def _absorb(self, delta: dict) -> None:
+        """Fold one worker's :meth:`ValidatorStats.diff` dict into this
+        engine's cumulative counters (addition only — commutative, and
+        callers iterate in deterministic task order)."""
+        self._validations += delta["validations"]
+        self._elements_walked += delta["elements_walked"]
+        self._bindings_emitted += delta["bindings_emitted"]
+        self._base_sets += delta["base_sets"]
+        self._wall_time += delta["wall_time"]
+        for name, count in delta["groups"].items():
+            if count:
+                self._groups[name] += count
 
     # -- the walk ---------------------------------------------------------
 
     def _execute(self, instance: Instance, run: _Run) -> None:
         self._validations += 1
+        tracer = self.tracer
         start = time.perf_counter()
         try:
             for relation, root in self._relations.items():
                 if run.remaining == 0 and run.first_only:
                     break
-                self._walk_scope(root, instance.relation(relation), run)
+                if tracer is None:
+                    self._walk_scope(root, instance.relation(relation),
+                                     run)
+                elif self._walk_traced(tracer, relation, root, instance,
+                                       run):
+                    break
         except _EarlyStop:
             pass
         finally:
             self._wall_time += time.perf_counter() - start
+
+    def _walk_traced(self, tracer, relation: str, root: _ScopeNode,
+                     instance: Instance, run: _Run) -> bool:
+        """One relation walk under a span; True when the walk stopped
+        early (every NFD violated) and the relation loop should end."""
+        before = (self._elements_walked, self._bindings_emitted,
+                  self._base_sets)
+        stopped = False
+        with tracer.span("validate.relation", relation=relation) as span:
+            try:
+                self._walk_scope(root, instance.relation(relation), run)
+            except _EarlyStop:
+                stopped = True
+                span.attrs["early_stop"] = True
+            span.add("elements_walked",
+                     self._elements_walked - before[0])
+            span.add("bindings_emitted",
+                     self._bindings_emitted - before[1])
+            span.add("base_sets", self._base_sets - before[2])
+        return stopped
 
     def _result(self, run: _Run) -> ValidationResult:
         ordered = sorted(run.violations, key=lambda v: (v[0], v[1]))
@@ -778,24 +878,11 @@ def _fanout_setup(payload):
 
 def _fanout_probe(context, task):
     """Worker task: walk one relation; return its violation triples
-    plus this task's counter deltas (the per-process engine serves
-    several tasks, so deltas are snapshotted around each walk)."""
+    plus this task's counter deltas as a :meth:`ValidatorStats.diff`
+    dict (the per-process engine serves several tasks, so deltas are
+    snapshotted around each walk)."""
     engine, instance = context
     relation, all_violations = task
-    before = engine.stats
+    before = engine.snapshot()
     run = engine._run_relation(instance, relation, all_violations)
-    after = engine.stats
-    delta = {
-        "elements_walked":
-            after.elements_walked - before.elements_walked,
-        "bindings_emitted":
-            after.bindings_emitted - before.bindings_emitted,
-        "base_sets": after.base_sets - before.base_sets,
-        "wall_time": after.wall_time - before.wall_time,
-        "groups": {
-            name: after.groups[name] - count
-            for name, count in before.groups.items()
-            if after.groups[name] != count
-        },
-    }
-    return run.violations, delta
+    return run.violations, engine.snapshot().diff(before).as_dict()

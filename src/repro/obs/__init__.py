@@ -1,0 +1,43 @@
+"""Unified observability: tracing, metrics, and run reports.
+
+Three zero-dependency pieces, designed to be wired through the hot
+paths of the inference, validation, and analysis layers without
+perturbing any result and without costing anything when disabled:
+
+* :class:`Tracer` — nestable spans (monotonic timings, per-span
+  counters) and point events in a bounded ring buffer that flags
+  truncation instead of dropping silently; exports JSON Lines
+  (CLI ``--trace FILE``);
+* :class:`MetricsRegistry` — named counters / gauges / histograms with
+  JSON export and deterministic merge (the process-parallel fan-outs
+  fold worker deltas through it);
+* :class:`RunReport` — named sections of frozen stats snapshots behind
+  one ``as_metrics()`` protocol, consolidating
+  :class:`~repro.inference.closure.EngineStats`,
+  :class:`~repro.inference.session.SessionStats`, and
+  :class:`~repro.nfd.batch_validate.ValidatorStats`; the CLI's
+  ``--stats`` / ``--cache-stats`` stderr text and its
+  ``--metrics-json FILE`` output both render from the same report, so
+  their numbers reconcile by construction.
+
+The contract every instrumented call site honours (and
+``tests/properties/test_obs_invariance.py`` enforces): passing a tracer
+may add spans and counters but can never change a public result, and
+passing ``tracer=None`` (the default) executes the exact pre-obs code
+path behind a single ``is None`` check.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import RunReport, supports_metrics
+from .tracer import Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "RunReport",
+    "supports_metrics",
+]

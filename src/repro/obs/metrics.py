@@ -1,0 +1,221 @@
+"""A registry of named counters, gauges, and histograms.
+
+:class:`MetricsRegistry` is the numeric half of :mod:`repro.obs`: where
+the tracer answers "where did the time go", the registry answers "how
+much work happened", in a form that serializes to JSON and **merges
+deterministically** — the property the process-parallel fan-outs need
+to fold worker-process deltas back into the parent's totals with a
+result independent of worker scheduling (merge in task order; every
+merge operation is commutative over the counters that matter).
+
+Merge semantics, per instrument:
+
+* **counter** — values add;
+* **gauge** — the merged-in value wins (last-write; callers merge in a
+  deterministic order, so the result is deterministic);
+* **histogram** — bucket counts, totals, and counts add; the bucket
+  edges must agree exactly (merging histograms of different shapes is
+  an error, not a silent re-bucketing).
+
+Histogram buckets: ``edges = (e1, .., en)`` define ``n + 1`` buckets —
+bucket ``i < n`` counts observations ``v <= e(i+1)`` (with ``v > e(i)``
+for ``i > 0``), and the last bucket is the overflow ``v > en``.  Edges
+are closed on the right, so an observation exactly on an edge lands in
+that edge's bucket (tested in ``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Iterable
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram bucket edges (generic work-count scale).
+DEFAULT_EDGES = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}={self.value})"
+
+
+class Histogram:
+    """Bucketed observations with fixed, right-closed edges."""
+
+    __slots__ = ("name", "edges", "counts", "total", "count")
+
+    def __init__(self, name: str, edges: Iterable[int | float]
+                 = DEFAULT_EDGES):
+        self.name = name
+        self.edges = tuple(edges)
+        if not self.edges:
+            raise ValueError(f"histogram {self.name!r} needs >= 1 edge")
+        if any(a >= b for a, b in zip(self.edges, self.edges[1:])):
+            raise ValueError(
+                f"histogram {self.name!r} edges must strictly increase")
+        self.counts = [0] * (len(self.edges) + 1)
+        self.total: int | float = 0
+        self.count = 0
+
+    def observe(self, value: int | float) -> None:
+        """Record one observation; ``v == edge`` lands in edge's bucket."""
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": self.total,
+            "count": self.count,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name!r}, count={self.count}, "
+                f"mean={self.mean:.3f})")
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, exported as JSON.
+
+    Example::
+
+        registry = MetricsRegistry()
+        registry.counter("closure.attempts").inc(17)
+        registry.gauge("memo.size").set(42)
+        registry.histogram("delta.size").observe(3)
+        registry.to_json()
+
+    Names are unique across instrument kinds: asking for a counter
+    under a name already used by a gauge is an error (one name, one
+    meaning).
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _claim(self, name: str, kind: str) -> None:
+        owners = {"counter": self._counters, "gauge": self._gauges,
+                  "histogram": self._histograms}
+        for other, table in owners.items():
+            if other != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} is already a {other}, "
+                    f"cannot reuse it as a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._claim(name, "counter")
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._claim(name, "gauge")
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, edges: Iterable[int | float]
+                  = DEFAULT_EDGES) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._claim(name, "histogram")
+            instrument = self._histograms[name] = Histogram(name, edges)
+        return instrument
+
+    # -- bulk recording ----------------------------------------------------
+
+    def count_all(self, values: dict[str, int | float],
+                  prefix: str = "") -> None:
+        """Add a flat ``{name: amount}`` map of counter increments."""
+        for name in sorted(values):
+            self.counter(prefix + name).inc(values[name])
+
+    # -- merge -------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry | dict") -> None:
+        """Fold another registry (or its :meth:`as_dict`) into this one.
+
+        Deterministic by construction: counters/histograms add
+        (commutative), gauges take the merged-in value, and callers
+        merge worker results in task order.
+        """
+        data = other.as_dict() if isinstance(other, MetricsRegistry) \
+            else other
+        for name in sorted(data.get("counters", {})):
+            self.counter(name).inc(data["counters"][name])
+        for name in sorted(data.get("gauges", {})):
+            self.gauge(name).set(data["gauges"][name])
+        for name in sorted(data.get("histograms", {})):
+            payload = data["histograms"][name]
+            histogram = self.histogram(name, tuple(payload["edges"]))
+            if list(histogram.edges) != list(payload["edges"]):
+                raise ValueError(
+                    f"histogram {name!r} edge mismatch: "
+                    f"{list(histogram.edges)} vs {payload['edges']}")
+            for index, bucket in enumerate(payload["counts"]):
+                histogram.counts[index] += bucket
+            histogram.total += payload["total"]
+            histogram.count += payload["count"]
+
+    # -- export ------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot, all maps sorted by name."""
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {name: self._histograms[name].as_dict()
+                           for name in sorted(self._histograms)},
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry({len(self._counters)} counter(s), "
+                f"{len(self._gauges)} gauge(s), "
+                f"{len(self._histograms)} histogram(s))")

@@ -1,0 +1,130 @@
+"""Run reports: one consolidated view of a run's statistics.
+
+PRs 1–3 each grew an engine-local counters class —
+:class:`~repro.inference.closure.EngineStats`,
+:class:`~repro.inference.session.SessionStats`,
+:class:`~repro.nfd.batch_validate.ValidatorStats` — and each grew its
+own rendering and JSON spelling.  :class:`RunReport` is the single
+consolidation point: every stats class implements the small
+``as_metrics()`` protocol (a JSON-friendly flat-ish dict of its
+numbers; for the existing classes it coincides with ``as_dict()``), and
+a report collects named *sections* of such snapshots.
+
+The CLI builds exactly one report per command: the ``--stats`` /
+``--cache-stats`` stderr text, the ``--metrics-json`` file, and any
+programmatic consumer all read the *same frozen snapshots*, so the
+numbers reconcile by construction — there is no second moment at which
+counters could have moved on.
+
+Sections are frozen at :meth:`RunReport.add` time (the stats classes
+are immutable snapshots; a mapping is copied), keep insertion order,
+and render either through the snapshot's own ``to_text()`` (preserving
+the established stderr formats byte for byte) or as indented JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+__all__ = ["RunReport", "supports_metrics"]
+
+
+def supports_metrics(source: Any) -> bool:
+    """Does *source* implement the ``as_metrics()`` protocol?"""
+    return callable(getattr(source, "as_metrics", None))
+
+
+class RunReport:
+    """Named sections of metric snapshots for one logical run.
+
+    Example::
+
+        report = RunReport(command="analyze")
+        report.add("closure", engine.stats)
+        report.add("session", session.stats)
+        report.add("validator", validator.stats)
+        report.to_json()
+        report.section_text("session")   # the --cache-stats stderr text
+    """
+
+    def __init__(self, command: str | None = None):
+        self.command = command
+        # name -> (source snapshot or None, metrics dict)
+        self._sections: dict[str, tuple[Any, dict]] = {}
+
+    def add(self, name: str, source: Any) -> "RunReport":
+        """Freeze *source* into section *name* (returns self to chain).
+
+        *source* is a stats snapshot implementing ``as_metrics()``, or a
+        plain mapping of JSON-friendly values.  Re-adding a name
+        replaces the section (the latest snapshot wins).
+        """
+        if supports_metrics(source):
+            self._sections[name] = (source, dict(source.as_metrics()))
+        elif isinstance(source, Mapping):
+            self._sections[name] = (None, dict(source))
+        else:
+            raise TypeError(
+                f"section {name!r}: expected an as_metrics() snapshot "
+                f"or a mapping, got {type(source).__name__}")
+        return self
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def sections(self) -> tuple[str, ...]:
+        return tuple(self._sections)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sections
+
+    def section(self, name: str) -> dict:
+        """The frozen metrics dict of one section."""
+        return dict(self._sections[name][1])
+
+    def section_text(self, name: str) -> str:
+        """The section rendered for humans.
+
+        Snapshots that know how to print themselves (``to_text()``) are
+        rendered exactly as their engines always did — the CLI's
+        ``--stats`` output is this method — otherwise indented JSON.
+        """
+        source, metrics = self._sections[name]
+        if source is not None and callable(getattr(source, "to_text",
+                                                   None)):
+            return source.to_text()
+        return json.dumps(metrics, indent=2, sort_keys=True, default=str)
+
+    # -- export ------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        payload: dict[str, Any] = {}
+        if self.command is not None:
+            payload["command"] = self.command
+        payload["sections"] = {
+            name: dict(metrics)
+            for name, (_, metrics) in self._sections.items()
+        }
+        return payload
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True,
+                          default=str)
+
+    def write_json(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    def to_text(self) -> str:
+        """Every section's human rendering, in insertion order."""
+        blocks = []
+        for name in self._sections:
+            blocks.append(f"[{name}]")
+            blocks.append(self.section_text(name))
+        return "\n".join(blocks)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(self._sections) or "empty"
+        return f"RunReport({inner})"

@@ -1,0 +1,256 @@
+"""Nestable tracing spans with a bounded ring-buffer log.
+
+A :class:`Tracer` records *spans* — named, attributed intervals measured
+with the monotonic clock — plus point *events*, both into one bounded
+ring buffer.  Spans nest: opening a span inside another records the
+parent's id and depth, and :meth:`Tracer.count` charges a counter to
+whichever span is innermost at call time, so hot loops can attribute
+work ("attempts", "memo hits") to the operation that caused it without
+threading a span handle through every call.
+
+Design constraints, shared with the rest of :mod:`repro.obs`:
+
+* **zero dependencies** — standard library only;
+* **no silent drops** — the ring buffer keeps the *newest*
+  ``max_records`` completed records and counts what it evicted
+  (:attr:`Tracer.dropped`); the JSONL export ends with an explicit
+  truncation marker whenever anything was dropped, so a consumer can
+  never mistake a truncated trace for a complete one;
+* **no overhead when absent** — the instrumented code paths all take a
+  ``tracer`` that defaults to ``None`` and guard every obs call with a
+  single ``is None`` test; no tracer, span, or buffer object is ever
+  constructed on the disabled path (``benchmarks/bench_obs_overhead.py``
+  gates this via :attr:`Tracer.created`).
+
+Spans are identified by a per-tracer sequential id in *opening* order;
+the ring buffer lists records in *completion* order (a parent span
+completes after its children).  Both orders are deterministic for a
+deterministic program, which the instrumentation-invariance suite
+relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Iterator
+
+__all__ = ["Span", "Tracer"]
+
+#: Default bound on retained completed records (spans + events).
+DEFAULT_MAX_RECORDS = 4096
+
+
+class Span:
+    """One named interval: monotonic start/end, attributes, counters.
+
+    Spans are created by :meth:`Tracer.span` and closed by leaving the
+    ``with`` block; ``duration`` and the counter map are stable after
+    close.  ``parent_id`` is ``None`` for root spans; ``depth`` is the
+    nesting level (0 for roots).
+    """
+
+    __slots__ = ("span_id", "name", "attrs", "parent_id", "depth",
+                 "start", "end", "counters", "_tracer")
+
+    def __init__(self, span_id: int, name: str, attrs: dict[str, Any],
+                 parent_id: int | None, depth: int, start: float,
+                 tracer: "Tracer | None" = None):
+        self.span_id = span_id
+        self.name = name
+        self.attrs = attrs
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start = start
+        self.end: float | None = None
+        self.counters: dict[str, int | float] = {}
+        self._tracer = tracer
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._close(self, failed=exc_type is not None)
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds between open and close (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def add(self, name: str, amount: int | float = 1) -> None:
+        """Add *amount* to the span-local counter *name*."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def as_dict(self, origin: float = 0.0) -> dict:
+        """A JSON-friendly record; times are relative to *origin*."""
+        return {
+            "kind": "span",
+            "id": self.span_id,
+            "name": self.name,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "start": self.start - origin,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+        }
+
+    def __repr__(self) -> str:
+        state = f"{self.duration:.6f}s" if self.closed else "open"
+        return f"Span(#{self.span_id} {self.name!r}, {state})"
+
+
+class Tracer:
+    """A span/event recorder with a bounded completion log.
+
+    Example::
+
+        tracer = Tracer()
+        with tracer.span("analysis.keys", relation="Course") as span:
+            ...
+            tracer.count("candidates")          # charged to the span
+        tracer.write_jsonl("trace.jsonl")
+
+    ``max_records`` bounds the retained *completed* records; the open
+    span stack is unbounded (it is as deep as the program's nesting).
+    Evictions are counted in :attr:`dropped` and flagged on export.
+    """
+
+    #: Process-wide count of Tracer constructions.  The no-op gate in
+    #: ``benchmarks/bench_obs_overhead.py`` asserts this stays flat
+    #: across an untraced workload: the disabled path builds nothing.
+    created = 0
+
+    def __init__(self, max_records: int = DEFAULT_MAX_RECORDS,
+                 clock=time.perf_counter):
+        if max_records < 1:
+            raise ValueError("max_records must be at least 1")
+        Tracer.created += 1
+        self.max_records = max_records
+        self._clock = clock
+        self._origin = clock()
+        # maxlen-deque evicts oldest records at C speed; dropped count
+        # is recovered from the total-appended counter
+        self._records: deque = deque(maxlen=max_records)
+        self._stack: list[Span] = []
+        self._next_id = 0
+        self._appended = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span; use as ``with tracer.span(name, k=v) as span:``."""
+        stack = self._stack
+        opened = Span(self._next_id, name, attrs,
+                      stack[-1].span_id if stack else None,
+                      len(stack), self._clock(), self)
+        self._next_id += 1
+        stack.append(opened)
+        return opened
+
+    def _close(self, span: Span, failed: bool) -> None:
+        span.end = self._clock()
+        stack = self._stack
+        if not failed and stack and stack[-1] is span:
+            # common case: innermost span closes in order
+            stack.pop()
+            self._appended += 1
+            self._records.append(span)
+            return
+        if failed:
+            span.attrs["failed"] = True
+        # Exceptions can unwind through several open spans; close every
+        # frame above *span* too, innermost first.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+            if top.end is None:
+                top.end = span.end
+                self._append(top)
+        self._append(span)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point event (no duration) at the current depth."""
+        current = self._stack[-1] if self._stack else None
+        self._append({
+            "kind": "event",
+            "name": name,
+            "parent": current.span_id if current else None,
+            "at": self._clock() - self._origin,
+            "attrs": attrs,
+        })
+
+    def count(self, name: str, amount: int | float = 1) -> None:
+        """Add to the innermost open span's counter (no-op at depth 0)."""
+        if self._stack:
+            self._stack[-1].add(name, amount)
+
+    def _append(self, record) -> None:
+        self._appended += 1
+        self._records.append(record)   # maxlen evicts the oldest
+
+    @property
+    def dropped(self) -> int:
+        """How many completed records the ring buffer has evicted."""
+        return max(0, self._appended - self.max_records)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def truncated(self) -> bool:
+        """Has the ring buffer evicted anything?"""
+        return self.dropped > 0
+
+    def spans(self, name: str | None = None) -> list[Span]:
+        """Completed spans in completion order, optionally by name."""
+        result = [r for r in self._records if isinstance(r, Span)]
+        if name is not None:
+            result = [s for s in result if s.name == name]
+        return result
+
+    def records(self) -> Iterator[dict]:
+        """Every retained record as a JSON-friendly dict, in completion
+        order, followed by a truncation marker when records were
+        dropped (never silently)."""
+        for record in self._records:
+            if isinstance(record, Span):
+                yield record.as_dict(self._origin)
+            else:
+                yield record
+        if self.dropped:
+            yield {"kind": "truncated", "dropped": self.dropped,
+                   "max_records": self.max_records}
+
+    # -- export ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The trace as JSON Lines (one record per line)."""
+        return "\n".join(
+            json.dumps(record, sort_keys=True, default=str)
+            for record in self.records()
+        )
+
+    def write_jsonl(self, path) -> None:
+        """Write :meth:`to_jsonl` (plus a trailing newline) to *path*."""
+        text = self.to_jsonl()
+        with open(path, "w") as handle:
+            handle.write(text)
+            if text:
+                handle.write("\n")
+
+    def __repr__(self) -> str:
+        return (f"Tracer({len(self._records)} record(s), "
+                f"{len(self._stack)} open, dropped={self.dropped})")

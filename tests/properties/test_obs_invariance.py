@@ -1,0 +1,205 @@
+"""Instrumentation invariance: tracing can never change a result.
+
+Every instrumented public entry point — closures and implication
+(engine and session), batch validation, minimal keys, minimal covers,
+chase repair — is run twice on the same randomized input: once with
+``tracer=None`` (the default no-op path) and once with a live
+:class:`repro.obs.Tracer`.  The public results must be identical, in
+both the plain Section 3.1 mode and the non-empty-gated Section 3.2
+mode; the traced run must additionally have recorded spans (so the
+suite cannot pass vacuously with instrumentation unplugged).
+
+A deterministic seed sweep guarantees the advertised case count
+(>= 200 randomized cases across the entry points and modes)
+independent of hypothesis profiles; hypothesis wrappers add shrinking
+on failure.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import minimal_cover, minimal_keys, non_redundant
+from repro.chase import repair
+from repro.generators import (
+    random_instance,
+    random_nfd,
+    random_schema,
+    random_sigma,
+)
+from repro.inference import ClosureEngine, ImplicationSession, NonEmptySpec
+from repro.nfd import ValidatorEngine
+from repro.obs import Tracer
+from repro.paths import Path, relation_paths, set_paths
+
+CLOSURE_SEEDS = 40       # x2 modes = 80 cases
+VALIDATE_SEEDS = 40      # 40 cases
+KEYS_SEEDS = 20          # x2 modes = 40 cases
+COVER_SEEDS = 20         # x2 modes = 40 cases
+REPAIR_SEEDS = 20        # 20 cases
+# total: 220 deterministic cases, plus the hypothesis wrappers
+
+
+def _draw(seed: int):
+    rng = random.Random(seed)
+    schema = random_schema(rng, relations=1, max_fields=3, max_depth=2,
+                           set_probability=0.5)
+    sigma = random_sigma(rng, schema, count=rng.randint(1, 4), max_lhs=2)
+    relation = schema.relation_names[0]
+    return rng, schema, sigma, relation
+
+
+def _partial_spec(rng: random.Random, schema, relation: str) \
+        -> NonEmptySpec:
+    declared = {Path((relation,))}
+    for p in set_paths(schema, relation):
+        if rng.random() < 0.5:
+            declared.add(Path((relation,)).concat(p))
+    return NonEmptySpec(declared)
+
+
+def _assert_traced(tracer: Tracer) -> None:
+    """The traced run must actually have recorded something."""
+    assert tracer.spans(), "tracer recorded no spans — wiring unplugged?"
+
+
+def _check_closure_invariance(seed: int, gated: bool) -> None:
+    rng, schema, sigma, relation = _draw(seed)
+    spec = _partial_spec(rng, schema, relation) if gated else None
+    paths = relation_paths(schema, relation)
+    queries = [
+        frozenset(rng.sample(paths, min(len(paths), rng.randint(0, 2))))
+        for _ in range(3)
+    ]
+    candidate = random_nfd(rng, schema, max_lhs=2)
+    base = Path((relation,))
+
+    plain = ImplicationSession(schema, sigma, spec)
+    tracer = Tracer()
+    traced = ImplicationSession(schema, sigma, spec, tracer=tracer)
+    for lhs in queries:
+        assert traced.closure(base, lhs) == plain.closure(base, lhs), \
+            (sigma, spec, lhs)
+    # repeat one query so the traced session exercises its memo-hit path
+    assert traced.closure(base, queries[0]) == \
+        plain.closure(base, queries[0])
+    assert traced.implies(candidate) == plain.implies(candidate), \
+        (sigma, spec, candidate)
+    assert traced.snapshot().queries == plain.snapshot().queries
+    _assert_traced(tracer)
+
+
+def _check_validate_invariance(seed: int) -> None:
+    rng, schema, sigma, relation = _draw(seed)
+    instance = random_instance(rng, schema, tuples=3, domain=2,
+                               max_set_size=2, empty_probability=0.2)
+    plain = ValidatorEngine(schema, sigma)
+    tracer = Tracer()
+    traced = ValidatorEngine(schema, sigma, tracer=tracer)
+    for all_violations in (False, True):
+        expected = plain.validate(instance, all_violations=all_violations)
+        actual = traced.validate(instance, all_violations=all_violations)
+        assert actual.ok == expected.ok
+        assert [v.describe() for v in actual.violations] == \
+            [v.describe() for v in expected.violations], (sigma, instance)
+    _assert_traced(tracer)
+
+
+def _check_keys_invariance(seed: int, gated: bool) -> None:
+    rng, schema, sigma, relation = _draw(seed)
+    spec = _partial_spec(rng, schema, relation) if gated else None
+    plain = minimal_keys(schema, sigma, relation, nonempty=spec)
+    tracer = Tracer()
+    session = ImplicationSession(schema, sigma, spec, tracer=tracer)
+    traced = minimal_keys(schema, sigma, relation, engine=session,
+                          nonempty=spec)
+    assert traced == plain, (sigma, spec)
+    _assert_traced(tracer)
+
+
+def _check_cover_invariance(seed: int, gated: bool) -> None:
+    rng, schema, sigma, relation = _draw(seed)
+    spec = _partial_spec(rng, schema, relation) if gated else None
+    plain_cover = minimal_cover(schema, sigma, spec)
+    plain_nr = non_redundant(schema, sigma, spec)
+    tracer = Tracer()
+    session = ImplicationSession(schema, list(sigma), spec,
+                                 tracer=tracer)
+    traced_cover = minimal_cover(schema, list(sigma), spec,
+                                 session=session)
+    assert traced_cover == plain_cover, (sigma, spec)
+    tracer2 = Tracer()
+    session2 = ImplicationSession(schema, list(sigma), spec,
+                                  tracer=tracer2)
+    traced_nr = non_redundant(schema, list(sigma), spec,
+                              session=session2)
+    assert traced_nr == plain_nr, (sigma, spec)
+    _assert_traced(tracer)
+
+
+def _check_repair_invariance(seed: int) -> None:
+    rng, schema, sigma, relation = _draw(seed)
+    instance = random_instance(rng, schema, tuples=3, domain=2,
+                               max_set_size=2, empty_probability=0.1)
+    plain = repair(instance, sigma)
+    tracer = Tracer()
+    traced = repair(instance, sigma, tracer=tracer)
+    assert traced == plain, (sigma, instance)
+    assert tracer.spans("chase.repair"), "repair span missing"
+
+
+@pytest.mark.parametrize("seed", range(CLOSURE_SEEDS))
+def test_closure_invariance_plain(seed):
+    _check_closure_invariance(seed, gated=False)
+
+
+@pytest.mark.parametrize("seed", range(CLOSURE_SEEDS))
+def test_closure_invariance_gated(seed):
+    _check_closure_invariance(seed, gated=True)
+
+
+@pytest.mark.parametrize("seed", range(VALIDATE_SEEDS))
+def test_validate_invariance(seed):
+    _check_validate_invariance(seed)
+
+
+@pytest.mark.parametrize("seed", range(KEYS_SEEDS))
+def test_keys_invariance_plain(seed):
+    _check_keys_invariance(seed, gated=False)
+
+
+@pytest.mark.parametrize("seed", range(KEYS_SEEDS))
+def test_keys_invariance_gated(seed):
+    _check_keys_invariance(seed, gated=True)
+
+
+@pytest.mark.parametrize("seed", range(COVER_SEEDS))
+def test_cover_invariance_plain(seed):
+    _check_cover_invariance(seed, gated=False)
+
+
+@pytest.mark.parametrize("seed", range(COVER_SEEDS))
+def test_cover_invariance_gated(seed):
+    _check_cover_invariance(seed, gated=True)
+
+
+@pytest.mark.parametrize("seed", range(REPAIR_SEEDS))
+def test_repair_invariance(seed):
+    _check_repair_invariance(seed)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       gated=st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_closure_invariance_hypothesis(seed, gated):
+    _check_closure_invariance(seed, gated)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_validate_invariance_hypothesis(seed):
+    _check_validate_invariance(seed)
