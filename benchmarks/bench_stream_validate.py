@@ -1,0 +1,163 @@
+"""Out-of-core streaming validation: bounded memory, exact witnesses.
+
+The streaming engine's production claim is that group-table residency
+is bounded by the :class:`repro.nfd.ResourceBudget` no matter how large
+the relation is, with the spill/merge machinery producing byte-identical
+witnesses to the in-memory :class:`repro.nfd.ValidatorEngine`.
+
+``test_bounded_memory_gate`` is the acceptance gate: a relation with
+**at least 10× more distinct antecedent keys than the resident-row
+budget** must stream with ``peak_resident_rows <= budget`` (so spilling
+actually happened, and the cap held at every instant), and the
+violation witnesses must equal the in-memory engine's exactly.
+``test_cross_shard_conflict_gate`` repeats the claim for
+:func:`repro.nfd.shard_validate` with conflicting elements placed in
+*different* shards, where only the driver's cross-shard merge can see
+the clash.
+
+The remaining benchmarks time streaming against the in-memory walk
+under pytest-benchmark.
+"""
+
+import random
+
+from repro.generators import workloads
+from repro.io.stream import iter_set_elements
+from repro.nfd import (
+    ResourceBudget,
+    ValidatorEngine,
+    parse_nfds,
+    shard_validate,
+    stream_validate,
+)
+
+#: Resident-row budget for the gate.
+BUDGET_ROWS = 500
+
+#: The gate instance must carry at least this many times more distinct
+#: antecedent keys than the budget admits resident rows.
+SCALE_FACTOR = 10
+
+
+def _workload():
+    """A Course workload whose root NFDs emit >= 10x the budget in
+    distinct keys, with one injected cross-element conflict."""
+    schema = workloads.course_schema()
+    sigma = parse_nfds("\n".join([
+        "Course:[cnum -> time]",
+        "Course:[cnum, time -> books]",
+        "Course:students:[sid -> grade]",
+    ]))
+    instance = workloads.scaled_course_instance(
+        random.Random(23), courses=BUDGET_ROWS * SCALE_FACTOR // 2,
+        students_per_course=3, books_per_course=2)
+    return schema, sigma, instance
+
+
+def _sources(instance):
+    return {name: iter_set_elements(value)
+            for name, value in instance.relations()}
+
+
+def test_bounded_memory_gate(gate_metrics):
+    """Gate: peak resident rows <= budget on a >= 10x instance, with
+    witnesses identical to the in-memory engine's."""
+    schema, sigma, instance = _workload()
+    reference = ValidatorEngine(schema, sigma).validate(
+        instance, all_violations=True)
+
+    budget = ResourceBudget(max_resident_rows=BUDGET_ROWS)
+    result = stream_validate(schema, sigma, _sources(instance),
+                             budget=budget)
+    stats = result.stats
+
+    distinct = stats.groups_merged
+    print(f"\nstreaming validation: {stats.elements_seen} elements, "
+          f"{distinct} distinct keys through a {BUDGET_ROWS}-row "
+          f"budget; peak resident {stats.peak_resident_rows}, "
+          f"{stats.spills} spill(s), {stats.rows_spilled} rows in "
+          f"{stats.runs_written} run(s) ({stats.bytes_spilled} bytes)")
+    assert distinct >= BUDGET_ROWS * SCALE_FACTOR, (
+        f"workload too small: {distinct} distinct keys < "
+        f"{SCALE_FACTOR}x the {BUDGET_ROWS}-row budget")
+    assert stats.peak_resident_rows <= BUDGET_ROWS, (
+        f"budget violated: peak resident {stats.peak_resident_rows} "
+        f"rows > {BUDGET_ROWS}")
+    assert stats.spills >= 1 and stats.rows_spilled > 0
+    assert [v.describe() for v in result.violations] == \
+        [v.describe() for v in reference.violations]
+
+    gate_metrics.gauge("stream.budget_rows").set(BUDGET_ROWS)
+    gate_metrics.gauge("stream.distinct_keys").set(distinct)
+    gate_metrics.gauge("stream.peak_resident_rows").set(
+        stats.peak_resident_rows)
+    gate_metrics.gauge("stream.spills").set(stats.spills)
+    gate_metrics.gauge("stream.rows_spilled").set(stats.rows_spilled)
+    gate_metrics.gauge("stream.bytes_spilled").set(stats.bytes_spilled)
+
+
+def test_cross_shard_conflict_gate(gate_metrics):
+    """Gate: a conflict whose two elements sit in different shards is
+    found by the sharded driver, under the same budget bound."""
+    schema, sigma, instance = _workload()
+    from repro.values import Atom, Instance, SetValue
+
+    elements = list(instance.relation("Course"))
+    elements.append(elements[0].replace("time", Atom("18h")))
+    conflicted = Instance(schema, {"Course": SetValue(elements)})
+    reference = ValidatorEngine(schema, sigma).validate(
+        conflicted, all_violations=True)
+    assert reference.violations, "workload must actually conflict"
+
+    # Stream in the reference walk's (sorted-set) order, but put a
+    # shard boundary right after the first element: the clashing pair
+    # shares the minimal cnum, so it is split across shards 0 and 1
+    # and only the driver's cross-shard merge can see the conflict.
+    ordered = list(conflicted.relation("Course"))
+    assert ordered[0].get("cnum") == ordered[1].get("cnum")
+    mid = len(ordered) // 2
+    shards = [("rows", ordered[:1]),
+              ("rows", ordered[1:mid]),
+              ("rows", ordered[mid:])]
+    budget = ResourceBudget(max_resident_rows=BUDGET_ROWS)
+    result = shard_validate(schema, sigma, "Course", shards,
+                            budget=budget)
+
+    assert result.completed_shards == (0, 1, 2)
+    assert result.stats.peak_resident_rows <= BUDGET_ROWS
+    assert [v.describe() for v in result.violations] == \
+        [v.describe() for v in reference.violations]
+    gate_metrics.gauge("stream.cross_shard_violations").set(
+        len(result.violations))
+    gate_metrics.gauge("stream.shard_peak_resident_rows").set(
+        result.stats.peak_resident_rows)
+
+
+def test_stream_with_budget(benchmark):
+    schema, sigma, instance = _workload()
+    budget = ResourceBudget(max_resident_rows=BUDGET_ROWS)
+
+    def run():
+        return stream_validate(schema, sigma, _sources(instance),
+                               budget=budget)
+
+    benchmark.group = "streaming validation"
+    assert benchmark(run).ok is True
+
+
+def test_stream_unbudgeted(benchmark):
+    schema, sigma, instance = _workload()
+
+    def run():
+        return stream_validate(schema, sigma, _sources(instance))
+
+    benchmark.group = "streaming validation"
+    assert benchmark(run).ok is True
+
+
+def test_in_memory_reference(benchmark):
+    schema, sigma, instance = _workload()
+    engine = ValidatorEngine(schema, sigma)
+    benchmark.group = "streaming validation"
+    assert benchmark(
+        lambda: engine.validate(instance, all_violations=True)).ok

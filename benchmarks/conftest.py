@@ -47,9 +47,23 @@ def gate_metrics() -> MetricsRegistry:
     return GATE_METRICS
 
 
-def pytest_terminal_summary(terminalreporter):
+def pytest_addoption(parser):
+    parser.addoption(
+        "--metrics-json", action="store", default=None, metavar="FILE",
+        dest="metrics_json",
+        help="also write the session's gate metrics registry to FILE "
+             "as JSON (the numbers the acceptance gates asserted on)",
+    )
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
     data = GATE_METRICS.as_dict()
     if data["counters"] or data["gauges"] or data["histograms"]:
         terminalreporter.write_line("")
         terminalreporter.write_line("=== gate metrics ===")
         terminalreporter.write_line(GATE_METRICS.to_json())
+    path = config.getoption("metrics_json", None)
+    if path:
+        with open(path, "w") as handle:
+            handle.write(GATE_METRICS.to_json())
+            handle.write("\n")

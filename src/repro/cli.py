@@ -47,6 +47,14 @@ commands ``keys`` and ``check`` accept ``--jobs N`` to fan their work
 out across *N* worker processes — stdout is byte-identical to the
 serial run (deterministic result ordering), only wall-clock changes.
 
+``check --stream FILE`` validates a JSONL dump of one relation
+out-of-core (see :mod:`repro.nfd.stream_validate`): elements are
+consumed one at a time, group tables spill to disk under ``--max-rows``,
+``--shards N`` with ``--jobs N`` fans contiguous shards across
+processes, and ``--deadline`` / ``--max-elements`` bound the run
+cooperatively — a budget-exhausted run prints what it found, notes the
+partial verdict on stderr, and exits 2 when no violation was seen.
+
 The observability commands — ``check``, ``implies``, ``closure``,
 ``keys``, ``analyze`` — additionally accept ``--trace FILE`` (write a
 JSON Lines span trace of the run; see :class:`repro.obs.Tracer`) and
@@ -133,7 +141,7 @@ def _obs_finish(args, report: RunReport, tracer: Tracer | None) -> None:
     construction; ``--trace`` dumps the tracer's span log as JSONL.
     """
     if getattr(args, "stats", False):
-        for name in ("closure", "validator"):
+        for name in ("closure", "validator", "stream"):
             if name in report:
                 print(report.section_text(name), file=sys.stderr)
     if getattr(args, "cache_stats", False) and "session" in report:
@@ -163,6 +171,8 @@ def _emit_cache_stats(args, session) -> None:
 
 
 def _cmd_check(args) -> int:
+    if getattr(args, "stream", None):
+        return _cmd_check_stream(args)
     schema, sigma, instance = _load(args.bundle)
     if instance is None:
         print("bundle has no instance to check", file=sys.stderr)
@@ -181,6 +191,69 @@ def _cmd_check(args) -> int:
     if result.violations:
         print(f"{len(result.violations)} violation(s)")
         return 1
+    print("instance satisfies all constraints")
+    return 0
+
+
+def _cmd_check_stream(args) -> int:
+    """``check --stream FILE``: out-of-core validation of a JSONL dump.
+
+    The bundle supplies the schema and Σ; the instance (if any) is
+    ignored in favour of the streamed relation.  Exit codes match the
+    in-memory path — 0 satisfied, 1 violations, 2 errors — with one
+    addition: a run cut short by its resource budget that found no
+    violation exits 2 (the verdict is unknown, not "satisfied").
+    """
+    from .nfd import ResourceBudget, shard_validate, stream_validate
+    from .io import iter_jsonl_elements, plan_shards
+
+    schema, sigma, _ = _load(args.bundle)
+    relation = args.relation
+    if relation is None:
+        constrained = sorted({nfd.relation for nfd in sigma})
+        if len(constrained) == 1:
+            relation = constrained[0]
+        elif len(schema.relation_names) == 1:
+            relation = schema.relation_names[0]
+        else:
+            print("error: --relation is required when the bundle "
+                  "constrains several relations", file=sys.stderr)
+            return 2
+    streamed = [nfd for nfd in sigma if nfd.relation == relation]
+    skipped = len(sigma) - len(streamed)
+    if skipped:
+        print(f"note: {skipped} constraint(s) on other relations "
+              f"not checked against the stream", file=sys.stderr)
+    budget = None
+    if args.max_rows is not None or args.deadline is not None \
+            or args.max_elements is not None:
+        budget = ResourceBudget(max_resident_rows=args.max_rows,
+                                deadline=args.deadline,
+                                max_elements=args.max_elements)
+    tracer = _tracer_from_args(args)
+    if args.shards > 1:
+        shards = plan_shards(args.stream, args.shards)
+        result = shard_validate(schema, streamed, relation, shards,
+                                jobs=getattr(args, "jobs", 1),
+                                budget=budget, tracer=tracer)
+    else:
+        reader = iter_jsonl_elements(args.stream, schema, relation)
+        result = stream_validate(schema, streamed, {relation: reader},
+                                 budget=budget, tracer=tracer)
+    for violation in result.violations:
+        print(violation.describe())
+        print()
+    report = RunReport(command="check").add("stream", result.stats)
+    _obs_finish(args, report, tracer)
+    if result.budget_exhausted is not None:
+        print(f"budget exhausted ({result.budget_exhausted}) after "
+              f"{result.elements_seen} element(s); partial result",
+              file=sys.stderr)
+    if result.violations:
+        print(f"{len(result.violations)} violation(s)")
+        return 1
+    if result.budget_exhausted is not None:
+        return 2
     print("instance satisfies all constraints")
     return 0
 
@@ -450,6 +523,37 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument(
         "--stats", action="store_true",
         help="print the validation engine's counters to stderr",
+    )
+    sub.add_argument(
+        "--stream", metavar="FILE",
+        help="validate a JSONL element dump out-of-core instead of the "
+             "bundle's in-memory instance (bounded memory; same "
+             "witnesses and exit codes)",
+    )
+    sub.add_argument(
+        "--relation", metavar="NAME",
+        help="the relation the streamed file holds (default: the one "
+             "relation Σ constrains)",
+    )
+    sub.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="split the stream into N contiguous shards, one engine "
+             "each (combine with --jobs for process parallelism)",
+    )
+    sub.add_argument(
+        "--max-rows", type=int, default=None, metavar="R",
+        dest="max_rows",
+        help="spill group tables to disk beyond R resident rows",
+    )
+    sub.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="stop consuming after S wall-clock seconds and report a "
+             "partial result",
+    )
+    sub.add_argument(
+        "--max-elements", type=int, default=None, metavar="M",
+        dest="max_elements",
+        help="stop after M elements per shard (partial result)",
     )
     jobs_arg(sub)
     obs_args(sub)

@@ -61,6 +61,22 @@ class InstanceError(ReproError):
     """A database instance does not conform to its schema."""
 
 
+class StreamError(ReproError):
+    """A streamed input could not be decoded.
+
+    Raised by the chunked readers in :mod:`repro.io.stream` for
+    truncated or malformed JSONL lines, elements that do not conform to
+    the relation's element type, and empty streams.  ``line`` carries
+    the 1-based line number of the offending input line when known, and
+    the message always names it, so out-of-core validation failures
+    point at the exact record of a multi-gigabyte dump.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        super().__init__(message)
+
+
 class NFDError(ReproError):
     """An NFD is not well-formed over the given schema."""
 

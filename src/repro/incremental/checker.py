@@ -174,33 +174,45 @@ class IncrementalChecker:
             self._bulk_load(instance)
 
     def _bulk_load(self, instance: Instance) -> None:
-        """Load an initial instance: apply all bindings, then collect
-        conflicts once.
-
-        Equivalent to inserting every tuple, but the per-insert conflict
-        bookkeeping (probing the touched keys after every row) is
-        deferred to a single sweep over the indexes at the end.
-        """
+        """Load an initial instance via :meth:`load_rows`."""
         for name, relation in instance.relations():
-            for element in relation:
-                record = self._coerce(name, element)
-                if record in self._tuples[name]:
-                    continue
-                self._tuples[name].add(record)
-                for state in self._local[name]:
-                    if self._engine.row_violates(state.nfd, record):
-                        state.offenders.add(record)
-                        self._conflicts[(id(state), record)] = \
-                            Conflict(state.nfd, (record,), frozenset())
-                for nfd, entries in self._engine.bindings_of(name,
-                                                             record):
-                    self._global_by_nfd[nfd].apply(entries, +1)
-        for states in self._global.values():
-            for state in states:
-                for key, counter in state.index.items():
-                    if len(counter) > 1:
-                        self._conflicts[(id(state), key)] = \
-                            state.conflict_for(key)
+            self.load_rows(name, relation)
+
+    def load_rows(self, relation: str, rows: Iterable[Any]) -> int:
+        """Bulk-load rows of one relation from any iterable source.
+
+        Equivalent to inserting every row, but the per-insert conflict
+        bookkeeping (probing the touched keys after every row) is
+        deferred to a single sweep over the relation's indexes at the
+        end.  *rows* is consumed one element at a time and never
+        materialized, so a chunked reader —
+        :func:`repro.io.stream.iter_jsonl_elements` over a JSONL dump —
+        loads a warehouse refresh without holding the batch in memory.
+        Returns the number of (previously absent) rows loaded.
+        """
+        loaded = 0
+        for row in rows:
+            record = self._coerce(relation, row)
+            if record in self._tuples[relation]:
+                continue
+            self._tuples[relation].add(record)
+            loaded += 1
+            for state in self._local[relation]:
+                if self._engine.row_violates(state.nfd, record):
+                    state.offenders.add(record)
+                    self._conflicts[(id(state), record)] = \
+                        Conflict(state.nfd, (record,), frozenset())
+            for nfd, entries in self._engine.bindings_of(relation,
+                                                         record):
+                self._global_by_nfd[nfd].apply(entries, +1)
+        for state in self._global[relation]:
+            for key, counter in state.index.items():
+                if len(counter) > 1:
+                    conflict = state.conflict_for(key)
+                    slot = (id(state), key)
+                    if self._conflicts.get(slot) != conflict:
+                        self._conflicts[slot] = conflict
+        return loaded
 
     # -- updates -----------------------------------------------------------
 

@@ -24,8 +24,7 @@ from ..errors import InferenceError
 from ..nfd.nfd import NFD
 from .simple_rules import full_locality
 from ..paths.path import Path
-from ..paths.typing import relation_paths, resolve_base_path, set_paths, \
-    type_at
+from ..paths.typing import resolve_base_path, set_paths, type_at
 from ..types.base import SetType
 from ..types.schema import Schema
 
@@ -121,9 +120,6 @@ class BruteForceProver:
         while changed:
             changed = False
             facts = self._facts()
-            by_base_lhs = {
-                key: set(bucket) for key, bucket in self._derived.items()
-            }
 
             # augmentation: one path at a time walks the subset lattice.
             for (base, lhs), bucket in list(self._derived.items()):
@@ -204,7 +200,6 @@ class BruteForceProver:
                     if all(p in singleton_bucket for p in attr_paths):
                         conclusion = NFD(base, attr_paths, x)
                         changed |= self._add(conclusion)
-            del by_base_lhs
 
     # -- queries -----------------------------------------------------------------
 

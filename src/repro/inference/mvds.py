@@ -58,7 +58,6 @@ def satisfies_mvd(rows: Sequence[Mapping[str, object]],
     also present."""
     lhs = sorted(mvd.lhs)
     swap = sorted(mvd.rhs - mvd.lhs)
-    rest = sorted(set(attributes) - mvd.lhs - mvd.rhs)
     present = {tuple(sorted(row.items())) for row in rows}
     by_lhs: dict[tuple, list[Mapping[str, object]]] = {}
     for row in rows:

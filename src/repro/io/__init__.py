@@ -13,6 +13,13 @@ from .json_io import (
 )
 from .csv_io import dump_csv, load_csv
 from .report_md import markdown_report
+from .stream import (
+    count_stream_lines,
+    dump_jsonl,
+    iter_jsonl_elements,
+    iter_set_elements,
+    plan_shards,
+)
 from .tables import render_instance, render_relation
 
 __all__ = [
@@ -30,4 +37,9 @@ __all__ = [
     "dump_bundle",
     "load_bundle",
     "load_spec",
+    "iter_jsonl_elements",
+    "iter_set_elements",
+    "dump_jsonl",
+    "count_stream_lines",
+    "plan_shards",
 ]

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Iterable
 
 from ..errors import ParseError
 from ..types.base import BaseType, RecordType, SetType

@@ -100,13 +100,36 @@ def dump_bundle(schema: Schema, sigma: Iterable[NFD],
     return json.dumps(payload, indent=indent, sort_keys=True)
 
 
+def _parse_payload(text: str) -> dict[str, Any]:
+    """Decode a bundle, translating raw decoder failures into typed
+    :class:`ParseError`\\ s that name the offending line/column."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(
+            f"bundle is not valid JSON at line {exc.lineno}, column "
+            f"{exc.colno}: {exc.msg}") from exc
+    if not isinstance(payload, dict):
+        raise ParseError(
+            f"bundle must be a JSON object, found "
+            f"{type(payload).__name__}")
+    return payload
+
+
 def load_bundle(text: str) \
         -> tuple[Schema, list[NFD], Instance | None]:
     """Inverse of :func:`dump_bundle` (spec excluded; see
     :func:`load_spec`)."""
-    payload = json.loads(text)
+    payload = _parse_payload(text)
+    if "schema" not in payload:
+        raise ParseError('bundle is missing the required "schema" key')
     schema = schema_from_dict(payload["schema"])
-    sigma = nfds_from_list(payload.get("nfds", []))
+    nfds = payload.get("nfds", [])
+    if not isinstance(nfds, list):
+        raise ParseError(
+            f'bundle "nfds" must be a list of NFD strings, found '
+            f"{type(nfds).__name__}")
+    sigma = nfds_from_list(nfds)
     instance = None
     if "instance" in payload:
         instance = instance_from_dict(schema, payload["instance"])
@@ -118,7 +141,7 @@ def load_spec(text: str) -> "NonEmptySpec | None":
     from ..inference.empty_sets import NonEmptySpec
     from ..paths.path import parse_path
 
-    payload = json.loads(text)
+    payload = _parse_payload(text)
     declared = payload.get("nonempty")
     if declared is None:
         return None

@@ -15,7 +15,7 @@ from ..analysis.report import analyze_constraints
 from ..inference.empty_sets import NonEmptySpec
 from ..nfd.nfd import NFD
 from ..nfd.violations import find_violations
-from ..types.printer import format_type, format_type_tree
+from ..types.printer import format_type_tree
 from ..types.schema import Schema
 from ..values.build import Instance
 from .tables import render_relation

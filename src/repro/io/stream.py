@@ -1,0 +1,177 @@
+"""Chunked streaming of relation elements: JSONL readers and writers.
+
+The in-memory bundle format (:mod:`repro.io.json_io`) materializes a
+whole instance before anything can be checked.  This module is the
+out-of-core half: a relation is serialized as **JSON Lines** — one
+top-level element (a record of the relation's element type) per line —
+and read back one element at a time, so
+:mod:`repro.nfd.stream_validate` can check Σ against a dump that never
+fits in memory.
+
+Error handling is deliberately strict and *typed*: a truncated or
+malformed line, an element that does not conform to the relation's
+element type, and an empty stream all raise
+:class:`~repro.errors.StreamError` naming the offending 1-based line
+number — never a raw ``json.JSONDecodeError`` or ``KeyError`` — so a
+failure in a multi-gigabyte dump points at the exact record.
+
+Sharding support: :func:`plan_shards` splits one file into *contiguous*
+line ranges (order-preserving, so a sharded run sees the same element
+sequence as a serial scan of the whole file), and
+:func:`iter_jsonl_elements` accepts ``start``/``stop`` line bounds so a
+worker can stream just its range.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable, Iterator
+
+from ..errors import ReproError, StreamError
+from ..types.schema import Schema
+from ..values.build import to_python
+from ..values.build import from_python
+from ..values.value import Record, SetValue, Value
+
+__all__ = [
+    "iter_jsonl_elements",
+    "iter_set_elements",
+    "dump_jsonl",
+    "count_stream_lines",
+    "plan_shards",
+]
+
+
+def iter_jsonl_elements(path, schema: Schema, relation: str, *,
+                        start: int = 0, stop: int | None = None,
+                        require_elements: bool = True) \
+        -> Iterator[Record]:
+    """Stream the elements of one relation from a JSONL file.
+
+    Each non-blank line must hold one JSON object conforming to
+    *relation*'s element type; elements are yielded in file order, one
+    at a time, so memory stays bounded by a single element.
+
+    ``start``/``stop`` restrict the scan to physical lines
+    ``start < n <= stop`` (the half-open ranges :func:`plan_shards`
+    produces).  Blank lines are skipped.
+
+    :raises StreamError: for an unreadable file, a truncated/malformed
+        JSON line, a type-mismatched element (always naming the 1-based
+        line number), or — unless ``require_elements=False`` (shard
+        ranges may legitimately be empty) — a stream with no elements
+        at all.
+    """
+    element_type = schema.element_type(relation)
+    label = os.fspath(path)
+    yielded = 0
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise StreamError(f"cannot read stream {label!r}: {exc}") \
+            from exc
+    with handle:
+        for number, line in enumerate(handle, start=1):
+            if stop is not None and number > stop:
+                break
+            if number <= start or not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StreamError(
+                    f"{label}: line {number}: truncated or malformed "
+                    f"JSON element: {exc.msg}", line=number) from exc
+            try:
+                element = from_python(data, element_type)
+            except ReproError as exc:
+                raise StreamError(
+                    f"{label}: line {number}: element does not conform "
+                    f"to the {relation!r} element type: {exc}",
+                    line=number) from exc
+            yielded += 1
+            yield element
+    if require_elements and yielded == 0:
+        raise StreamError(
+            f"{label}: line 1: empty stream (no {relation!r} elements)",
+            line=1)
+
+
+def iter_set_elements(set_value: SetValue) -> Iterator[Value]:
+    """Adapter: stream an in-memory set in its deterministic order.
+
+    This is the bridge between the in-memory and out-of-core engines:
+    iterating a :class:`~repro.values.value.SetValue` yields elements in
+    the same sorted-by-repr order the batch validator walks, so a
+    streamed run over this adapter reproduces the in-memory engine's
+    witnesses byte for byte.
+    """
+    return iter(set_value)
+
+
+def dump_jsonl(path, elements: Iterable[Any]) -> int:
+    """Write elements as JSON Lines (one object per line); returns the
+    number of lines written.
+
+    Elements may be :class:`Value` trees (converted via
+    :func:`~repro.values.build.to_python`, which preserves record field
+    order) or already-plain Python data.  Dumping a
+    :class:`SetValue`'s iteration yields a file whose scan order equals
+    the in-memory walk order.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for element in elements:
+            data = to_python(element) if isinstance(element, Value) \
+                else element
+            handle.write(json.dumps(data))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def count_stream_lines(path) -> tuple[int, int]:
+    """``(physical lines, non-blank data lines)`` of a JSONL file."""
+    total = 0
+    data = 0
+    label = os.fspath(path)
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise StreamError(f"cannot read stream {label!r}: {exc}") \
+            from exc
+    with handle:
+        for line in handle:
+            total += 1
+            if line.strip():
+                data += 1
+    return total, data
+
+
+def plan_shards(path, shards: int) -> list[tuple[str, int, int]]:
+    """Split one JSONL file into *shards* contiguous line ranges.
+
+    Returns ``(path, start, stop)`` triples covering lines
+    ``start < n <= stop`` — contiguous and in order, so the
+    concatenation of the shards is exactly the serial scan and a
+    sharded validation produces the same witnesses.  One cheap counting
+    pass is the price of balanced ranges.
+
+    :raises StreamError: for ``shards < 1`` or a file with no data
+        lines at all (an empty dump is almost always a broken export).
+    """
+    if shards < 1:
+        raise StreamError(f"shard count must be >= 1, got {shards}")
+    total, data = count_stream_lines(path)
+    if data == 0:
+        raise StreamError(
+            f"{os.fspath(path)}: line 1: empty stream (no elements to "
+            f"shard)", line=1)
+    label = os.fspath(path)
+    ranges = []
+    for index in range(shards):
+        lo = index * total // shards
+        hi = (index + 1) * total // shards
+        ranges.append((label, lo, hi))
+    return ranges

@@ -14,6 +14,14 @@ from .simple_form import (
     push_in,
     to_simple,
 )
+from .stream_validate import (
+    ResourceBudget,
+    StreamResult,
+    StreamStats,
+    StreamValidator,
+    shard_validate,
+    stream_validate,
+)
 from .violations import Violation, find_violation, find_violations
 
 __all__ = [
@@ -28,6 +36,12 @@ __all__ = [
     "ValidatorEngine",
     "ValidatorStats",
     "ValidationResult",
+    "ResourceBudget",
+    "StreamResult",
+    "StreamStats",
+    "StreamValidator",
+    "stream_validate",
+    "shard_validate",
     "translate",
     "NFDFormula",
     "Quantifier",

@@ -1,0 +1,852 @@
+"""Out-of-core streaming validation with spill-to-disk group tables.
+
+:class:`~repro.nfd.batch_validate.ValidatorEngine` answers Definition
+2.4 in one walk, but it walks a live in-memory instance — the whole
+nested relation must fit in RAM before the first element is checked.
+This module is the out-of-core counterpart: the same compiled path-trie
+plans, fed one top-level element at a time from a chunked source (a
+JSONL dump via :func:`repro.io.stream.iter_jsonl_elements`, or an
+in-memory set via :func:`repro.io.stream.iter_set_elements`), with
+memory bounded by a :class:`ResourceBudget` instead of by the instance.
+
+How the two NFD shapes stream
+-----------------------------
+
+*Root-anchored* NFDs (base path = the bare relation name) relate
+arbitrary pairs of top-level elements, so their group state is
+inherently cross-element.  Each element's ``(antecedent key, RHS)``
+bindings are folded into a per-NFD **aggregate** per key::
+
+    [key, first_seq, first_rhs, first_elem,
+          clash_seq, clash_rhs, clash_elem]
+
+``first`` is the earliest binding for the key (by emission sequence),
+``clash`` the earliest binding whose RHS differs from ``first_rhs`` —
+exactly the witness the in-memory exhaustive walk reports for the key.
+The aggregate is a constant-size exact summary, and merging two
+aggregates of disjoint binding sets is again exact (the earliest
+differing binding of the union is always among the four retained
+bindings), so aggregates can be spilled, re-read, and merged in any
+grouping without changing the final witnesses.
+
+*Nested-anchored* NFDs only ever relate bindings inside a single
+top-level element, so they need no cross-element state at all: each
+element is walked with the batch engine's own scope-tree walk, masked
+to the nested plans, and witnesses fall out immediately.
+
+Spill format
+------------
+
+When the budget's ``max_resident_rows`` would be exceeded, every group
+table is frozen into a sorted **run**: aggregates ordered by the
+injective :func:`~repro.values.canonical.canonical_bytes` encoding of
+their keys (``repr`` would not do — record equality ignores field
+order), written as a stream of pickled ``(key_bytes, aggregate)``
+pairs.  The final merge is a k-way :func:`heapq.merge` over the runs
+plus the resident table, folding equal-key aggregates with
+:func:`_merge_agg` — hash-grouping below budget and external
+sort-merge above it produce byte-identical witnesses.
+
+Sharding
+--------
+
+:func:`shard_validate` runs one streaming engine per input shard via
+:func:`repro.parallel.process_map`, then folds the per-shard group
+summaries into a driver engine **in task order** (the `_absorb`
+discipline of the batch fan-out).  Emission sequences are
+``(shard, local)`` pairs, lexicographically ordered like the
+concatenated stream, so cross-shard conflicts — where no single shard
+holds both clashing elements — surface with the same witnesses a
+serial scan would report.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from itertools import chain
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..errors import InstanceError, ValueError_
+from ..types.schema import Schema
+from ..values.canonical import canonical_key_bytes
+from ..values.value import SetValue
+from .batch_validate import ValidatorEngine, _Run
+from .nfd import NFD
+from .violations import Violation
+
+__all__ = [
+    "ResourceBudget",
+    "StreamStats",
+    "StreamResult",
+    "StreamValidator",
+    "stream_validate",
+    "shard_validate",
+]
+
+
+class ResourceBudget:
+    """Resource limits for one streaming validation.
+
+    * ``max_resident_rows`` — cap on group-table aggregates resident in
+      memory per engine; reaching it spills every table to a sorted
+      on-disk run.  Peak residency never exceeds the cap.
+    * ``deadline`` — wall-clock seconds per engine (per shard, in a
+      sharded run); when it passes, the engine stops consuming and
+      reports a partial result instead of raising.
+    * ``max_elements`` — cap on elements consumed per engine (per
+      shard).
+
+    ``None`` for any field means unlimited.  Exhaustion is cooperative:
+    checks happen between elements, the element being processed always
+    completes, and everything consumed so far is still merged and
+    reported.
+    """
+
+    def __init__(self, max_resident_rows: int | None = None,
+                 deadline: float | None = None,
+                 max_elements: int | None = None):
+        if max_resident_rows is not None and max_resident_rows < 1:
+            raise ValueError_(
+                f"max_resident_rows must be >= 1, got {max_resident_rows}")
+        if deadline is not None and deadline < 0:
+            raise ValueError_(f"deadline must be >= 0, got {deadline}")
+        if max_elements is not None and max_elements < 0:
+            raise ValueError_(
+                f"max_elements must be >= 0, got {max_elements}")
+        self.max_resident_rows = max_resident_rows
+        self.deadline = deadline
+        self.max_elements = max_elements
+
+    def __repr__(self) -> str:
+        return (f"ResourceBudget(max_resident_rows="
+                f"{self.max_resident_rows}, deadline={self.deadline}, "
+                f"max_elements={self.max_elements})")
+
+
+class StreamStats:
+    """Counters of one streaming validation (engine or merged run).
+
+    * ``elements_seen`` — top-level elements consumed;
+    * ``rows_emitted`` — ``(key, rhs)`` bindings folded into root group
+      tables;
+    * ``peak_resident_rows`` — high-water mark of resident aggregates
+      (``<= max_resident_rows`` whenever a budget is set);
+    * ``spills`` — budget-triggered spill events;
+    * ``rows_spilled`` / ``runs_written`` / ``bytes_spilled`` — run-file
+      volume;
+    * ``runs_merged`` — run files fed into merge passes;
+    * ``groups_merged`` — distinct antecedent keys produced by merges;
+    * ``wall_time`` — seconds spent consuming and merging.
+    """
+
+    __slots__ = ("elements_seen", "rows_emitted", "peak_resident_rows",
+                 "spills", "rows_spilled", "runs_written",
+                 "bytes_spilled", "runs_merged", "groups_merged",
+                 "wall_time")
+
+    def __init__(self, elements_seen: int = 0, rows_emitted: int = 0,
+                 peak_resident_rows: int = 0, spills: int = 0,
+                 rows_spilled: int = 0, runs_written: int = 0,
+                 bytes_spilled: int = 0, runs_merged: int = 0,
+                 groups_merged: int = 0, wall_time: float = 0.0):
+        self.elements_seen = elements_seen
+        self.rows_emitted = rows_emitted
+        self.peak_resident_rows = peak_resident_rows
+        self.spills = spills
+        self.rows_spilled = rows_spilled
+        self.runs_written = runs_written
+        self.bytes_spilled = bytes_spilled
+        self.runs_merged = runs_merged
+        self.groups_merged = groups_merged
+        self.wall_time = wall_time
+
+    def as_dict(self) -> dict:
+        """The snapshot as a plain (JSON-friendly) dictionary."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def as_metrics(self) -> dict:
+        """The :class:`~repro.obs.RunReport` section protocol."""
+        return self.as_dict()
+
+    def absorb(self, delta: Mapping[str, Any]) -> None:
+        """Fold another engine's stats dict into this one.
+
+        Additive for every counter except ``peak_resident_rows``, which
+        takes the maximum: the budget bounds each engine separately, so
+        the merged high-water mark is the worst engine's, not the sum.
+        """
+        for name in self.__slots__:
+            if name == "peak_resident_rows":
+                self.peak_resident_rows = max(self.peak_resident_rows,
+                                              delta[name])
+            else:
+                setattr(self, name, getattr(self, name) + delta[name])
+
+    def to_text(self) -> str:
+        return "\n".join([
+            "stream stats (out-of-core validation):",
+            f"  elements seen: {self.elements_seen}  "
+            f"rows emitted: {self.rows_emitted}",
+            f"  peak resident rows: {self.peak_resident_rows}  "
+            f"spills: {self.spills}",
+            f"  rows spilled: {self.rows_spilled}  "
+            f"runs written: {self.runs_written}  "
+            f"bytes spilled: {self.bytes_spilled}",
+            f"  runs merged: {self.runs_merged}  "
+            f"groups merged: {self.groups_merged}",
+            f"  stream wall time: {self.wall_time:.6f}s",
+        ])
+
+    def __repr__(self) -> str:
+        return (f"StreamStats(elements_seen={self.elements_seen}, "
+                f"rows_emitted={self.rows_emitted}, "
+                f"peak_resident_rows={self.peak_resident_rows}, "
+                f"spills={self.spills})")
+
+
+class StreamResult:
+    """The outcome of a streaming validation — possibly partial.
+
+    ``ok`` is True only for a *complete*, violation-free run: a run cut
+    short by its budget reports ``budget_exhausted`` (``"deadline"``,
+    ``"max_elements"``) and is not ``ok`` even when no violation was
+    found among the consumed prefix.  ``violations`` is ordered exactly
+    as :meth:`ValidatorEngine.validate` orders the same witnesses.
+    """
+
+    __slots__ = ("violations", "stats", "elements_seen",
+                 "completed_shards", "budget_exhausted")
+
+    def __init__(self, violations: tuple[Violation, ...],
+                 stats: StreamStats, elements_seen: int,
+                 completed_shards: tuple[int, ...],
+                 budget_exhausted: str | None):
+        self.violations = violations
+        self.stats = stats
+        self.elements_seen = elements_seen
+        self.completed_shards = completed_shards
+        self.budget_exhausted = budget_exhausted
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.budget_exhausted is None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:
+        return (f"StreamResult(ok={self.ok}, "
+                f"violations={len(self.violations)}, "
+                f"elements_seen={self.elements_seen}, "
+                f"budget_exhausted={self.budget_exhausted!r})")
+
+
+# ------------------------------------------------------------ aggregates
+
+
+def _merge_agg(a: list, b: list) -> list:
+    """Exactly merge two aggregates of *disjoint* binding sets.
+
+    Sequence numbers are globally unique, so ``first_seq`` orders the
+    two fragments.  With ``a`` the earlier one, the merged clash — the
+    earliest binding whose RHS differs from ``a``'s first — is either
+    ``a``'s own clash, or ``b``'s first binding (when its RHS already
+    differs), or ``b``'s clash (when ``b``'s first RHS coincides with
+    ``a``'s, every ``b`` binding before ``b``'s clash shares it too).
+    No discarded binding can beat these three, which is what makes the
+    summary exact under any merge tree.
+    """
+    if b[1] < a[1]:
+        a, b = b, a
+    candidates = []
+    if a[4] is not None:
+        candidates.append((a[4], a[5], a[6]))
+    if b[2] != a[2]:
+        candidates.append((b[1], b[2], b[3]))
+    elif b[4] is not None:
+        candidates.append((b[4], b[5], b[6]))
+    if candidates:
+        clash = min(candidates, key=lambda c: c[0])
+        return [a[0], a[1], a[2], a[3], clash[0], clash[1], clash[2]]
+    return [a[0], a[1], a[2], a[3], None, None, None]
+
+
+class _GroupTable:
+    """One root-anchored NFD's group state: resident aggregates keyed by
+    canonical key bytes, plus the sorted runs spilled so far."""
+
+    __slots__ = ("plan", "table", "runs")
+
+    def __init__(self, plan):
+        self.plan = plan
+        self.table: dict[bytes, list] = {}
+        self.runs: list[str] = []
+
+
+def _iter_run_file(path: str) -> Iterator[tuple[bytes, list]]:
+    """Stream the ``(key_bytes, aggregate)`` pairs of one run file."""
+    with open(path, "rb") as handle:
+        while True:
+            try:
+                yield pickle.load(handle)
+            except EOFError:
+                return
+
+
+# ---------------------------------------------------------------- engine
+
+
+class StreamValidator:
+    """One streaming Definition-2.4 engine over chunked element sources.
+
+    Compiles the same plans as :class:`ValidatorEngine` (it embeds one)
+    and consumes top-level elements incrementally::
+
+        sv = StreamValidator(schema, sigma, budget=budget)
+        sv.consume("orders", reader)        # False if budget ran out
+        result = sv.finalize()
+        sv.cleanup()
+
+    In a sharded run each worker holds one of these (``shard_index``
+    tags its emission sequences), ships :meth:`summarize` output back,
+    and the driver folds the summaries with :meth:`absorb_summary`.
+    """
+
+    def __init__(self, schema: Schema, sigma: Iterable[NFD], *,
+                 budget: ResourceBudget | None = None,
+                 spill_dir: str | None = None, tracer=None,
+                 shard_index: int = 0):
+        self.schema = schema
+        self.engine = ValidatorEngine(schema, sigma, tracer=tracer)
+        self.tracer = tracer
+        self.budget = budget
+        self._shard_index = shard_index
+        self._max_rows = budget.max_resident_rows if budget else None
+        self._max_elements = budget.max_elements if budget else None
+        self._deadline_at = None
+        if budget is not None and budget.deadline is not None:
+            self._deadline_at = time.monotonic() + budget.deadline
+        self._spill_dir = spill_dir
+        self._own_spill_dir = False
+        # Per-relation group tables for the root anchor's plans, and a
+        # persistent masked run for every nested-anchored plan.
+        self._root_tables: dict[str, list[_GroupTable]] = {}
+        self._has_nested: dict[str, bool] = {}
+        nested_indices: set[int] = set()
+        self._plan_anchor_base: dict[int, str] = {}
+        self._nested_bases: list[str] = []
+        for relation, root in self.engine._relations.items():
+            if root.anchor is not None:
+                self._root_tables[relation] = [
+                    _GroupTable(plan) for plan in root.anchor.plans]
+            covered = root.anchor.plans if root.anchor is not None else ()
+            root_set = {plan.index for plan in covered}
+            nested_here = root.plan_indices - root_set
+            nested_indices.update(nested_here)
+            self._has_nested[relation] = bool(nested_here)
+            for node in _iter_scopes(root):
+                if node.anchor is None or node is root:
+                    continue
+                base = str(node.anchor.base)
+                self._nested_bases.append(base)
+                for plan in node.anchor.plans:
+                    self._plan_anchor_base[plan.index] = base
+        self._nested_run = _Run(len(self.engine.sigma), first_only=False,
+                                mask=frozenset(nested_indices))
+        self._seq = 0
+        self._resident = 0
+        self._elements_seen = 0
+        self._exhausted: str | None = None
+        self.stats = StreamStats()
+
+    # -- consuming --------------------------------------------------------
+
+    def consume(self, relation: str, elements: Iterable) -> bool:
+        """Feed top-level elements of *relation*; False when the budget
+        stopped consumption (the current result is a valid partial)."""
+        start = time.perf_counter()
+        try:
+            for element in elements:
+                if self._exhausted is not None:
+                    return False
+                if (self._max_elements is not None
+                        and self._elements_seen >= self._max_elements):
+                    self._exhausted = "max_elements"
+                    return False
+                if (self._deadline_at is not None
+                        and time.monotonic() >= self._deadline_at):
+                    self._exhausted = "deadline"
+                    return False
+                self._emit_element(relation, element)
+                self._elements_seen += 1
+                self.stats.elements_seen += 1
+        finally:
+            self.stats.wall_time += time.perf_counter() - start
+        return self._exhausted is None
+
+    def _emit_element(self, relation: str, element) -> None:
+        engine = self.engine
+        root = engine._relations.get(relation)
+        if root is None:
+            return
+        anchor = root.anchor
+        if anchor is not None:
+            undefined: set = set()
+            branch_rows = engine._element_rows(anchor, element, undefined)
+            for table in self._root_tables[relation]:
+                plan = table.plan
+                if undefined and any(p in undefined for p in plan.paths):
+                    continue  # Definition 2.4: undefined => unconstrained
+                for key, rhs in engine._plan_bindings(plan, branch_rows):
+                    self._add_row(table, key, rhs, element)
+        if self._has_nested[relation]:
+            # Nested anchors never relate bindings across top-level
+            # elements, so the batch walk over a singleton set — with
+            # the persistent run carrying base-set numbering across
+            # elements — reproduces the in-memory witnesses directly.
+            engine._walk_scope(root, SetValue((element,)),
+                               self._nested_run)
+
+    def _add_row(self, table: _GroupTable, key: tuple, rhs,
+                 element) -> None:
+        self._seq += 1
+        seq = (self._shard_index, self._seq)
+        self.stats.rows_emitted += 1
+        key_bytes = canonical_key_bytes(key)
+        agg = table.table.get(key_bytes)
+        if agg is None:
+            self._reserve_slot()
+            table.table[key_bytes] = [key, seq, rhs, element,
+                                      None, None, None]
+        elif agg[4] is None and rhs != agg[2]:
+            agg[4] = seq
+            agg[5] = rhs
+            agg[6] = element
+
+    def _reserve_slot(self) -> None:
+        """Account for one new resident aggregate, spilling first if the
+        budget is already full — residency never exceeds the cap."""
+        if self._max_rows is not None and self._resident >= self._max_rows:
+            self._spill_all()
+        self._resident += 1
+        if self._resident > self.stats.peak_resident_rows:
+            self.stats.peak_resident_rows = self._resident
+
+    # -- spilling ---------------------------------------------------------
+
+    def _spill_path(self) -> str:
+        if self._spill_dir is None:
+            self._spill_dir = tempfile.mkdtemp(prefix="repro-stream-")
+            self._own_spill_dir = True
+        return self._spill_dir
+
+    def _spill_all(self) -> None:
+        spilled = False
+        for tables in self._root_tables.values():
+            for table in tables:
+                if table.table:
+                    self._spill_table(table)
+                    spilled = True
+        if spilled:
+            self.stats.spills += 1
+        self._resident = 0
+
+    def _spill_table(self, table: _GroupTable) -> None:
+        handle = tempfile.NamedTemporaryFile(
+            dir=self._spill_path(), prefix="run-", suffix=".pkl",
+            delete=False)
+        with handle:
+            for item in sorted(table.table.items()):
+                pickle.dump(item, handle, pickle.HIGHEST_PROTOCOL)
+        table.runs.append(handle.name)
+        self.stats.rows_spilled += len(table.table)
+        self.stats.runs_written += 1
+        self.stats.bytes_spilled += os.path.getsize(handle.name)
+        table.table.clear()
+
+    def _merged_rows(self, table: _GroupTable) \
+            -> Iterator[tuple[bytes, list]]:
+        """All of one table's aggregates, merged across the resident
+        dict and every spilled run, in canonical key order."""
+        sources = [_iter_run_file(path) for path in table.runs]
+        if table.table:
+            sources.append(iter(sorted(table.table.items())))
+        self.stats.runs_merged += len(table.runs)
+        current_key: bytes | None = None
+        current: list | None = None
+        for key_bytes, agg in heapq.merge(*sources,
+                                          key=lambda item: item[0]):
+            if key_bytes == current_key:
+                current = _merge_agg(current, agg)
+            else:
+                if current is not None:
+                    self.stats.groups_merged += 1
+                    yield current_key, current
+                current_key, current = key_bytes, agg
+        if current is not None:
+            self.stats.groups_merged += 1
+            yield current_key, current
+
+    # -- finishing --------------------------------------------------------
+
+    def finalize(self, *, nested=None,
+                 completed_shards: tuple[int, ...] | None = None,
+                 elements_seen: int | None = None,
+                 exhausted: str | None = None) -> StreamResult:
+        """Run the merge pass and assemble the final result.
+
+        The keyword overrides exist for the sharded driver, which
+        substitutes cross-shard nested triples and shard bookkeeping;
+        a plain engine finalizes with its own.
+        """
+        start = time.perf_counter()
+        per_plan: dict[int, list[Violation]] = {}
+        for relation in self._root_tables:
+            for table in self._root_tables[relation]:
+                witnesses = []
+                for _, agg in self._merged_rows(table):
+                    if agg[4] is not None:
+                        witnesses.append((agg[4], Violation(
+                            table.plan.nfd, 0, agg[3], agg[6],
+                            agg[0], agg[2], agg[5])))
+                if witnesses:
+                    # clash sequences reproduce in-plan discovery order
+                    witnesses.sort(key=lambda item: item[0])
+                    per_plan[table.plan.index] = \
+                        [v for _, v in witnesses]
+        if nested is None:
+            nested = [(index, (self._shard_index, position), violation)
+                      for index, position, violation
+                      in self._nested_run.violations]
+        for index, _, violation in sorted(
+                nested, key=lambda triple: (triple[0], triple[1])):
+            per_plan.setdefault(index, []).append(violation)
+        violations = tuple(chain.from_iterable(
+            per_plan[index] for index in sorted(per_plan)))
+        self.stats.wall_time += time.perf_counter() - start
+        if exhausted is None:
+            exhausted = self._exhausted
+        if elements_seen is None:
+            elements_seen = self._elements_seen
+        if completed_shards is None:
+            completed_shards = () if exhausted is not None \
+                else (self._shard_index,)
+        return StreamResult(violations, self.stats, elements_seen,
+                            completed_shards, exhausted)
+
+    def cleanup(self) -> None:
+        """Remove every spilled run (and the spill directory when this
+        engine created it).  Safe to call more than once."""
+        for tables in self._root_tables.values():
+            for table in tables:
+                for path in table.runs:
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                table.runs.clear()
+        if self._own_spill_dir and self._spill_dir is not None:
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+            self._spill_dir = None
+            self._own_spill_dir = False
+
+    # -- shard protocol ---------------------------------------------------
+
+    def summarize(self) -> dict:
+        """A picklable digest of this engine's state for the driver.
+
+        Root group tables become per-plan aggregate streams — inline
+        ``("mem", items)`` when nothing spilled, else merged into a
+        single sorted summary file ``("file", path, count)`` in the
+        shared spill directory (the per-worker runs are deleted once
+        merged).  Nested witnesses travel as ``(plan, position,
+        violation)`` triples with per-anchor base-set counts so the
+        driver can renumber base indices across shards.
+        """
+        tables_out: dict[str, list] = {}
+        for relation, tables in self._root_tables.items():
+            specs = []
+            for table in tables:
+                if not table.runs:
+                    specs.append(("mem", sorted(table.table.items())))
+                else:
+                    handle = tempfile.NamedTemporaryFile(
+                        dir=self._spill_path(), prefix="summary-",
+                        suffix=".pkl", delete=False)
+                    count = 0
+                    with handle:
+                        for item in self._merged_rows(table):
+                            pickle.dump(item, handle,
+                                        pickle.HIGHEST_PROTOCOL)
+                            count += 1
+                    for path in table.runs:
+                        try:
+                            os.unlink(path)
+                        except OSError:
+                            pass
+                    table.runs.clear()
+                    specs.append(("file", handle.name, count))
+                table.table.clear()
+            tables_out[relation] = specs
+        self._resident = 0
+        anchors = {}
+        for relation, root in self.engine._relations.items():
+            for node in _iter_scopes(root):
+                if node.anchor is not None and node is not root:
+                    anchors[id(node.anchor)] = str(node.anchor.base)
+        counts: dict[str, int] = {}
+        for slot, count in self._nested_run.base_counter.items():
+            base = anchors.get(slot)
+            if base is not None:
+                counts[base] = counts.get(base, 0) + count
+        return {
+            "shard": self._shard_index,
+            "tables": tables_out,
+            "nested": list(self._nested_run.violations),
+            "anchor_counts": counts,
+            "stats": self.stats.as_dict(),
+            "exhausted": self._exhausted,
+            "elements_seen": self._elements_seen,
+        }
+
+    def absorb_summary(self, summary: dict) -> None:
+        """Fold one shard's :meth:`summarize` digest into this engine.
+
+        Aggregate merging is exact and order-independent, but callers
+        absorb in task order anyway so counters — and any table
+        iteration order — are deterministic.  Summary files are
+        consumed and deleted.
+        """
+        start = time.perf_counter()
+        for relation, specs in summary["tables"].items():
+            tables = self._root_tables.get(relation, ())
+            for table, spec in zip(tables, specs):
+                if spec[0] == "mem":
+                    items: Iterable = spec[1]
+                else:
+                    items = _iter_run_file(spec[1])
+                for key_bytes, agg in items:
+                    existing = table.table.get(key_bytes)
+                    if existing is not None:
+                        table.table[key_bytes] = _merge_agg(existing,
+                                                            agg)
+                    else:
+                        self._reserve_slot()
+                        table.table[key_bytes] = agg
+                if spec[0] == "file":
+                    try:
+                        os.unlink(spec[1])
+                    except OSError:
+                        pass
+        self.stats.absorb(summary["stats"])
+        self.stats.wall_time += time.perf_counter() - start
+
+
+def _iter_scopes(node) -> Iterator:
+    yield node
+    for child in node.children.values():
+        yield from _iter_scopes(child)
+
+
+# ------------------------------------------------------------ entry points
+
+
+def stream_validate(schema: Schema, sigma: Iterable[NFD],
+                    sources: Mapping[str, Iterable], *,
+                    budget: ResourceBudget | None = None,
+                    spill_dir: str | None = None,
+                    tracer=None) -> StreamResult:
+    """Validate Σ against streamed relations in one engine.
+
+    *sources* maps relation names to element iterables (a JSONL reader,
+    a :func:`~repro.io.stream.iter_set_elements` adapter, any
+    generator).  Every relation Σ constrains must have a source;
+    sources for unconstrained relations are ignored.  Relations are
+    consumed in Σ first-mention order — the order the batch engine
+    walks them — so witnesses come back in the batch engine's order.
+    """
+    sigma = tuple(sigma)
+    validator = StreamValidator(schema, sigma, budget=budget,
+                                spill_dir=spill_dir, tracer=tracer)
+    try:
+        constrained = list(validator.engine._relations)
+        missing = [name for name in constrained if name not in sources]
+        if missing:
+            raise InstanceError(
+                f"no stream source for constrained relation(s): "
+                f"{', '.join(sorted(missing))}")
+        if tracer is None:
+            for relation in constrained:
+                if not validator.consume(relation, sources[relation]):
+                    break
+            return validator.finalize()
+        with tracer.span("stream.validate", nfds=len(sigma),
+                         relations=len(constrained)) as span:
+            for relation in constrained:
+                if not validator.consume(relation, sources[relation]):
+                    break
+            result = validator.finalize()
+            for name in ("elements_seen", "rows_emitted", "spills",
+                         "rows_spilled", "runs_merged"):
+                span.add(name, getattr(result.stats, name))
+            span.add("violations", len(result.violations))
+            return result
+    finally:
+        validator.cleanup()
+
+
+def _normalize_shard(spec) -> tuple:
+    """Accept ``("jsonl", path, start, stop)``, ``("rows", elements)``,
+    or a bare ``(path, start, stop)`` triple from ``plan_shards``."""
+    if isinstance(spec, tuple) and len(spec) == 3 \
+            and not isinstance(spec[0], str):
+        raise ValueError_(f"unrecognized shard spec: {spec!r}")
+    if spec[0] == "jsonl" or spec[0] == "rows":
+        return tuple(spec)
+    if len(spec) == 3:
+        return ("jsonl",) + tuple(spec)
+    raise ValueError_(f"unrecognized shard spec: {spec!r}")
+
+
+def shard_validate(schema: Schema, sigma: Iterable[NFD], relation: str,
+                   shards: Iterable, *, jobs: int = 1,
+                   budget: ResourceBudget | None = None,
+                   spill_dir: str | None = None,
+                   tracer=None) -> StreamResult:
+    """Validate Σ against one relation split into element shards.
+
+    Each shard — a ``plan_shards`` range over a JSONL file, or an
+    inline ``("rows", elements)`` list — is consumed by its own
+    streaming engine (its own budget accounting, its own spill runs),
+    fanned out over ``jobs`` processes via
+    :func:`~repro.parallel.process_map`.  The driver folds the shard
+    summaries in task order, renumbers nested base sets by per-anchor
+    prefix sums, and runs the final merge, so the violations —
+    including conflicts whose two elements live in different shards —
+    are exactly the serial stream's.
+
+    The budget's ``deadline`` is shipped to workers as a wall-clock
+    epoch; each worker honours whatever remains of it when it starts.
+    Returns a :class:`StreamResult` whose ``completed_shards`` lists
+    the shard indices that fully consumed their input.
+    """
+    sigma = tuple(sigma)
+    shard_specs = [_normalize_shard(spec) for spec in shards]
+    shared_dir = spill_dir or tempfile.mkdtemp(prefix="repro-stream-")
+    own_dir = spill_dir is None
+    deadline_epoch = None
+    max_rows = max_elements = None
+    if budget is not None:
+        max_rows = budget.max_resident_rows
+        max_elements = budget.max_elements
+        if budget.deadline is not None:
+            deadline_epoch = time.time() + budget.deadline
+    driver = StreamValidator(
+        schema, sigma,
+        budget=(ResourceBudget(max_resident_rows=max_rows)
+                if max_rows is not None else None),
+        spill_dir=shared_dir, tracer=tracer, shard_index=-1)
+    try:
+        payload = (schema, list(sigma), relation, max_rows,
+                   max_elements, deadline_epoch, shared_dir)
+        tasks = list(enumerate(shard_specs))
+        if tracer is None:
+            return _drive_shards(driver, payload, tasks, jobs, None)
+        with tracer.span("stream.shard_validate", relation=relation,
+                         shards=len(tasks), jobs=jobs) as span:
+            result = _drive_shards(driver, payload, tasks, jobs, tracer)
+            span.add("violations", len(result.violations))
+            return result
+    finally:
+        driver.cleanup()
+        if own_dir:
+            shutil.rmtree(shared_dir, ignore_errors=True)
+
+
+def _drive_shards(driver: StreamValidator, payload, tasks, jobs: int,
+                  tracer) -> StreamResult:
+    """Fan the shard tasks out, then fold summaries in task order."""
+    from ..parallel import process_map
+
+    summaries = process_map(_shard_setup, payload, _shard_probe, tasks,
+                            jobs, threshold=2)
+    offsets: dict[str, int] = {}
+    nested_triples = []
+    completed = []
+    exhausted = None
+    elements = 0
+    for index, summary in enumerate(summaries):
+        for plan_index, position, violation in summary["nested"]:
+            offset = offsets.get(
+                driver._plan_anchor_base[plan_index], 0)
+            if offset:
+                violation = Violation(
+                    violation.nfd, violation.base_index + offset,
+                    violation.element1, violation.element2,
+                    violation.lhs_values, violation.rhs_value1,
+                    violation.rhs_value2)
+            nested_triples.append(
+                (plan_index, (index, position), violation))
+        for base, count in summary["anchor_counts"].items():
+            offsets[base] = offsets.get(base, 0) + count
+        driver.absorb_summary(summary)
+        elements += summary["elements_seen"]
+        if summary["exhausted"] is None:
+            completed.append(index)
+        elif exhausted is None:
+            exhausted = summary["exhausted"]
+        if tracer is not None:
+            with tracer.span("stream.shard", shard=index) as span:
+                span.add("elements_seen",
+                         summary["stats"]["elements_seen"])
+                span.add("rows_emitted",
+                         summary["stats"]["rows_emitted"])
+                span.add("spills", summary["stats"]["spills"])
+    return driver.finalize(
+        nested=nested_triples, completed_shards=tuple(completed),
+        elements_seen=elements, exhausted=exhausted)
+
+
+# -------------------------------------------------- shard workers
+# Module-level so ProcessPoolExecutor can pickle references to them.
+
+
+def _shard_setup(payload):
+    """Worker initializer: keep the shared payload; engines are per
+    shard (each shard owns its sequence space and nested run)."""
+    return payload
+
+
+def _shard_probe(context, task):
+    """Worker task: stream one shard through its own engine and return
+    the picklable summary digest."""
+    schema, sigma, relation, max_rows, max_elements, deadline_epoch, \
+        shared_dir = context
+    index, spec = task
+    deadline = None
+    if deadline_epoch is not None:
+        deadline = max(deadline_epoch - time.time(), 0.0)
+    budget = None
+    if max_rows is not None or max_elements is not None \
+            or deadline is not None:
+        budget = ResourceBudget(max_resident_rows=max_rows,
+                                deadline=deadline,
+                                max_elements=max_elements)
+    validator = StreamValidator(schema, sigma, budget=budget,
+                                spill_dir=shared_dir, shard_index=index)
+    if spec[0] == "rows":
+        elements: Iterable = spec[1]
+    else:
+        from ..io.stream import iter_jsonl_elements
+
+        _, path, start, stop = spec
+        elements = iter_jsonl_elements(path, schema, relation,
+                                       start=start, stop=stop,
+                                       require_elements=False)
+    validator.consume(relation, elements)
+    return validator.summarize()

@@ -25,6 +25,7 @@ fan-out primitive they share:
 
 from __future__ import annotations
 
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
@@ -32,13 +33,27 @@ from .inference.empty_sets import NonEmptySpec
 from .paths.path import parse_path
 
 __all__ = ["process_map", "spec_payload", "spec_from_payload",
-           "PARALLEL_THRESHOLD"]
+           "RemoteTraceback", "PARALLEL_THRESHOLD"]
 
 #: Below this many tasks a process pool costs more than it saves.
 PARALLEL_THRESHOLD = 4
 
 # Per-worker-process context, built once by _initialize.
 _CONTEXT: Any = None
+
+
+class RemoteTraceback(Exception):
+    """Carries a worker process's formatted traceback to the caller.
+
+    A pickled exception loses its ``__traceback__`` crossing the
+    process boundary, so a worker failure would otherwise surface with
+    only the parent's re-raise frames.  :func:`process_map` chains the
+    original exception ``from`` one of these, putting the remote stack
+    in the caller's error report.
+    """
+
+    def __str__(self) -> str:
+        return f"\n\n(remote worker traceback)\n{self.args[0]}"
 
 
 def _initialize(setup: Callable[[Any], Any], payload: Any) -> None:
@@ -48,7 +63,14 @@ def _initialize(setup: Callable[[Any], Any], payload: Any) -> None:
 
 def _invoke(task: tuple[Callable[[Any, Any], Any], Any]) -> Any:
     func, item = task
-    return func(_CONTEXT, item)
+    try:
+        return func(_CONTEXT, item)
+    except BaseException as exc:
+        # Exception attributes survive pickling; the traceback object
+        # itself does not.  Capture the formatted stack here so the
+        # parent can chain it into its re-raise.
+        exc._worker_traceback = traceback.format_exc()
+        raise
 
 
 def process_map(setup: Callable[[Any], Any], payload: Any,
@@ -80,8 +102,15 @@ def process_map(setup: Callable[[Any], Any], payload: Any,
             max_workers=workers,
             initializer=_initialize, initargs=(setup, payload),
     ) as pool:
-        return list(pool.map(_invoke, [(func, item) for item in work],
-                             chunksize=chunksize))
+        try:
+            return list(pool.map(_invoke,
+                                 [(func, item) for item in work],
+                                 chunksize=chunksize))
+        except BaseException as exc:
+            remote = getattr(exc, "_worker_traceback", None)
+            if remote is not None:
+                raise exc from RemoteTraceback(remote)
+            raise
 
 
 def spec_payload(nonempty: NonEmptySpec | None):

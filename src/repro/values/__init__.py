@@ -1,6 +1,7 @@
 """Values, instances, and operations on them."""
 
 from .build import Instance, from_python, to_python
+from .canonical import canonical_bytes, canonical_key_bytes
 from .inspect import (
     atom_domain,
     empty_set_positions,
@@ -33,6 +34,8 @@ __all__ = [
     "Instance",
     "from_python",
     "to_python",
+    "canonical_bytes",
+    "canonical_key_bytes",
     "check_value",
     "conforms",
     "check_instance",

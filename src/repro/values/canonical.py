@@ -1,0 +1,92 @@
+"""Canonical byte encodings of values, for external sorting.
+
+The spill-to-disk group tables of :mod:`repro.nfd.stream_validate` sort
+and merge antecedent keys on disk, so they need a *byte string* ordering
+that agrees exactly with value equality:
+
+* **injective** — ``canonical_bytes(u) == canonical_bytes(v)`` iff
+  ``u == v``.  Plain ``repr`` does not qualify: record equality ignores
+  field order while ``repr`` preserves it, so two equal records could
+  sort apart in an external merge and a real violation would be missed;
+* **deterministic** — independent of construction order, hash
+  randomization, and the process that produced it, so runs written by
+  different shard workers merge consistently.
+
+The encoding is a self-delimiting prefix code: every node writes a tag,
+a length/arity, and then its (already self-delimiting) payloads, so the
+whole byte string decodes unambiguously — which is what makes it
+injective.  Record fields are sorted by label and set elements by their
+own encodings, mirroring the order-insensitivity of value equality.
+
+The byte *order* itself carries no semantic meaning; only equality of
+encodings and determinism of the order matter.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValueError_
+from .value import Atom, Record, SetValue, Value
+
+__all__ = ["canonical_bytes", "canonical_key_bytes"]
+
+
+def canonical_bytes(value: Value) -> bytes:
+    """The canonical encoding of one value (see the module docstring)."""
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+def canonical_key_bytes(values: tuple) -> bytes:
+    """The canonical encoding of a tuple of values (an antecedent key).
+
+    Framed with the tuple's arity so keys of different widths can never
+    collide even when their concatenated parts would.
+    """
+    out = bytearray()
+    out += b"T%d;" % len(values)
+    for value in values:
+        _encode(value, out)
+    return bytes(out)
+
+
+def _encode(value: Value, out: bytearray) -> None:
+    if isinstance(value, Atom):
+        raw = value.value
+        # bool before int: bool is an int subclass but True != Atom(1)
+        if isinstance(raw, bool):
+            out += b"b1;" if raw else b"b0;"
+        elif isinstance(raw, int):
+            text = str(raw).encode("ascii")
+            out += b"i%d;" % len(text)
+            out += text
+        else:
+            text = raw.encode("utf-8")
+            out += b"s%d;" % len(text)
+            out += text
+    elif isinstance(value, Record):
+        encoded = []
+        for label, sub in value.fields:
+            part = bytearray()
+            raw_label = label.encode("utf-8")
+            part += b"l%d;" % len(raw_label)
+            part += raw_label
+            _encode(sub, part)
+            encoded.append(bytes(part))
+        # labels are unique within a record, so sorting the encoded
+        # (label, value) pairs is sorting by label: equal records with
+        # different field order encode identically
+        encoded.sort()
+        out += b"r%d;" % len(encoded)
+        for part in encoded:
+            out += part
+    elif isinstance(value, SetValue):
+        encoded = sorted(canonical_bytes(element)
+                         for element in value.elements)
+        out += b"S%d;" % len(encoded)
+        for part in encoded:
+            out += part
+    else:
+        raise ValueError_(
+            f"cannot canonically encode {type(value).__name__}"
+        )

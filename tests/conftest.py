@@ -1,13 +1,24 @@
-"""Shared fixtures: the paper's workloads, ready-built engines."""
+"""Shared fixtures: the paper's workloads, ready-built engines.
+
+Hypothesis profiles: the default profile keeps CI fast; the scheduled
+nightly workflow exports ``HYPOTHESIS_PROFILE=nightly`` to rerun every
+property suite at >= 1000 examples (tests that should scale with the
+profile must not pin ``max_examples`` in their own ``@settings``).
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings
 
 from repro.generators import workloads
 from repro.inference import ClosureEngine
+
+settings.register_profile("nightly", max_examples=1000, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -31,7 +31,7 @@ from repro.generators import (
     random_schema,
     random_sigma,
 )
-from repro.inference import ClosureEngine, ImplicationSession, NonEmptySpec
+from repro.inference import ImplicationSession, NonEmptySpec
 from repro.nfd import ValidatorEngine
 from repro.obs import Tracer
 from repro.paths import Path, relation_paths, set_paths

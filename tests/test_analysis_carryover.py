@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis import (
     fd_after_unnest,
-    fds_after_nest,
     nfd_after_nest,
     nfds_after_unnest,
 )
@@ -12,7 +11,7 @@ from repro.errors import InferenceError
 from repro.inference import FD
 from repro.nfd import parse_nfd, satisfies_fast
 from repro.types import parse_schema, Schema
-from repro.values import Instance, from_python, nest, nest_type, unnest
+from repro.values import Instance, nest, nest_type, unnest
 
 
 class TestTranslationSyntax:

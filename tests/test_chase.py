@@ -6,7 +6,6 @@ import pytest
 
 from repro.chase import (
     Tableau,
-    chase,
     distinguished,
     fd_implies_chase,
     lossless_join,
@@ -17,7 +16,7 @@ from repro.chase import (
 from repro.errors import InferenceError
 from repro.generators import random_instance, random_schema, random_sigma
 from repro.generators import workloads
-from repro.inference import FD, attribute_closure, fd_implies
+from repro.inference import FD, fd_implies
 from repro.nfd import parse_nfds, satisfies_all_fast
 from repro.values import Atom, check_instance, from_python
 
@@ -131,7 +130,6 @@ class TestRepair:
         assert len(fixed.relation("R")) == 2
 
     def test_nested_repair(self):
-        schema = workloads.course_schema()
         sigma = workloads.course_sigma()
         broken = workloads.course_instance().with_relation("Course", [
             {"cnum": "a", "time": 1,
@@ -147,7 +145,6 @@ class TestRepair:
         assert satisfies_all_fast(fixed, sigma)
 
     def test_already_satisfying_is_identity(self):
-        schema = workloads.course_schema()
         sigma = workloads.course_sigma()
         instance = workloads.course_instance()
         assert repair(instance, sigma) == instance

@@ -158,3 +158,48 @@ class TestAgreementWithBatchChecker:
         assert checker.is_consistent()
         assert checker.to_instance().relation("Course") == \
             instance.relation("Course")
+
+class TestLoadRows:
+    """Bulk-loading a relation from a streamed JSONL dump."""
+
+    def test_load_rows_from_jsonl_matches_instance_load(self, tmp_path):
+        from repro.io.stream import dump_jsonl, iter_jsonl_elements
+
+        schema = workloads.course_schema()
+        sigma = workloads.course_sigma()
+        instance = workloads.course_instance()
+        path = tmp_path / "course.jsonl"
+        dump_jsonl(path, instance.relation("Course"))
+
+        streamed = IncrementalChecker(schema, sigma)
+        loaded = streamed.load_rows(
+            "Course", iter_jsonl_elements(path, schema, "Course"))
+        reference = IncrementalChecker(schema, sigma, instance)
+
+        assert loaded == len(instance.relation("Course"))
+        assert streamed.to_instance() == reference.to_instance()
+        assert streamed.conflicts() == reference.conflicts()
+        assert streamed.is_consistent() == reference.is_consistent()
+
+    def test_load_rows_is_idempotent(self):
+        schema = workloads.course_schema()
+        sigma = workloads.course_sigma()
+        rows = list(workloads.course_instance().relation("Course"))
+        checker = IncrementalChecker(schema, sigma)
+        assert checker.load_rows("Course", rows) == len(rows)
+        assert checker.load_rows("Course", rows) == 0  # all duplicates
+        assert len(checker) == len(rows)
+
+    def test_load_rows_surfaces_conflicts_once(self):
+        schema = workloads.course_schema()
+        sigma = parse_nfds("Course:[cnum -> time]")
+        rows = [{"cnum": "x", "time": 1, "students": [], "books": []},
+                {"cnum": "x", "time": 2, "students": [], "books": []}]
+        checker = IncrementalChecker(schema, sigma)
+        assert checker.load_rows("Course", rows) == 2
+        conflicts = checker.conflicts()
+        assert len(conflicts) == 1
+        assert not checker.is_consistent()
+        # a second sweep over the same state must not duplicate it
+        assert checker.load_rows("Course", []) == 0
+        assert checker.conflicts() == conflicts

@@ -3,7 +3,6 @@
 import random
 from itertools import combinations
 
-from repro.chase import lossless_join
 from repro.inference import FD, fd_implies
 from repro.inference.mvds import (
     MVD,

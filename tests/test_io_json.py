@@ -97,3 +97,40 @@ class TestBundle:
         text = dump_bundle(schema, workloads.course_sigma())
         _, _, instance = load_bundle(text)
         assert instance is None
+
+class TestMalformedBundles:
+    def test_invalid_json_names_line_and_column(self):
+        text = '{"schema": {"relations": []},\n  "nfds": [,]}'
+        with pytest.raises(ParseError) as info:
+            load_bundle(text)
+        message = str(info.value)
+        assert "line 2" in message
+        assert "column" in message
+
+    def test_truncated_bundle_is_typed(self):
+        text = dump_bundle(workloads.course_schema(),
+                           workloads.course_sigma())
+        with pytest.raises(ParseError, match="not valid JSON"):
+            load_bundle(text[: len(text) // 2])
+
+    def test_non_object_bundle(self):
+        with pytest.raises(ParseError, match="must be a JSON object"):
+            load_bundle('["schema"]')
+
+    def test_missing_schema_key(self):
+        with pytest.raises(ParseError,
+                           match='missing the required "schema" key'):
+            load_bundle('{"nfds": []}')
+
+    def test_non_list_nfds(self):
+        import json as json_module
+        payload = json_module.loads(
+            dump_bundle(workloads.course_schema(), []))
+        payload["nfds"] = {"oops": True}
+        with pytest.raises(ParseError, match='"nfds" must be a list'):
+            load_bundle(json_module.dumps(payload))
+
+    def test_spec_loader_shares_typed_errors(self):
+        from repro.io import load_spec
+        with pytest.raises(ParseError, match="not valid JSON"):
+            load_spec("{truncated")

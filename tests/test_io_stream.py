@@ -1,0 +1,181 @@
+"""Unit tests for the chunked JSONL stream reader/writer.
+
+The malformed-input cases pin the typed-error contract: every failure
+raises :class:`repro.errors.StreamError` naming the offending 1-based
+line number — never a raw ``json.JSONDecodeError`` or ``KeyError``.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import StreamError
+from repro.io import (
+    count_stream_lines,
+    dump_jsonl,
+    iter_jsonl_elements,
+    iter_set_elements,
+    plan_shards,
+)
+from repro.values import to_python
+
+
+@pytest.fixture
+def course_dump(tmp_path, course_instance):
+    path = tmp_path / "course.jsonl"
+    count = dump_jsonl(path, iter_set_elements(
+        course_instance.relation("Course")))
+    return path, count
+
+
+class TestRoundTrip:
+    def test_dump_then_stream_preserves_walk_order(
+            self, course_schema, course_instance, course_dump):
+        path, count = course_dump
+        expected = list(course_instance.relation("Course"))
+        streamed = list(iter_jsonl_elements(path, course_schema,
+                                            "Course"))
+        assert count == len(expected)
+        assert streamed == expected
+
+    def test_dump_accepts_plain_python(self, tmp_path, course_schema,
+                                       course_instance):
+        path = tmp_path / "plain.jsonl"
+        rows = [to_python(e)
+                for e in course_instance.relation("Course")]
+        assert dump_jsonl(path, rows) == len(rows)
+        assert list(iter_jsonl_elements(path, course_schema,
+                                        "Course")) == \
+            list(course_instance.relation("Course"))
+
+    def test_blank_lines_are_skipped(self, course_schema, course_dump):
+        path, count = course_dump
+        text = path.read_text()
+        path.write_text("\n" + text.replace("\n", "\n\n"))
+        streamed = list(iter_jsonl_elements(path, course_schema,
+                                            "Course"))
+        assert len(streamed) == count
+
+    def test_adapter_iterates_sorted_set_order(self, course_instance):
+        relation = course_instance.relation("Course")
+        assert list(iter_set_elements(relation)) == list(relation)
+
+
+class TestMalformedInputs:
+    def test_truncated_line_names_line_number(self, course_schema,
+                                              course_dump):
+        path, count = course_dump
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # chop line 2 mid-JSON
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StreamError) as info:
+            list(iter_jsonl_elements(path, course_schema, "Course"))
+        assert info.value.line == 2
+        assert "line 2" in str(info.value)
+        assert "malformed" in str(info.value)
+
+    def test_type_mismatched_element_names_line_number(
+            self, tmp_path, course_schema, course_instance):
+        path = tmp_path / "bad.jsonl"
+        rows = [to_python(e)
+                for e in course_instance.relation("Course")]
+        rows.insert(2, {"not": "a course"})
+        dump_jsonl(path, rows)
+        with pytest.raises(StreamError) as info:
+            list(iter_jsonl_elements(path, course_schema, "Course"))
+        assert info.value.line == 3
+        assert "line 3" in str(info.value)
+        assert "'Course'" in str(info.value)
+
+    def test_non_object_element_is_typed(self, tmp_path,
+                                         course_schema):
+        path = tmp_path / "scalar.jsonl"
+        path.write_text("42\n")
+        with pytest.raises(StreamError) as info:
+            list(iter_jsonl_elements(path, course_schema, "Course"))
+        assert info.value.line == 1
+
+    def test_empty_file_is_an_error(self, tmp_path, course_schema):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(StreamError) as info:
+            list(iter_jsonl_elements(path, course_schema, "Course"))
+        assert info.value.line == 1
+        assert "empty stream" in str(info.value)
+
+    def test_blank_only_file_is_an_error(self, tmp_path,
+                                         course_schema):
+        path = tmp_path / "blank.jsonl"
+        path.write_text("\n\n\n")
+        with pytest.raises(StreamError, match="empty stream"):
+            list(iter_jsonl_elements(path, course_schema, "Course"))
+
+    def test_empty_allowed_for_shard_ranges(self, tmp_path,
+                                            course_schema):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert list(iter_jsonl_elements(
+            path, course_schema, "Course",
+            require_elements=False)) == []
+
+    def test_unreadable_path_is_typed(self, tmp_path, course_schema):
+        with pytest.raises(StreamError, match="cannot read stream"):
+            list(iter_jsonl_elements(tmp_path / "missing.jsonl",
+                                     course_schema, "Course"))
+
+    def test_raw_decode_error_never_escapes(self, tmp_path,
+                                            course_schema):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("{\"cnum\": \n")
+        try:
+            list(iter_jsonl_elements(path, course_schema, "Course"))
+        except StreamError:
+            pass
+        except json.JSONDecodeError:  # pragma: no cover - the bug
+            pytest.fail("raw JSONDecodeError escaped the reader")
+
+
+class TestRangesAndShards:
+    def test_start_stop_bounds(self, course_schema, course_instance,
+                               course_dump):
+        path, count = course_dump
+        expected = list(course_instance.relation("Course"))
+        assert list(iter_jsonl_elements(
+            path, course_schema, "Course", start=1, stop=count,
+            require_elements=False)) == expected[1:]
+        assert list(iter_jsonl_elements(
+            path, course_schema, "Course", start=0, stop=1,
+            require_elements=False)) == expected[:1]
+
+    def test_plan_shards_cover_and_preserve_order(
+            self, course_schema, course_instance, course_dump):
+        path, count = course_dump
+        expected = list(course_instance.relation("Course"))
+        for shards in (1, 2, 3, count + 2):
+            ranges = plan_shards(path, shards)
+            assert len(ranges) == shards
+            assert ranges[0][1] == 0
+            for (_, _, hi), (_, lo, _) in zip(ranges, ranges[1:]):
+                assert hi == lo  # contiguous
+            streamed = []
+            for label, lo, hi in ranges:
+                streamed.extend(iter_jsonl_elements(
+                    label, course_schema, "Course", start=lo, stop=hi,
+                    require_elements=False))
+            assert streamed == expected
+
+    def test_plan_shards_rejects_bad_counts(self, course_dump):
+        path, _ = course_dump
+        with pytest.raises(StreamError, match="shard count"):
+            plan_shards(path, 0)
+
+    def test_plan_shards_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n")
+        with pytest.raises(StreamError, match="empty stream"):
+            plan_shards(path, 2)
+
+    def test_count_stream_lines(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n')
+        assert count_stream_lines(path) == (3, 2)

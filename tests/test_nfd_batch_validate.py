@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import NFDError
 from repro.nfd import (
-    NFD,
     ValidatorEngine,
     parse_nfd,
     parse_nfds,

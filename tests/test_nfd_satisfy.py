@@ -4,9 +4,7 @@ Covers the paper's running examples, the coincidence condition, empty-set
 behaviour, and the set-property consequences of Section 2.1.
 """
 
-import pytest
-
-from repro.nfd import NFD, parse_nfd, satisfies, satisfies_all
+from repro.nfd import parse_nfd, satisfies, satisfies_all
 from repro.types import parse_schema
 from repro.values import Instance
 

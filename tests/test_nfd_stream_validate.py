@@ -1,0 +1,285 @@
+"""Unit tests for the out-of-core streaming validation engine.
+
+The differential property suite
+(:mod:`tests.properties.test_stream_validate_differential`) covers the
+randomized equivalence claims; these tests pin the targeted behaviors:
+budget-bounded spilling, cooperative cancellation, cross-shard
+conflicts, canonical key encoding, and tracer invariance.
+"""
+
+import pytest
+
+from repro.errors import InstanceError, ValueError_
+from repro.io.stream import iter_set_elements
+from repro.nfd import (
+    ResourceBudget,
+    StreamStats,
+    ValidatorEngine,
+    parse_nfds,
+    shard_validate,
+    stream_validate,
+)
+from repro.obs import Tracer
+from repro.values import Atom, Instance, Record, SetValue, to_python
+from repro.values.canonical import canonical_bytes, canonical_key_bytes
+
+
+def _sources(instance):
+    return {name: iter_set_elements(value)
+            for name, value in instance.relations()}
+
+
+def _describe(violations):
+    return [v.describe() for v in violations]
+
+
+@pytest.fixture
+def conflicted_course(course_schema, course_instance):
+    """course_instance plus a cnum-clash: one element re-dumped with a
+    different time, so ``Course:[cnum -> time]`` fails."""
+    elements = list(course_instance.relation("Course"))
+    elements.append(elements[0].replace("time", Atom(99)))
+    return Instance(course_schema, {"Course": SetValue(elements)})
+
+
+@pytest.fixture
+def nested_conflict_course(course_schema, course_instance):
+    """course_instance plus a course whose students set gives one sid
+    two grades, so the nested ``Course:students:[sid -> grade]`` fails."""
+    rows = [to_python(e) for e in course_instance.relation("Course")]
+    rows.append({"cnum": "cis700", "time": 9,
+                 "students": [{"sid": 1, "age": 20, "grade": "A"},
+                              {"sid": 1, "age": 21, "grade": "B"}],
+                 "books": [{"isbn": 7, "title": "Nested FDs"}]})
+    return Instance(course_schema, {"Course": rows})
+
+
+class TestStreamValidate:
+    def test_clean_instance_is_ok(self, course_schema, course_sigma,
+                                  course_instance):
+        result = stream_validate(course_schema, course_sigma,
+                                 _sources(course_instance))
+        assert result.ok
+        assert bool(result) is True
+        assert result.violations == ()
+        assert result.budget_exhausted is None
+        assert result.stats.elements_seen == \
+            sum(len(v) for _, v in course_instance.relations())
+
+    def test_violations_match_in_memory_engine(
+            self, course_schema, course_sigma, conflicted_course):
+        reference = ValidatorEngine(course_schema, course_sigma) \
+            .validate(conflicted_course, all_violations=True)
+        assert reference.violations
+        result = stream_validate(course_schema, course_sigma,
+                                 _sources(conflicted_course))
+        assert not result.ok
+        assert _describe(result.violations) == \
+            _describe(reference.violations)
+
+    def test_nested_violations_match_in_memory_engine(
+            self, course_schema, course_sigma, nested_conflict_course):
+        reference = ValidatorEngine(course_schema, course_sigma) \
+            .validate(nested_conflict_course, all_violations=True)
+        assert reference.violations
+        result = stream_validate(course_schema, course_sigma,
+                                 _sources(nested_conflict_course))
+        assert _describe(result.violations) == \
+            _describe(reference.violations)
+
+    def test_tiny_budget_forces_spills_and_keeps_witnesses(
+            self, course_schema, course_sigma, conflicted_course):
+        reference = ValidatorEngine(course_schema, course_sigma) \
+            .validate(conflicted_course, all_violations=True)
+        budget = ResourceBudget(max_resident_rows=1)
+        result = stream_validate(course_schema, course_sigma,
+                                 _sources(conflicted_course),
+                                 budget=budget)
+        assert result.stats.spills >= 1
+        assert result.stats.peak_resident_rows <= 1
+        assert result.stats.rows_spilled > 0
+        assert result.stats.runs_written >= 1
+        assert result.stats.bytes_spilled > 0
+        assert _describe(result.violations) == \
+            _describe(reference.violations)
+
+    def test_missing_source_raises(self, course_schema, course_sigma):
+        with pytest.raises(InstanceError, match="Course"):
+            stream_validate(course_schema, course_sigma, {})
+
+    def test_explicit_spill_dir_is_left_in_place(
+            self, tmp_path, course_schema, course_sigma,
+            course_instance):
+        spill = tmp_path / "spill"
+        spill.mkdir()
+        result = stream_validate(
+            course_schema, course_sigma, _sources(course_instance),
+            budget=ResourceBudget(max_resident_rows=1),
+            spill_dir=str(spill))
+        assert result.stats.spills >= 1
+        assert spill.is_dir()  # caller-owned dir survives cleanup
+        assert list(spill.iterdir()) == []  # but run files are removed
+
+
+class TestBudgetExhaustion:
+    def test_max_elements_stops_early(self, course_schema,
+                                      course_sigma, course_instance):
+        result = stream_validate(
+            course_schema, course_sigma, _sources(course_instance),
+            budget=ResourceBudget(max_elements=1))
+        assert result.budget_exhausted == "max_elements"
+        assert result.ok is False
+        assert result.elements_seen == 1
+
+    def test_zero_deadline_stops_immediately(
+            self, course_schema, course_sigma, course_instance):
+        result = stream_validate(
+            course_schema, course_sigma, _sources(course_instance),
+            budget=ResourceBudget(deadline=0.0))
+        assert result.budget_exhausted == "deadline"
+        assert result.ok is False
+        assert result.elements_seen == 0
+
+    def test_partial_prefix_is_still_checked(
+            self, course_schema, conflicted_course):
+        # The clashing pair shares the minimal cnum, so it occupies the
+        # first two slots of the sorted walk: a 2-element prefix
+        # already witnesses the violation.
+        sigma = parse_nfds("Course:[cnum -> time]")
+        reference = ValidatorEngine(course_schema, sigma).validate(
+            conflicted_course, all_violations=True)
+        assert reference.violations
+        ordered = list(conflicted_course.relation("Course"))
+        assert ordered[0].get("cnum") == ordered[1].get("cnum")
+        result = stream_validate(
+            course_schema, sigma, _sources(conflicted_course),
+            budget=ResourceBudget(max_elements=2))
+        assert result.budget_exhausted == "max_elements"
+        assert _describe(result.violations) == \
+            _describe(reference.violations)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError_, match="max_resident_rows"):
+            ResourceBudget(max_resident_rows=0)
+        with pytest.raises(ValueError_, match="deadline"):
+            ResourceBudget(deadline=-1.0)
+        with pytest.raises(ValueError_, match="max_elements"):
+            ResourceBudget(max_elements=-1)
+
+
+class TestShardValidate:
+    def test_cross_shard_conflict_found(self, course_schema,
+                                        course_sigma,
+                                        conflicted_course):
+        reference = ValidatorEngine(course_schema, course_sigma) \
+            .validate(conflicted_course, all_violations=True)
+        assert reference.violations
+        ordered = list(conflicted_course.relation("Course"))
+        # one element per shard: no shard sees both clashing elements
+        shards = [("rows", [element]) for element in ordered]
+        result = shard_validate(course_schema, course_sigma, "Course",
+                                shards)
+        assert result.completed_shards == tuple(range(len(shards)))
+        assert _describe(result.violations) == \
+            _describe(reference.violations)
+
+    def test_nested_witnesses_cross_shards(self, course_schema,
+                                           course_sigma,
+                                           nested_conflict_course):
+        reference = ValidatorEngine(course_schema, course_sigma) \
+            .validate(nested_conflict_course, all_violations=True)
+        ordered = list(nested_conflict_course.relation("Course"))
+        shards = [("rows", [element]) for element in ordered]
+        result = shard_validate(course_schema, course_sigma, "Course",
+                                shards)
+        assert _describe(result.violations) == \
+            _describe(reference.violations)
+
+    def test_sharded_jsonl_matches_serial(self, tmp_path,
+                                          course_schema, course_sigma,
+                                          conflicted_course):
+        from repro.io.stream import dump_jsonl, plan_shards
+        path = tmp_path / "course.jsonl"
+        dump_jsonl(path, iter_set_elements(
+            conflicted_course.relation("Course")))
+        reference = ValidatorEngine(course_schema, course_sigma) \
+            .validate(conflicted_course, all_violations=True)
+        result = shard_validate(course_schema, course_sigma, "Course",
+                                plan_shards(path, 3))
+        assert _describe(result.violations) == \
+            _describe(reference.violations)
+
+    def test_shard_budget_reports_exhaustion(
+            self, course_schema, course_sigma, course_instance):
+        ordered = list(course_instance.relation("Course"))
+        result = shard_validate(
+            course_schema, course_sigma, "Course",
+            [("rows", ordered)],
+            budget=ResourceBudget(max_elements=0))
+        assert result.budget_exhausted == "max_elements"
+        assert result.ok is False
+
+
+class TestObservability:
+    def test_tracer_invariance(self, course_schema, course_sigma,
+                               conflicted_course):
+        plain = stream_validate(course_schema, course_sigma,
+                                _sources(conflicted_course))
+        tracer = Tracer()
+        traced = stream_validate(course_schema, course_sigma,
+                                 _sources(conflicted_course),
+                                 tracer=tracer)
+        assert _describe(traced.violations) == \
+            _describe(plain.violations)
+        assert traced.stats.elements_seen == plain.stats.elements_seen
+        assert [span.name for span in tracer.spans("stream.validate")]
+
+    def test_shard_tracer_invariance(self, course_schema, course_sigma,
+                                     conflicted_course):
+        ordered = list(conflicted_course.relation("Course"))
+        shards = [("rows", ordered[:1]), ("rows", ordered[1:])]
+        plain = shard_validate(course_schema, course_sigma, "Course",
+                               shards)
+        tracer = Tracer()
+        traced = shard_validate(course_schema, course_sigma, "Course",
+                                shards, tracer=tracer)
+        assert _describe(traced.violations) == \
+            _describe(plain.violations)
+        assert tracer.spans("stream.shard_validate")
+        assert len(tracer.spans("stream.shard")) == len(shards)
+
+
+class TestStreamStats:
+    def test_absorb_takes_max_of_peaks(self):
+        stats = StreamStats(elements_seen=2, peak_resident_rows=7)
+        stats.absorb(StreamStats(elements_seen=3,
+                                 peak_resident_rows=5).as_dict())
+        assert stats.elements_seen == 5
+        assert stats.peak_resident_rows == 7
+        stats.absorb(StreamStats(peak_resident_rows=11).as_dict())
+        assert stats.peak_resident_rows == 11
+
+    def test_as_metrics_matches_as_dict(self):
+        stats = StreamStats(rows_emitted=4, spills=1)
+        assert stats.as_metrics() == stats.as_dict()
+        assert "rows emitted: 4" in stats.to_text()
+
+
+class TestCanonicalBytes:
+    def test_equal_records_with_permuted_fields_encode_equal(self):
+        left = Record((("p", Atom(1)), ("q", Atom("x"))))
+        right = Record((("q", Atom("x")), ("p", Atom(1))))
+        assert left == right
+        assert canonical_bytes(left) == canonical_bytes(right)
+
+    def test_distinct_values_encode_distinct(self):
+        values = [Atom(1), Atom("1"), Atom(True), Atom("true"),
+                  SetValue((Atom(1),)), SetValue(())]
+        encodings = [canonical_bytes(v) for v in values]
+        assert len(set(encodings)) == len(encodings)
+
+    def test_key_tuples_are_self_delimiting(self):
+        # ("ab", "c") and ("a", "bc") must not collide
+        left = canonical_key_bytes((Atom("ab"), Atom("c")))
+        right = canonical_key_bytes((Atom("a"), Atom("bc")))
+        assert left != right

@@ -126,3 +126,30 @@ class TestParallelValidation:
                                  workloads.warehouse_sigma())
         instance = workloads.warehouse_instance()
         assert engine.validate(instance, jobs=2).ok is True
+
+def _failing_probe(context, item):
+    if item == 3:
+        raise RuntimeError(f"probe exploded on item {item}")
+    return item
+
+
+class TestWorkerTracebacks:
+    def test_worker_failure_chains_remote_traceback(self):
+        from repro.parallel import RemoteTraceback
+
+        with pytest.raises(RuntimeError,
+                           match="probe exploded on item 3") as info:
+            process_map(_setup, 0, _failing_probe, list(range(8)),
+                        jobs=2)
+        cause = info.value.__cause__
+        assert isinstance(cause, RemoteTraceback)
+        remote = str(cause)
+        assert "remote worker traceback" in remote
+        assert "_failing_probe" in remote  # the worker's own frames
+        assert "probe exploded on item 3" in remote
+
+    def test_serial_failure_keeps_plain_traceback(self):
+        with pytest.raises(RuntimeError) as info:
+            process_map(_setup, 0, _failing_probe, list(range(8)),
+                        jobs=1)
+        assert info.value.__cause__ is None

@@ -6,7 +6,6 @@ from repro.errors import PathError, ValueError_
 from repro.paths import parse_path
 from repro.types import parse_schema
 from repro.values import (
-    Atom,
     Instance,
     first_value,
     from_python,

@@ -7,7 +7,6 @@ import pytest
 from repro.errors import InferenceError
 from repro.generators import (
     random_satisfying_instance,
-    random_schema,
     random_sigma,
     workloads,
 )
