@@ -21,9 +21,11 @@ reported are the same values by construction.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, compare_snapshots
 
 #: One registry per benchmark session; every gate records into it.
 GATE_METRICS = MetricsRegistry()
@@ -54,6 +56,27 @@ def pytest_addoption(parser):
         help="also write the session's gate metrics registry to FILE "
              "as JSON (the numbers the acceptance gates asserted on)",
     )
+    parser.addoption(
+        "--compare", action="store", default=None, metavar="BASELINE",
+        dest="compare_baseline",
+        help="compare this run's throughput gauges (*_per_sec) against "
+             "a committed --metrics-json snapshot and fail the session "
+             "when any rate falls more than 20% below it",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """``--compare BASELINE.json``: fail on a >20% throughput drop."""
+    path = session.config.getoption("compare_baseline", None)
+    if not path:
+        return
+    with open(path) as handle:
+        baseline = json.load(handle)
+    regressions = compare_snapshots(GATE_METRICS, baseline,
+                                    tolerance=0.2)
+    session.config._metrics_regressions = regressions
+    if regressions and exitstatus == 0:
+        session.exitstatus = 1
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -67,3 +90,16 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         with open(path, "w") as handle:
             handle.write(GATE_METRICS.to_json())
             handle.write("\n")
+    baseline = config.getoption("compare_baseline", None)
+    if baseline:
+        regressions = getattr(config, "_metrics_regressions", None)
+        terminalreporter.write_line("")
+        if regressions:
+            terminalreporter.write_line(
+                f"=== throughput regressions vs {baseline} ===")
+            for message in regressions:
+                terminalreporter.write_line(message)
+        elif regressions is not None:
+            terminalreporter.write_line(
+                f"=== throughput held vs {baseline} (20% tolerance) "
+                "===")

@@ -204,9 +204,14 @@ def _cmd_check_stream(args) -> int:
     addition: a run cut short by its resource budget that found no
     violation exits 2 (the verdict is unknown, not "satisfied").
     """
-    from .nfd import ResourceBudget, shard_validate, stream_validate
+    from .nfd import (ResourceBudget, StreamTuning, shard_validate,
+                      stream_validate)
     from .io import iter_jsonl_elements, plan_shards
 
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
     schema, sigma, _ = _load(args.bundle)
     relation = args.relation
     if relation is None:
@@ -231,15 +236,18 @@ def _cmd_check_stream(args) -> int:
                                 deadline=args.deadline,
                                 max_elements=args.max_elements)
     tracer = _tracer_from_args(args)
+    tuning = StreamTuning(backend=args.backend)
     if args.shards > 1:
         shards = plan_shards(args.stream, args.shards)
         result = shard_validate(schema, streamed, relation, shards,
                                 jobs=getattr(args, "jobs", 1),
-                                budget=budget, tracer=tracer)
+                                budget=budget, tracer=tracer,
+                                tuning=tuning)
     else:
         reader = iter_jsonl_elements(args.stream, schema, relation)
         result = stream_validate(schema, streamed, {relation: reader},
-                                 budget=budget, tracer=tracer)
+                                 budget=budget, tracer=tracer,
+                                 tuning=tuning)
     for violation in result.violations:
         print(violation.describe())
         print()
@@ -554,6 +562,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-elements", type=int, default=None, metavar="M",
         dest="max_elements",
         help="stop after M elements per shard (partial result)",
+    )
+    sub.add_argument(
+        "--backend", choices=("dict", "numpy", "auto"), default="auto",
+        help="group-table backend for the streaming engine: columnar "
+             "numpy tables for atomic-key NFDs, plain dict tables, or "
+             "auto-select (default)",
     )
     jobs_arg(sub)
     obs_args(sub)

@@ -18,6 +18,7 @@ from .stream_validate import (
     ResourceBudget,
     StreamResult,
     StreamStats,
+    StreamTuning,
     StreamValidator,
     shard_validate,
     stream_validate,
@@ -39,6 +40,7 @@ __all__ = [
     "ResourceBudget",
     "StreamResult",
     "StreamStats",
+    "StreamTuning",
     "StreamValidator",
     "stream_validate",
     "shard_validate",

@@ -818,6 +818,41 @@ class ValidatorEngine:
         self._elements_walked += walked
         return rows
 
+    def _plan_bindings_list(self, plan: _PlanExec,
+                            branch_rows: list[list[tuple]]) \
+            -> list[tuple[tuple, Value]]:
+        """:meth:`_plan_bindings` materialized as a list.
+
+        Identical bindings in identical order, without generator
+        suspension per binding — the streaming validator's batched
+        emitter folds whole binding lists into its group tables, so the
+        per-binding resume/yield cost of the generator form is pure
+        overhead there.
+        """
+        factors: list[list[tuple]] = []
+        for branch_pos, indices in plan.branch_proj:
+            rows = branch_rows[branch_pos]
+            if len(rows) == 1:
+                row = rows[0]
+                factors.append([tuple(row[i] for i in indices)])
+                continue
+            projected = dict.fromkeys(
+                tuple(row[i] for i in indices) for row in rows)
+            factors.append(list(projected))
+        lhs_pos = plan.lhs_pos
+        rhs_pos = plan.rhs_pos
+        if len(factors) == 1:
+            out = [(tuple(flat[i] for i in lhs_pos), flat[rhs_pos])
+                   for flat in factors[0]]
+        else:
+            out = []
+            for combo in product(*factors):
+                flat = tuple(chain.from_iterable(combo))
+                out.append((tuple(flat[i] for i in lhs_pos),
+                            flat[rhs_pos]))
+        self._bindings_emitted += len(out)
+        return out
+
     def _plan_bindings(self, plan: _PlanExec,
                        branch_rows: list[list[tuple]]) \
             -> Iterator[tuple[tuple, Value]]:

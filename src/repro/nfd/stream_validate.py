@@ -41,11 +41,49 @@ When the budget's ``max_resident_rows`` would be exceeded, every group
 table is frozen into a sorted **run**: aggregates ordered by the
 injective :func:`~repro.values.canonical.canonical_bytes` encoding of
 their keys (``repr`` would not do — record equality ignores field
-order), written as a stream of pickled ``(key_bytes, aggregate)``
-pairs.  The final merge is a k-way :func:`heapq.merge` over the runs
-plus the resident table, folding equal-key aggregates with
-:func:`_merge_agg` — hash-grouping below budget and external
-sort-merge above it produce byte-identical witnesses.
+order), written as a stream of pickled *chunks* — lists of
+``(key_bytes, aggregate)`` pairs (``StreamTuning.spill_chunk`` pairs
+per pickle frame, so the pickler's memo deduplicates values shared
+across a chunk and the per-item call overhead amortizes).  The final
+merge is a k-way :func:`heapq.merge` over the runs plus the resident
+table, folding equal-key aggregates with :func:`_merge_agg` —
+hash-grouping below budget and external sort-merge above it produce
+byte-identical witnesses.
+
+Hot-path tuning
+---------------
+
+:class:`StreamTuning` names the three optimizations of the streaming
+hot path, all on by default and all witness-preserving (the
+differential suite in
+``tests/properties/test_stream_tuning_differential.py`` holds them to
+byte-identical witnesses and group summaries):
+
+* **interning** — an :class:`~repro.values.canonical.InternPool` caches
+  the canonical encoding of every atom/value seen, and keys are
+  assembled into one reused scratch buffer instead of a fresh
+  ``bytearray`` per key;
+* **batch** — binding emission is batched per relation: branch rows are
+  materialized once per element and every NFD sharing the base path
+  folds its whole binding list in one pre-bound loop, instead of
+  resuming a generator per binding;
+* **backend** — root-anchored NFDs whose LHS/RHS leaf paths are all
+  atomic can keep their group state *columnar*: bindings append interned
+  value ids to flat rows, and grouping/first/clash are computed in bulk
+  with numpy at spill/finalize time (``backend="numpy"`` requires
+  numpy; ``"auto"`` uses it when importable; ineligible plans — nested
+  anchors, non-atomic leaves — always fall back to the dict backend);
+* **spill_codec** — ``"plain"`` freezes aggregates to scalar/tuple
+  trees (:func:`~repro.values.value.freeze_value`) before pickling and
+  thaws them on read, skipping the per-node ``__reduce__`` dispatch and
+  validating-constructor re-walk that dominates reload time;
+  ``"value"`` pickles the Value objects directly (the pre-tuning
+  format).
+
+``StreamTuning.legacy()`` switches all of it off and reproduces the
+pre-tuning per-element path; the throughput gate in
+``benchmarks/bench_stream_validate.py`` measures the two against each
+other in elements/sec.
 
 Sharding
 --------
@@ -58,6 +96,15 @@ discipline of the batch fan-out).  Emission sequences are
 concatenated stream, so cross-shard conflicts — where no single shard
 holds both clashing elements — surface with the same witnesses a
 serial scan would report.
+
+Cleanup
+-------
+
+Every spilled run and summary file is removed by :meth:`cleanup`, which
+all abnormal exits route through: :func:`stream_validate` and
+:func:`shard_validate` call it in ``finally``, shard workers call it
+when their stream raises mid-shard, and :class:`StreamValidator` is a
+context manager (``with StreamValidator(...) as sv``) for direct use.
 """
 
 from __future__ import annotations
@@ -71,22 +118,48 @@ import time
 from itertools import chain
 from typing import Any, Iterable, Iterator, Mapping
 
-from ..errors import InstanceError, ValueError_
+from ..errors import InstanceError, PathError, ValueError_
+from ..paths.typing import type_at
+from ..types.base import BaseType
 from ..types.schema import Schema
-from ..values.canonical import canonical_key_bytes
-from ..values.value import SetValue
+from ..values.canonical import InternPool, canonical_key_bytes
+from ..values.value import SetValue, freeze_value, thaw_value
 from .batch_validate import ValidatorEngine, _Run
 from .nfd import NFD
 from .violations import Violation
 
 __all__ = [
     "ResourceBudget",
+    "StreamTuning",
     "StreamStats",
     "StreamResult",
     "StreamValidator",
     "stream_validate",
     "shard_validate",
 ]
+
+
+_NUMPY: Any = None  # module cache: None = untried, False = unavailable
+
+
+def _load_numpy(required: bool):
+    """Import numpy lazily; it is a bench/test dependency, not a hard
+    runtime one, so ``backend="auto"`` degrades to the dict backend when
+    it is absent and only an explicit ``backend="numpy"`` errors."""
+    global _NUMPY
+    if _NUMPY is None:
+        try:
+            import numpy
+            _NUMPY = numpy
+        except ImportError:
+            _NUMPY = False
+    if _NUMPY is False:
+        if required:
+            raise ValueError_(
+                'backend="numpy" requested but numpy is not importable; '
+                'use backend="dict" or "auto"')
+        return None
+    return _NUMPY
 
 
 class ResourceBudget:
@@ -97,7 +170,9 @@ class ResourceBudget:
       on-disk run.  Peak residency never exceeds the cap.
     * ``deadline`` — wall-clock seconds per engine (per shard, in a
       sharded run); when it passes, the engine stops consuming and
-      reports a partial result instead of raising.
+      reports a partial result instead of raising.  ``deadline=0``
+      means *already exhausted*: the engine stops before consuming its
+      first element (it is not "no deadline" — that is ``None``).
     * ``max_elements`` — cap on elements consumed per engine (per
       shard).
 
@@ -128,32 +203,100 @@ class ResourceBudget:
                 f"max_elements={self.max_elements})")
 
 
+class StreamTuning:
+    """Hot-path switches of one streaming engine (see module docstring).
+
+    All combinations produce byte-identical witnesses and group
+    summaries; the switches only trade allocations and Python-level
+    dispatch for throughput.  ``StreamTuning()`` is the tuned default;
+    :meth:`legacy` reproduces the pre-tuning path and is the baseline
+    the throughput gate compares against.
+    """
+
+    _BACKENDS = ("dict", "numpy", "auto")
+    _CODECS = ("plain", "value")
+
+    __slots__ = ("interning", "batch", "backend", "spill_chunk",
+                 "spill_codec", "pool_entries")
+
+    def __init__(self, interning: bool = True, batch: bool = True,
+                 backend: str = "auto", spill_chunk: int = 64,
+                 spill_codec: str = "plain",
+                 pool_entries: int = 1 << 16):
+        if backend not in self._BACKENDS:
+            raise ValueError_(
+                f"unknown stream backend {backend!r}; expected one of "
+                f"{', '.join(self._BACKENDS)}")
+        if spill_codec not in self._CODECS:
+            raise ValueError_(
+                f"unknown spill codec {spill_codec!r}; expected one of "
+                f"{', '.join(self._CODECS)}")
+        if spill_chunk < 1:
+            raise ValueError_(
+                f"spill_chunk must be >= 1, got {spill_chunk}")
+        if pool_entries < 1:
+            raise ValueError_(
+                f"pool_entries must be >= 1, got {pool_entries}")
+        self.interning = interning
+        self.batch = batch
+        self.backend = backend
+        self.spill_chunk = spill_chunk
+        self.spill_codec = spill_codec
+        self.pool_entries = pool_entries
+
+    @classmethod
+    def legacy(cls) -> "StreamTuning":
+        """The pre-tuning streaming path: per-element generator
+        dispatch, uncached key encoding, one pickle frame per spilled
+        aggregate pickled as Value objects, dict group tables."""
+        return cls(interning=False, batch=False, backend="dict",
+                   spill_chunk=1, spill_codec="value")
+
+    def __reduce__(self):
+        # __slots__ without __dict__ defeats pickle's default protocol;
+        # shard workers receive a tuning in their payload.
+        return (StreamTuning, (self.interning, self.batch, self.backend,
+                               self.spill_chunk, self.spill_codec,
+                               self.pool_entries))
+
+    def __repr__(self) -> str:
+        return (f"StreamTuning(interning={self.interning}, "
+                f"batch={self.batch}, backend={self.backend!r}, "
+                f"spill_chunk={self.spill_chunk}, "
+                f"spill_codec={self.spill_codec!r})")
+
+
 class StreamStats:
     """Counters of one streaming validation (engine or merged run).
 
     * ``elements_seen`` — top-level elements consumed;
     * ``rows_emitted`` — ``(key, rhs)`` bindings folded into root group
       tables;
-    * ``peak_resident_rows`` — high-water mark of resident aggregates
-      (``<= max_resident_rows`` whenever a budget is set);
+    * ``peak_resident_rows`` — high-water mark of resident group-table
+      entries (``<= max_resident_rows`` whenever a budget is set; the
+      dict backend counts distinct resident aggregates, the columnar
+      backend counts buffered binding rows);
     * ``spills`` — budget-triggered spill events;
     * ``rows_spilled`` / ``runs_written`` / ``bytes_spilled`` — run-file
       volume;
     * ``runs_merged`` — run files fed into merge passes;
     * ``groups_merged`` — distinct antecedent keys produced by merges;
+    * ``intern_hits`` / ``intern_misses`` — canonical-encoding pool
+      probes (zero when interning is off);
     * ``wall_time`` — seconds spent consuming and merging.
     """
 
     __slots__ = ("elements_seen", "rows_emitted", "peak_resident_rows",
                  "spills", "rows_spilled", "runs_written",
                  "bytes_spilled", "runs_merged", "groups_merged",
-                 "wall_time")
+                 "intern_hits", "intern_misses", "wall_time")
 
     def __init__(self, elements_seen: int = 0, rows_emitted: int = 0,
                  peak_resident_rows: int = 0, spills: int = 0,
                  rows_spilled: int = 0, runs_written: int = 0,
                  bytes_spilled: int = 0, runs_merged: int = 0,
-                 groups_merged: int = 0, wall_time: float = 0.0):
+                 groups_merged: int = 0, intern_hits: int = 0,
+                 intern_misses: int = 0, wall_time: float = 0.0):
         self.elements_seen = elements_seen
         self.rows_emitted = rows_emitted
         self.peak_resident_rows = peak_resident_rows
@@ -163,6 +306,8 @@ class StreamStats:
         self.bytes_spilled = bytes_spilled
         self.runs_merged = runs_merged
         self.groups_merged = groups_merged
+        self.intern_hits = intern_hits
+        self.intern_misses = intern_misses
         self.wall_time = wall_time
 
     def as_dict(self) -> dict:
@@ -199,6 +344,8 @@ class StreamStats:
             f"bytes spilled: {self.bytes_spilled}",
             f"  runs merged: {self.runs_merged}  "
             f"groups merged: {self.groups_merged}",
+            f"  intern hits: {self.intern_hits}  "
+            f"intern misses: {self.intern_misses}",
             f"  stream wall time: {self.wall_time:.6f}s",
         ])
 
@@ -276,26 +423,166 @@ def _merge_agg(a: list, b: list) -> list:
     return [a[0], a[1], a[2], a[3], None, None, None]
 
 
+class _ColumnarBuffer:
+    """Append-only columnar binding rows for one eligible plan.
+
+    A row is ``[key_id_1 .. key_id_k, rhs_id, elem_id, seq]`` — key and
+    RHS values interned *by equality* (two ids are equal iff the values
+    are, which is what grouping and clash detection compare) and
+    elements interned *by identity* (the witness must carry the exact
+    element object the dict backend would, not merely an equal one).
+    Grouping, first-binding, and earliest-clash extraction happen in
+    bulk with numpy when the buffer is consolidated at spill or
+    finalize time.
+    """
+
+    __slots__ = ("arity", "rows", "_value_ids", "values",
+                 "_elem_ids", "elems")
+
+    def __init__(self, arity: int):
+        self.arity = arity
+        self.rows: list[list[int]] = []
+        self._value_ids: dict = {}
+        self.values: list = []
+        self._elem_ids: dict[int, int] = {}
+        self.elems: list = []
+
+    def append(self, key: tuple, rhs, element, seq: int) -> None:
+        value_ids = self._value_ids
+        values = self.values
+        row = []
+        for part in key:
+            part_id = value_ids.get(part)
+            if part_id is None:
+                part_id = value_ids[part] = len(values)
+                values.append(part)
+            row.append(part_id)
+        rhs_id = value_ids.get(rhs)
+        if rhs_id is None:
+            rhs_id = value_ids[rhs] = len(values)
+            values.append(rhs)
+        row.append(rhs_id)
+        elem_id = self._elem_ids.get(id(element))
+        if elem_id is None:
+            elem_id = self._elem_ids[id(element)] = len(self.elems)
+            self.elems.append(element)
+        row.append(elem_id)
+        row.append(seq)
+        self.rows.append(row)
+
+    def clear(self) -> None:
+        self.rows.clear()
+        self._value_ids.clear()
+        self.values.clear()
+        self._elem_ids.clear()
+        self.elems.clear()
+
+
 class _GroupTable:
     """One root-anchored NFD's group state: resident aggregates keyed by
-    canonical key bytes, plus the sorted runs spilled so far."""
+    canonical key bytes (dict backend) or buffered columnar binding rows
+    (numpy backend), plus the sorted runs spilled so far."""
 
-    __slots__ = ("plan", "table", "runs")
+    __slots__ = ("plan", "table", "columnar", "runs")
 
     def __init__(self, plan):
         self.plan = plan
         self.table: dict[bytes, list] = {}
+        self.columnar: _ColumnarBuffer | None = None
         self.runs: list[str] = []
 
 
-def _iter_run_file(path: str) -> Iterator[tuple[bytes, list]]:
-    """Stream the ``(key_bytes, aggregate)`` pairs of one run file."""
+class _ElementStore:
+    """Append-only sidecar of frozen witness elements with lazy point
+    reads.
+
+    Witness elements are by far the heaviest payload of a spilled
+    aggregate (a whole top-level record tree against a handful of key
+    atoms), yet they are only ever *read back* for the rare groups that
+    actually violate.  The plain spill codec therefore writes each
+    element once into this store — deduplicated by object identity
+    within a spill event, since one element is often the first-seen
+    witness of several tables' aggregates — and spills a tiny
+    ``("@", store_path, offset)`` ref in its place.  Refs survive
+    merges, summary files, and the driver's absorb untouched;
+    :meth:`StreamValidator._load_element` seeks and thaws an element
+    only when a violation needs it.
+    """
+
+    __slots__ = ("path", "_handle", "_memo")
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = open(path, "ab")
+        self._memo: dict[int, int] = {}
+
+    def put(self, element) -> tuple[str, str, int]:
+        # The id() memo is only valid while the aggregates being
+        # written keep their elements alive — end_event() clears it
+        # before the tables are, so a recycled id can never alias.
+        offset = self._memo.get(id(element))
+        if offset is None:
+            offset = self._handle.tell()
+            pickle.dump(freeze_value(element), self._handle,
+                        pickle.HIGHEST_PROTOCOL)
+            self._memo[id(element)] = offset
+        return ("@", self.path, offset)
+
+    def end_event(self) -> None:
+        self._memo.clear()
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._memo.clear()
+        self._handle.close()
+
+
+def _freeze_elem(elem, store: _ElementStore | None):
+    if elem is None or type(elem) is tuple:  # absent, or already a ref
+        return elem
+    if store is not None:
+        return store.put(elem)
+    return freeze_value(elem)
+
+
+def _thaw_elem(data):
+    if data is None or (type(data) is tuple and data[0] == "@"):
+        return data
+    return thaw_value(data)
+
+
+def _freeze_agg(agg: list, store: _ElementStore | None) -> list:
+    """The plain-data form of one aggregate (``spill_codec="plain"``):
+    key/RHS values become scalar/tuple trees that pickle natively,
+    without a ``__reduce__`` round-trip per node, and witness elements
+    become sidecar refs when a *store* is given (run and summary files)
+    or inline frozen trees otherwise (in-memory shard summaries)."""
+    return [tuple(freeze_value(part) for part in agg[0]), agg[1],
+            freeze_value(agg[2]), _freeze_elem(agg[3], store), agg[4],
+            freeze_value(agg[5]), _freeze_elem(agg[6], store)]
+
+
+def _thaw_agg(agg: list) -> list:
+    return [tuple(thaw_value(part) for part in agg[0]), agg[1],
+            thaw_value(agg[2]), _thaw_elem(agg[3]), agg[4],
+            thaw_value(agg[5]), _thaw_elem(agg[6])]
+
+
+def _iter_run_file(path: str, thaw: bool) -> Iterator[tuple[bytes, list]]:
+    """Stream the ``(key_bytes, aggregate)`` pairs of one run file
+    (a sequence of pickled chunks — lists of pairs), thawing frozen
+    aggregates when the engine's spill codec is ``"plain"``."""
     with open(path, "rb") as handle:
         while True:
             try:
-                yield pickle.load(handle)
+                chunk = pickle.load(handle)
             except EOFError:
                 return
+            if thaw:
+                for key_bytes, agg in chunk:
+                    yield key_bytes, _thaw_agg(agg)
+            else:
+                yield from chunk
 
 
 # ---------------------------------------------------------------- engine
@@ -307,10 +594,13 @@ class StreamValidator:
     Compiles the same plans as :class:`ValidatorEngine` (it embeds one)
     and consumes top-level elements incrementally::
 
-        sv = StreamValidator(schema, sigma, budget=budget)
-        sv.consume("orders", reader)        # False if budget ran out
-        result = sv.finalize()
-        sv.cleanup()
+        with StreamValidator(schema, sigma, budget=budget) as sv:
+            sv.consume("orders", reader)    # False if budget ran out
+            result = sv.finalize()
+
+    The context manager guarantees :meth:`cleanup` — spilled runs and
+    the engine-owned spill directory are removed — on both normal and
+    abnormal exits; direct callers may also invoke it explicitly.
 
     In a sharded run each worker holds one of these (``shard_index``
     tags its emission sequences), ships :meth:`summarize` output back,
@@ -320,11 +610,13 @@ class StreamValidator:
     def __init__(self, schema: Schema, sigma: Iterable[NFD], *,
                  budget: ResourceBudget | None = None,
                  spill_dir: str | None = None, tracer=None,
-                 shard_index: int = 0):
+                 shard_index: int = 0,
+                 tuning: StreamTuning | None = None):
         self.schema = schema
         self.engine = ValidatorEngine(schema, sigma, tracer=tracer)
         self.tracer = tracer
         self.budget = budget
+        self.tuning = tuning if tuning is not None else StreamTuning()
         self._shard_index = shard_index
         self._max_rows = budget.max_resident_rows if budget else None
         self._max_elements = budget.max_elements if budget else None
@@ -333,6 +625,14 @@ class StreamValidator:
             self._deadline_at = time.monotonic() + budget.deadline
         self._spill_dir = spill_dir
         self._own_spill_dir = False
+        self._pool = InternPool(self.tuning.pool_entries) \
+            if self.tuning.interning else None
+        self._scratch = bytearray()
+        self._synced_hits = 0
+        self._synced_misses = 0
+        self._elem_store: _ElementStore | None = None
+        self._read_handles: dict[str, Any] = {}
+        self._foreign_stores: list[str] = []
         # Per-relation group tables for the root anchor's plans, and a
         # persistent masked run for every nested-anchored plan.
         self._root_tables: dict[str, list[_GroupTable]] = {}
@@ -356,6 +656,14 @@ class StreamValidator:
                 self._nested_bases.append(base)
                 for plan in node.anchor.plans:
                     self._plan_anchor_base[plan.index] = base
+        if self.tuning.backend in ("numpy", "auto") and _load_numpy(
+                required=self.tuning.backend == "numpy") is not None:
+            for relation, tables in self._root_tables.items():
+                element_type = schema.element_type(relation)
+                for table in tables:
+                    if _plan_is_atomic(element_type, table.plan):
+                        table.columnar = _ColumnarBuffer(
+                            len(table.plan.lhs_pos))
         self._nested_run = _Run(len(self.engine.sigma), first_only=False,
                                 mask=frozenset(nested_indices))
         self._seq = 0
@@ -364,6 +672,15 @@ class StreamValidator:
         self._exhausted: str | None = None
         self.stats = StreamStats()
 
+    # -- context-manager protocol -----------------------------------------
+
+    def __enter__(self) -> "StreamValidator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.cleanup()
+        return False
+
     # -- consuming --------------------------------------------------------
 
     def consume(self, relation: str, elements: Iterable) -> bool:
@@ -371,6 +688,8 @@ class StreamValidator:
         stopped consumption (the current result is a valid partial)."""
         start = time.perf_counter()
         try:
+            if self.tuning.batch:
+                return self._consume_batched(relation, elements)
             for element in elements:
                 if self._exhausted is not None:
                     return False
@@ -387,6 +706,87 @@ class StreamValidator:
                 self.stats.elements_seen += 1
         finally:
             self.stats.wall_time += time.perf_counter() - start
+        return self._exhausted is None
+
+    def _consume_batched(self, relation: str, elements: Iterable) -> bool:
+        """The tuned consume loop: per-relation dispatch state is bound
+        once, each element's branch rows are materialized once, and
+        every plan folds its whole binding list in one pass — identical
+        emission order (and hence identical witnesses) to the legacy
+        per-element path."""
+        engine = self.engine
+        stats = self.stats
+        root = engine._relations.get(relation)
+        anchor = root.anchor if root is not None else None
+        has_nested = root is not None and self._has_nested[relation]
+        plan_info: list = []
+        if anchor is not None:
+            plan_info = [(table, table.plan, table.plan.paths)
+                         for table in self._root_tables[relation]]
+        element_rows = engine._element_rows
+        bindings_list = engine._plan_bindings_list
+        walk = engine._walk_scope
+        nested_run = self._nested_run
+        pool = self._pool
+        scratch = self._scratch
+        shard = self._shard_index
+        max_elements = self._max_elements
+        deadline_at = self._deadline_at
+        monotonic = time.monotonic
+        for element in elements:
+            if self._exhausted is not None:
+                return False
+            if (max_elements is not None
+                    and self._elements_seen >= max_elements):
+                self._exhausted = "max_elements"
+                return False
+            if deadline_at is not None and monotonic() >= deadline_at:
+                self._exhausted = "deadline"
+                return False
+            if anchor is not None:
+                undefined: set = set()
+                branch_rows = element_rows(anchor, element, undefined)
+                for table, plan, paths in plan_info:
+                    if undefined and not undefined.isdisjoint(paths):
+                        continue  # Definition 2.4: undefined paths
+                    bindings = bindings_list(plan, branch_rows)
+                    columnar = table.columnar
+                    if columnar is not None:
+                        seq = self._seq
+                        for key, rhs in bindings:
+                            seq += 1
+                            stats.rows_emitted += 1
+                            self._reserve_slot()
+                            columnar.append(key, rhs, element, seq)
+                        self._seq = seq
+                    else:
+                        group = table.table
+                        for key, rhs in bindings:
+                            self._seq += 1
+                            stats.rows_emitted += 1
+                            if pool is not None:
+                                key_bytes = canonical_key_bytes(
+                                    key, pool=pool, scratch=scratch)
+                            else:
+                                key_bytes = canonical_key_bytes(key)
+                            agg = group.get(key_bytes)
+                            if agg is None:
+                                self._reserve_slot()
+                                group[key_bytes] = [
+                                    key, (shard, self._seq), rhs,
+                                    element, None, None, None]
+                            elif agg[4] is None and rhs != agg[2]:
+                                agg[4] = (shard, self._seq)
+                                agg[5] = rhs
+                                agg[6] = element
+            if has_nested:
+                # Nested anchors never relate bindings across top-level
+                # elements, so the batch walk over a one-element tuple —
+                # with the persistent run carrying base-set numbering
+                # across elements — reproduces the in-memory witnesses.
+                walk(root, (element,), nested_run)
+            self._elements_seen += 1
+            stats.elements_seen += 1
         return self._exhausted is None
 
     def _emit_element(self, relation: str, element) -> None:
@@ -417,6 +817,10 @@ class StreamValidator:
         self._seq += 1
         seq = (self._shard_index, self._seq)
         self.stats.rows_emitted += 1
+        if table.columnar is not None:
+            self._reserve_slot()
+            table.columnar.append(key, rhs, element, self._seq)
+            return
         key_bytes = canonical_key_bytes(key)
         agg = table.table.get(key_bytes)
         if agg is None:
@@ -429,8 +833,9 @@ class StreamValidator:
             agg[6] = element
 
     def _reserve_slot(self) -> None:
-        """Account for one new resident aggregate, spilling first if the
-        budget is already full — residency never exceeds the cap."""
+        """Account for one new resident group-table entry, spilling
+        first if the budget is already full — residency never exceeds
+        the cap."""
         if self._max_rows is not None and self._resident >= self._max_rows:
             self._spill_all()
         self._resident += 1
@@ -445,37 +850,167 @@ class StreamValidator:
             self._own_spill_dir = True
         return self._spill_dir
 
+    def _element_store(self) -> _ElementStore:
+        if self._elem_store is None:
+            handle = tempfile.NamedTemporaryFile(
+                dir=self._spill_path(), prefix="elems-", suffix=".dat",
+                delete=False)
+            handle.close()
+            self._elem_store = _ElementStore(handle.name)
+        return self._elem_store
+
     def _spill_all(self) -> None:
         spilled = False
         for tables in self._root_tables.values():
             for table in tables:
-                if table.table:
+                if table.table or (table.columnar is not None
+                                   and table.columnar.rows):
                     self._spill_table(table)
                     spilled = True
         if spilled:
             self.stats.spills += 1
+            if self._elem_store is not None:
+                # id-memo validity ends with the spill event: the
+                # tables just cleared drop their element references
+                self._elem_store.end_event()
         self._resident = 0
 
-    def _spill_table(self, table: _GroupTable) -> None:
+    def _encode_key(self, key: tuple) -> bytes:
+        if self._pool is not None:
+            return canonical_key_bytes(key, pool=self._pool,
+                                       scratch=self._scratch)
+        return canonical_key_bytes(key)
+
+    def _consolidate_columnar(self, table: _GroupTable) \
+            -> list[tuple[bytes, list]]:
+        """Group one columnar buffer into ``(key_bytes, aggregate)``
+        pairs sorted by key bytes, emptying the buffer.
+
+        Grouping sorts rows by interned key ids (equal ids iff equal
+        values) with the emission sequence least significant, so the
+        first row of each group is its earliest binding and the
+        earliest RHS mismatch within the group is the exact clash the
+        dict backend folds incrementally.
+        """
+        buf = table.columnar
+        rows = buf.rows
+        if not rows:
+            return []
+        np = _load_numpy(required=True)
+        k = buf.arity
+        arr = np.array(rows, dtype=np.int64)
+        total = len(rows)
+        sort_keys = [arr[:, k + 2]]
+        sort_keys.extend(arr[:, column] for column in range(k - 1, -1, -1))
+        order = np.lexsort(tuple(sort_keys))
+        srt = arr[order]
+        if total > 1:
+            change = np.any(srt[1:, :k] != srt[:-1, :k], axis=1)
+            starts = np.flatnonzero(np.concatenate(([True], change)))
+        else:
+            starts = np.zeros(1, dtype=np.int64)
+        ends = np.append(starts[1:], total)
+        rhs_col = srt[:, k]
+        first_rhs = np.repeat(rhs_col[starts], ends - starts)
+        mismatch = np.where(rhs_col != first_rhs,
+                            np.arange(total), total)
+        clash_at = np.minimum.reduceat(mismatch, starts)
+        values = buf.values
+        elems = buf.elems
+        shard = self._shard_index
+        out: list[tuple[bytes, list]] = []
+        for group in range(len(starts)):
+            first = srt[int(starts[group])]
+            key = tuple(values[int(first[column])] for column in range(k))
+            agg = [key, (shard, int(first[k + 2])),
+                   values[int(first[k])], elems[int(first[k + 1])],
+                   None, None, None]
+            clash = int(clash_at[group])
+            if clash < int(ends[group]):
+                row = srt[clash]
+                agg[4] = (shard, int(row[k + 2]))
+                agg[5] = values[int(row[k])]
+                agg[6] = elems[int(row[k + 1])]
+            out.append((self._encode_key(key), agg))
+        out.sort(key=lambda item: item[0])
+        buf.clear()
+        return out
+
+    def _resident_items(self, table: _GroupTable) \
+            -> list[tuple[bytes, list]]:
+        """One table's resident aggregates as a key-sorted pair list,
+        consolidating (and emptying) any columnar buffer."""
+        mem = sorted(table.table.items()) if table.table else []
+        columnar: list[tuple[bytes, list]] = []
+        if table.columnar is not None:
+            columnar = self._consolidate_columnar(table)
+        if not columnar:
+            return mem
+        if not mem:
+            return columnar
+        merged: list[tuple[bytes, list]] = []
+        for key_bytes, agg in heapq.merge(mem, columnar,
+                                          key=lambda item: item[0]):
+            if merged and merged[-1][0] == key_bytes:
+                merged[-1] = (key_bytes,
+                              _merge_agg(merged[-1][1], agg))
+            else:
+                merged.append((key_bytes, agg))
+        return merged
+
+    def _write_run(self, items: Iterable[tuple[bytes, list]],
+                   prefix: str) -> tuple[str, int]:
+        """Write a sorted aggregate stream as one chunked-pickle run
+        file; returns ``(path, pair count)``.  A partially written file
+        is unlinked before the error propagates."""
         handle = tempfile.NamedTemporaryFile(
-            dir=self._spill_path(), prefix="run-", suffix=".pkl",
+            dir=self._spill_path(), prefix=prefix, suffix=".pkl",
             delete=False)
-        with handle:
-            for item in sorted(table.table.items()):
-                pickle.dump(item, handle, pickle.HIGHEST_PROTOCOL)
-        table.runs.append(handle.name)
-        self.stats.rows_spilled += len(table.table)
+        chunk_size = self.tuning.spill_chunk
+        store = None
+        if self.tuning.spill_codec == "plain":
+            store = self._element_store()
+        count = 0
+        try:
+            with handle:
+                chunk: list = []
+                for item in items:
+                    if store is not None:
+                        item = (item[0], _freeze_agg(item[1], store))
+                    chunk.append(item)
+                    count += 1
+                    if len(chunk) >= chunk_size:
+                        pickle.dump(chunk, handle,
+                                    pickle.HIGHEST_PROTOCOL)
+                        chunk = []
+                if chunk:
+                    pickle.dump(chunk, handle, pickle.HIGHEST_PROTOCOL)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return handle.name, count
+
+    def _spill_table(self, table: _GroupTable) -> None:
+        path, count = self._write_run(self._resident_items(table),
+                                      prefix="run-")
+        table.runs.append(path)
+        self.stats.rows_spilled += count
         self.stats.runs_written += 1
-        self.stats.bytes_spilled += os.path.getsize(handle.name)
+        self.stats.bytes_spilled += os.path.getsize(path)
         table.table.clear()
 
     def _merged_rows(self, table: _GroupTable) \
             -> Iterator[tuple[bytes, list]]:
         """All of one table's aggregates, merged across the resident
-        dict and every spilled run, in canonical key order."""
-        sources = [_iter_run_file(path) for path in table.runs]
-        if table.table:
-            sources.append(iter(sorted(table.table.items())))
+        state and every spilled run, in canonical key order."""
+        thaw = self.tuning.spill_codec == "plain"
+        sources = [_iter_run_file(path, thaw) for path in table.runs]
+        resident = self._resident_items(table)
+        if resident:
+            sources.append(iter(resident))
         self.stats.runs_merged += len(table.runs)
         current_key: bytes | None = None
         current: list | None = None
@@ -493,6 +1028,31 @@ class StreamValidator:
             yield current_key, current
 
     # -- finishing --------------------------------------------------------
+
+    def _load_element(self, ref):
+        """Materialize a witness element, resolving a sidecar ref via a
+        point read; live elements pass through."""
+        if type(ref) is not tuple:
+            return ref
+        _, path, offset = ref
+        handle = self._read_handles.get(path)
+        if handle is None:
+            if self._elem_store is not None \
+                    and self._elem_store.path == path:
+                self._elem_store.end_event()
+            handle = open(path, "rb")
+            self._read_handles[path] = handle
+        handle.seek(offset)
+        return thaw_value(pickle.load(handle))
+
+    def _sync_pool_stats(self) -> None:
+        pool = self._pool
+        if pool is None:
+            return
+        self.stats.intern_hits += pool.hits - self._synced_hits
+        self.stats.intern_misses += pool.misses - self._synced_misses
+        self._synced_hits = pool.hits
+        self._synced_misses = pool.misses
 
     def finalize(self, *, nested=None,
                  completed_shards: tuple[int, ...] | None = None,
@@ -512,7 +1072,9 @@ class StreamValidator:
                 for _, agg in self._merged_rows(table):
                     if agg[4] is not None:
                         witnesses.append((agg[4], Violation(
-                            table.plan.nfd, 0, agg[3], agg[6],
+                            table.plan.nfd, 0,
+                            self._load_element(agg[3]),
+                            self._load_element(agg[6]),
                             agg[0], agg[2], agg[5])))
                 if witnesses:
                     # clash sequences reproduce in-plan discovery order
@@ -528,6 +1090,7 @@ class StreamValidator:
             per_plan.setdefault(index, []).append(violation)
         violations = tuple(chain.from_iterable(
             per_plan[index] for index in sorted(per_plan)))
+        self._sync_pool_stats()
         self.stats.wall_time += time.perf_counter() - start
         if exhausted is None:
             exhausted = self._exhausted
@@ -541,7 +1104,10 @@ class StreamValidator:
 
     def cleanup(self) -> None:
         """Remove every spilled run (and the spill directory when this
-        engine created it).  Safe to call more than once."""
+        engine created it).  Safe to call more than once; all abnormal
+        exit paths — context-manager ``__exit__``, the ``finally``
+        blocks of the entry points, and failing shard workers — route
+        through here."""
         for tables in self._root_tables.values():
             for table in tables:
                 for path in table.runs:
@@ -550,6 +1116,25 @@ class StreamValidator:
                     except OSError:
                         pass
                 table.runs.clear()
+        for handle in self._read_handles.values():
+            try:
+                handle.close()
+            except OSError:
+                pass
+        self._read_handles.clear()
+        if self._elem_store is not None:
+            self._elem_store.close()
+            try:
+                os.unlink(self._elem_store.path)
+            except OSError:
+                pass
+            self._elem_store = None
+        for path in self._foreign_stores:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._foreign_stores.clear()
         if self._own_spill_dir and self._spill_dir is not None:
             shutil.rmtree(self._spill_dir, ignore_errors=True)
             self._spill_dir = None
@@ -568,32 +1153,43 @@ class StreamValidator:
         violation)`` triples with per-anchor base-set counts so the
         driver can renumber base indices across shards.
         """
+        self._sync_pool_stats()
+        freeze = self.tuning.spill_codec == "plain"
         tables_out: dict[str, list] = {}
         for relation, tables in self._root_tables.items():
             specs = []
             for table in tables:
                 if not table.runs:
-                    specs.append(("mem", sorted(table.table.items())))
+                    items = self._resident_items(table)
+                    if freeze:
+                        # frozen aggregates cross the process boundary
+                        # as plain data too — same saving as run files
+                        # (elements stay inline: nothing was spilled,
+                        # so there is no sidecar to point into)
+                        items = [(key_bytes, _freeze_agg(agg, None))
+                                 for key_bytes, agg in items]
+                    specs.append(("mem", items))
                 else:
-                    handle = tempfile.NamedTemporaryFile(
-                        dir=self._spill_path(), prefix="summary-",
-                        suffix=".pkl", delete=False)
-                    count = 0
-                    with handle:
-                        for item in self._merged_rows(table):
-                            pickle.dump(item, handle,
-                                        pickle.HIGHEST_PROTOCOL)
-                            count += 1
-                    for path in table.runs:
+                    path, count = self._write_run(
+                        self._merged_rows(table), prefix="summary-")
+                    for run_path in table.runs:
                         try:
-                            os.unlink(path)
+                            os.unlink(run_path)
                         except OSError:
                             pass
                     table.runs.clear()
-                    specs.append(("file", handle.name, count))
+                    specs.append(("file", path, count))
                 table.table.clear()
             tables_out[relation] = specs
         self._resident = 0
+        store_path = None
+        if self._elem_store is not None:
+            # the driver resolves this worker's refs (and deletes the
+            # store) after the final merge
+            self._elem_store.end_event()
+            self._elem_store.close()
+            store_path = self._elem_store.path
+            self._elem_store = None
         anchors = {}
         for relation, root in self.engine._relations.items():
             for node in _iter_scopes(root):
@@ -609,6 +1205,7 @@ class StreamValidator:
             "tables": tables_out,
             "nested": list(self._nested_run.violations),
             "anchor_counts": counts,
+            "element_store": store_path,
             "stats": self.stats.as_dict(),
             "exhausted": self._exhausted,
             "elements_seen": self._elements_seen,
@@ -623,13 +1220,20 @@ class StreamValidator:
         consumed and deleted.
         """
         start = time.perf_counter()
+        thaw = self.tuning.spill_codec == "plain"
+        store_path = summary.get("element_store")
+        if store_path is not None:
+            self._foreign_stores.append(store_path)
         for relation, specs in summary["tables"].items():
             tables = self._root_tables.get(relation, ())
             for table, spec in zip(tables, specs):
                 if spec[0] == "mem":
                     items: Iterable = spec[1]
+                    if thaw:
+                        items = ((key_bytes, _thaw_agg(agg))
+                                 for key_bytes, agg in items)
                 else:
-                    items = _iter_run_file(spec[1])
+                    items = _iter_run_file(spec[1], thaw)
                 for key_bytes, agg in items:
                     existing = table.table.get(key_bytes)
                     if existing is not None:
@@ -647,6 +1251,20 @@ class StreamValidator:
         self.stats.wall_time += time.perf_counter() - start
 
 
+def _plan_is_atomic(element_type, plan) -> bool:
+    """Is every LHS/RHS leaf path of *plan* atomic-typed at its root
+    anchor?  Only such plans are eligible for the columnar backend —
+    their interned key/RHS ids stay small and dense."""
+    for path in plan.nfd.all_paths:
+        try:
+            leaf = type_at(element_type, path)
+        except PathError:
+            return False
+        if not isinstance(leaf, BaseType):
+            return False
+    return True
+
+
 def _iter_scopes(node) -> Iterator:
     yield node
     for child in node.children.values():
@@ -660,7 +1278,8 @@ def stream_validate(schema: Schema, sigma: Iterable[NFD],
                     sources: Mapping[str, Iterable], *,
                     budget: ResourceBudget | None = None,
                     spill_dir: str | None = None,
-                    tracer=None) -> StreamResult:
+                    tracer=None,
+                    tuning: StreamTuning | None = None) -> StreamResult:
     """Validate Σ against streamed relations in one engine.
 
     *sources* maps relation names to element iterables (a JSONL reader,
@@ -669,10 +1288,12 @@ def stream_validate(schema: Schema, sigma: Iterable[NFD],
     sources for unconstrained relations are ignored.  Relations are
     consumed in Σ first-mention order — the order the batch engine
     walks them — so witnesses come back in the batch engine's order.
+    *tuning* selects the hot-path switches (default: all on).
     """
     sigma = tuple(sigma)
     validator = StreamValidator(schema, sigma, budget=budget,
-                                spill_dir=spill_dir, tracer=tracer)
+                                spill_dir=spill_dir, tracer=tracer,
+                                tuning=tuning)
     try:
         constrained = list(validator.engine._relations)
         missing = [name for name in constrained if name not in sources]
@@ -717,7 +1338,8 @@ def shard_validate(schema: Schema, sigma: Iterable[NFD], relation: str,
                    shards: Iterable, *, jobs: int = 1,
                    budget: ResourceBudget | None = None,
                    spill_dir: str | None = None,
-                   tracer=None) -> StreamResult:
+                   tracer=None,
+                   tuning: StreamTuning | None = None) -> StreamResult:
     """Validate Σ against one relation split into element shards.
 
     Each shard — a ``plan_shards`` range over a JSONL file, or an
@@ -734,6 +1356,11 @@ def shard_validate(schema: Schema, sigma: Iterable[NFD], relation: str,
     epoch; each worker honours whatever remains of it when it starts.
     Returns a :class:`StreamResult` whose ``completed_shards`` lists
     the shard indices that fully consumed their input.
+
+    A worker whose stream raises removes its own spill runs before the
+    error propagates; the driver then removes every summary file it has
+    not yet consumed, so a failed sharded run leaves a caller-provided
+    *spill_dir* as it found it.
     """
     sigma = tuple(sigma)
     shard_specs = [_normalize_shard(spec) for spec in shards]
@@ -750,10 +1377,11 @@ def shard_validate(schema: Schema, sigma: Iterable[NFD], relation: str,
         schema, sigma,
         budget=(ResourceBudget(max_resident_rows=max_rows)
                 if max_rows is not None else None),
-        spill_dir=shared_dir, tracer=tracer, shard_index=-1)
+        spill_dir=shared_dir, tracer=tracer, shard_index=-1,
+        tuning=tuning)
     try:
         payload = (schema, list(sigma), relation, max_rows,
-                   max_elements, deadline_epoch, shared_dir)
+                   max_elements, deadline_epoch, shared_dir, tuning)
         tasks = list(enumerate(shard_specs))
         if tracer is None:
             return _drive_shards(driver, payload, tasks, jobs, None)
@@ -775,38 +1403,51 @@ def _drive_shards(driver: StreamValidator, payload, tasks, jobs: int,
 
     summaries = process_map(_shard_setup, payload, _shard_probe, tasks,
                             jobs, threshold=2)
-    offsets: dict[str, int] = {}
-    nested_triples = []
-    completed = []
-    exhausted = None
-    elements = 0
-    for index, summary in enumerate(summaries):
-        for plan_index, position, violation in summary["nested"]:
-            offset = offsets.get(
-                driver._plan_anchor_base[plan_index], 0)
-            if offset:
-                violation = Violation(
-                    violation.nfd, violation.base_index + offset,
-                    violation.element1, violation.element2,
-                    violation.lhs_values, violation.rhs_value1,
-                    violation.rhs_value2)
-            nested_triples.append(
-                (plan_index, (index, position), violation))
-        for base, count in summary["anchor_counts"].items():
-            offsets[base] = offsets.get(base, 0) + count
-        driver.absorb_summary(summary)
-        elements += summary["elements_seen"]
-        if summary["exhausted"] is None:
-            completed.append(index)
-        elif exhausted is None:
-            exhausted = summary["exhausted"]
-        if tracer is not None:
-            with tracer.span("stream.shard", shard=index) as span:
-                span.add("elements_seen",
-                         summary["stats"]["elements_seen"])
-                span.add("rows_emitted",
-                         summary["stats"]["rows_emitted"])
-                span.add("spills", summary["stats"]["spills"])
+    try:
+        offsets: dict[str, int] = {}
+        nested_triples = []
+        completed = []
+        exhausted = None
+        elements = 0
+        for index, summary in enumerate(summaries):
+            for plan_index, position, violation in summary["nested"]:
+                offset = offsets.get(
+                    driver._plan_anchor_base[plan_index], 0)
+                if offset:
+                    violation = Violation(
+                        violation.nfd, violation.base_index + offset,
+                        violation.element1, violation.element2,
+                        violation.lhs_values, violation.rhs_value1,
+                        violation.rhs_value2)
+                nested_triples.append(
+                    (plan_index, (index, position), violation))
+            for base, count in summary["anchor_counts"].items():
+                offsets[base] = offsets.get(base, 0) + count
+            driver.absorb_summary(summary)
+            elements += summary["elements_seen"]
+            if summary["exhausted"] is None:
+                completed.append(index)
+            elif exhausted is None:
+                exhausted = summary["exhausted"]
+            if tracer is not None:
+                with tracer.span("stream.shard", shard=index) as span:
+                    span.add("elements_seen",
+                             summary["stats"]["elements_seen"])
+                    span.add("rows_emitted",
+                             summary["stats"]["rows_emitted"])
+                    span.add("spills", summary["stats"]["spills"])
+    except BaseException:
+        # abnormal driver exit: drop every summary file not yet
+        # consumed so a caller-provided spill dir is left clean
+        for summary in summaries:
+            for specs in summary["tables"].values():
+                for spec in specs:
+                    if spec[0] == "file":
+                        try:
+                            os.unlink(spec[1])
+                        except OSError:
+                            pass
+        raise
     return driver.finalize(
         nested=nested_triples, completed_shards=tuple(completed),
         elements_seen=elements, exhausted=exhausted)
@@ -824,9 +1465,12 @@ def _shard_setup(payload):
 
 def _shard_probe(context, task):
     """Worker task: stream one shard through its own engine and return
-    the picklable summary digest."""
+    the picklable summary digest.  A stream that raises mid-shard
+    (e.g. a malformed JSONL line after the first spill) cleans this
+    worker's spill runs up before the error propagates to the driver.
+    """
     schema, sigma, relation, max_rows, max_elements, deadline_epoch, \
-        shared_dir = context
+        shared_dir, tuning = context
     index, spec = task
     deadline = None
     if deadline_epoch is not None:
@@ -838,15 +1482,20 @@ def _shard_probe(context, task):
                                 deadline=deadline,
                                 max_elements=max_elements)
     validator = StreamValidator(schema, sigma, budget=budget,
-                                spill_dir=shared_dir, shard_index=index)
-    if spec[0] == "rows":
-        elements: Iterable = spec[1]
-    else:
-        from ..io.stream import iter_jsonl_elements
+                                spill_dir=shared_dir, shard_index=index,
+                                tuning=tuning)
+    try:
+        if spec[0] == "rows":
+            elements: Iterable = spec[1]
+        else:
+            from ..io.stream import iter_jsonl_elements
 
-        _, path, start, stop = spec
-        elements = iter_jsonl_elements(path, schema, relation,
-                                       start=start, stop=stop,
-                                       require_elements=False)
-    validator.consume(relation, elements)
-    return validator.summarize()
+            _, path, start, stop = spec
+            elements = iter_jsonl_elements(path, schema, relation,
+                                           start=start, stop=stop,
+                                           require_elements=False)
+        validator.consume(relation, elements)
+        return validator.summarize()
+    except BaseException:
+        validator.cleanup()
+        raise

@@ -27,7 +27,8 @@ passing ``tracer=None`` (the default) executes the exact pre-obs code
 path behind a single ``is None`` check.
 """
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      compare_snapshots)
 from .report import RunReport, supports_metrics
 from .tracer import Span, Tracer
 
@@ -40,4 +41,5 @@ __all__ = [
     "Histogram",
     "RunReport",
     "supports_metrics",
+    "compare_snapshots",
 ]

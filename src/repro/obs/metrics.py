@@ -30,7 +30,8 @@ import json
 from bisect import bisect_left
 from typing import Iterable
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "compare_snapshots"]
 
 #: Default histogram bucket edges (generic work-count scale).
 DEFAULT_EDGES = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
@@ -219,3 +220,49 @@ class MetricsRegistry:
         return (f"MetricsRegistry({len(self._counters)} counter(s), "
                 f"{len(self._gauges)} gauge(s), "
                 f"{len(self._histograms)} histogram(s))")
+
+
+# ------------------------------------------------------ snapshot compare
+
+def compare_snapshots(current, baseline, tolerance: float = 0.2,
+                      suffix: str = "_per_sec") -> list[str]:
+    """Compare two registry snapshots' throughput gauges.
+
+    Both arguments may be a :class:`MetricsRegistry` or its
+    :meth:`~MetricsRegistry.as_dict` form (e.g. a parsed
+    ``--metrics-json`` file).  Every gauge in *baseline* whose name
+    ends with *suffix* is treated as a higher-is-better rate; the
+    current run regresses on it when its value falls more than
+    *tolerance* (a fraction, default 20%) below the baseline, or when
+    the gauge vanished from the current run entirely (a gate that
+    stopped reporting is a regression, not a pass).
+
+    Returns one human-readable message per regression; an empty list
+    means the current run held the line.
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    current_data = current.as_dict() \
+        if isinstance(current, MetricsRegistry) else current
+    baseline_data = baseline.as_dict() \
+        if isinstance(baseline, MetricsRegistry) else baseline
+    current_gauges = current_data.get("gauges", {})
+    regressions = []
+    for name in sorted(baseline_data.get("gauges", {})):
+        if not name.endswith(suffix):
+            continue
+        base = baseline_data["gauges"][name]
+        if base <= 0:
+            continue
+        now = current_gauges.get(name)
+        if now is None:
+            regressions.append(f"{name}: missing from current run "
+                               f"(baseline {base:g})")
+            continue
+        floor = base * (1.0 - tolerance)
+        if now < floor:
+            drop = 100.0 * (1.0 - now / base)
+            regressions.append(
+                f"{name}: {now:g} is {drop:.1f}% below baseline "
+                f"{base:g} (tolerance {100.0 * tolerance:.0f}%)")
+    return regressions

@@ -1,7 +1,8 @@
 """Values, instances, and operations on them."""
 
 from .build import Instance, from_python, to_python
-from .canonical import canonical_bytes, canonical_key_bytes
+from .canonical import (InternPool, canonical_bytes,
+                        canonical_key_bytes)
 from .inspect import (
     atom_domain,
     empty_set_positions,
@@ -23,7 +24,8 @@ from .typecheck import (
     conforms,
     instance_conforms,
 )
-from .value import EMPTY_SET, Atom, Record, SetValue, Value
+from .value import (EMPTY_SET, Atom, Record, SetValue, Value,
+                    freeze_value, thaw_value)
 
 __all__ = [
     "Value",
@@ -36,6 +38,9 @@ __all__ = [
     "to_python",
     "canonical_bytes",
     "canonical_key_bytes",
+    "InternPool",
+    "freeze_value",
+    "thaw_value",
     "check_value",
     "conforms",
     "check_instance",

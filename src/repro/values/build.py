@@ -25,7 +25,7 @@ __all__ = ["from_python", "to_python", "Instance"]
 def from_python(data: Any, value_type: Type | None = None) -> Value:
     """Lift plain Python data into a :class:`Value`.
 
-    * scalars (int/str/bool) become :class:`Atom`;
+    * scalars (int/str/bool/float) become :class:`Atom`;
     * dicts become :class:`Record`;
     * lists/tuples/sets/frozensets become :class:`SetValue`;
     * existing :class:`Value` objects pass through unchanged.
@@ -36,8 +36,7 @@ def from_python(data: Any, value_type: Type | None = None) -> Value:
     """
     if isinstance(data, Value):
         return data
-    if isinstance(data, bool) or isinstance(data, int) or \
-            isinstance(data, str):
+    if isinstance(data, (bool, int, str, float)):
         if value_type is not None and not isinstance(value_type, BaseType):
             raise ValueError_(
                 f"expected a value of type {value_type}, got the scalar "

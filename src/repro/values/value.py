@@ -7,7 +7,7 @@ of sets and sets can be compared for equality with genuine set semantics
 
 The three constructors mirror the type constructors:
 
-* :class:`Atom` wraps a Python ``int``, ``str``, or ``bool``;
+* :class:`Atom` wraps a Python ``int``, ``str``, ``bool``, or ``float``;
 * :class:`Record` maps labels to values;
 * :class:`SetValue` is a finite (possibly empty) set of values.
 
@@ -27,13 +27,15 @@ re-sort it.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from collections.abc import Mapping
+from typing import Iterable, Iterator
 
 from ..errors import ValueError_
 
-__all__ = ["Value", "Atom", "Record", "SetValue", "EMPTY_SET"]
+__all__ = ["Value", "Atom", "Record", "SetValue", "EMPTY_SET",
+           "freeze_value", "thaw_value"]
 
-_ATOM_TYPES = (int, str, bool)
+_ATOM_TYPES = (int, str, bool, float)
 
 
 class Value:
@@ -59,8 +61,14 @@ class Atom(Value):
     def __init__(self, value):
         if not isinstance(value, _ATOM_TYPES):
             raise ValueError_(
-                f"atoms wrap int, str, or bool, not {type(value).__name__}"
+                f"atoms wrap int, str, bool, or float, not "
+                f"{type(value).__name__}"
             )
+        if isinstance(value, float) and value != value:
+            # NaN breaks reflexivity of __eq__, and with it set
+            # membership and the hash/equality contract.
+            raise ValueError_("atoms cannot wrap NaN (NaN != NaN would "
+                              "break value equality)")
         object.__setattr__(self, "value", value)
         object.__setattr__(
             self, "_hash",
@@ -77,9 +85,13 @@ class Atom(Value):
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Atom):
             return False
-        # bool is a subclass of int in Python; keep True != 1 to avoid
-        # surprising cross-type equalities in instances.
+        # bool is a subclass of int in Python, and int == float across
+        # types; keep True != 1 != 1.0 to avoid surprising cross-type
+        # equalities in instances (the cached hash already separates the
+        # three, so equality must too).
         if isinstance(self.value, bool) != isinstance(other.value, bool):
+            return False
+        if isinstance(self.value, float) != isinstance(other.value, float):
             return False
         return self.value == other.value
 
@@ -220,7 +232,13 @@ class SetValue(Value):
         # engines iterate the same sets many times.
         ordered = self._sorted
         if ordered is None:
-            ordered = tuple(sorted(self.elements, key=repr))
+            if len(self.elements) == 1:
+                # Singleton sets need no repr (a full-subtree render) to
+                # have a deterministic order; the streaming validator
+                # walks one of these per nested-anchored element.
+                ordered = tuple(self.elements)
+            else:
+                ordered = tuple(sorted(self.elements, key=repr))
             object.__setattr__(self, "_sorted", ordered)
         return iter(ordered)
 
@@ -275,3 +293,64 @@ class SetValue(Value):
 
 #: The empty set value.
 EMPTY_SET = SetValue(())
+
+
+# ------------------------------------------------------- fast round-trip
+#
+# freeze_value/thaw_value are a lossless plain-data round-trip for value
+# trees that were *already validated at construction*.  Pickling a Value
+# goes through __reduce__ and hence back through the validating
+# constructors — per-field label checks plus abstract-class isinstance
+# probes on every node — which dominates reload time when the streaming
+# validator re-reads millions of spilled aggregates.  The frozen form is
+# built from scalars and tuples only (fast native pickling, no per-node
+# __reduce__ dispatch) and thawing rebuilds each node with
+# ``object.__new__`` plus direct slot stores, recomputing the structural
+# hash in-process (hashes are salted per process and must never travel).
+#
+# Tags cannot collide with payloads: a frozen Atom is its bare scalar
+# (never a tuple), records and sets are tagged tuples, and None — which
+# aggregate slots use for "no clash yet" — passes through.
+
+
+def freeze_value(value):
+    """The plain-data form of *value* (or None), for fast pickling."""
+    if value is None:
+        return None
+    kind = type(value)
+    if kind is Atom:
+        return value.value
+    if kind is Record:
+        return ("R", tuple((label, freeze_value(sub))
+                           for label, sub in value.fields))
+    if kind is SetValue:
+        return ("S", tuple(freeze_value(element)
+                           for element in value.elements))
+    raise ValueError_(f"cannot freeze {type(value).__name__}")
+
+
+def thaw_value(data):
+    """Rebuild the value tree frozen by :func:`freeze_value`."""
+    if data is None:
+        return None
+    if type(data) is not tuple:
+        atom = object.__new__(Atom)
+        object.__setattr__(atom, "value", data)
+        object.__setattr__(
+            atom, "_hash", hash(("Atom", type(data).__name__, data)))
+        return atom
+    tag, payload = data
+    if tag == "R":
+        pairs = tuple((label, thaw_value(sub)) for label, sub in payload)
+        record = object.__new__(Record)
+        object.__setattr__(record, "fields", pairs)
+        object.__setattr__(record, "_by_label", dict(pairs))
+        object.__setattr__(
+            record, "_hash", hash(("Record", frozenset(pairs))))
+        return record
+    frozen = frozenset(thaw_value(element) for element in payload)
+    set_value = object.__new__(SetValue)
+    object.__setattr__(set_value, "elements", frozen)
+    object.__setattr__(set_value, "_hash", hash(("SetValue", frozen)))
+    object.__setattr__(set_value, "_sorted", None)
+    return set_value

@@ -388,3 +388,64 @@ class TestJobsFlag:
         captured = capsys.readouterr()
         assert "session stats" not in captured.err
         assert "cache stats unavailable" in captured.err
+
+
+@pytest.fixture
+def course_jsonl(tmp_path):
+    from repro.io.stream import dump_jsonl, iter_set_elements
+    path = tmp_path / "course.jsonl"
+    dump_jsonl(path, iter_set_elements(
+        workloads.course_instance().relation("Course")))
+    return str(path)
+
+
+class TestCheckStreamDegenerate:
+    """``check --stream`` edge cases: bad shard counts, empty dumps,
+    over-sharding, and an already-expired deadline all end cleanly —
+    a typed message on stderr and exit 2, or a normal verdict — never
+    a traceback or a silent success."""
+
+    def test_shards_zero_is_an_error(self, course_bundle, course_jsonl,
+                                     capsys):
+        assert main(["check", course_bundle, "--stream", course_jsonl,
+                     "--shards", "0"]) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_shards_negative_is_an_error(self, course_bundle,
+                                         course_jsonl, capsys):
+        assert main(["check", course_bundle, "--stream", course_jsonl,
+                     "--shards", "-3"]) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_empty_jsonl_is_a_typed_error(self, course_bundle, tmp_path,
+                                          capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["check", course_bundle, "--stream", str(empty),
+                     "--shards", "2"]) == 2
+        assert "empty stream" in capsys.readouterr().err
+
+    def test_more_shards_than_lines_is_fine(self, course_bundle,
+                                            course_jsonl, capsys):
+        # empty shards are legal; the verdict matches the serial scan
+        assert main(["check", course_bundle, "--stream", course_jsonl,
+                     "--shards", "50"]) == 0
+        assert "satisfies all" in capsys.readouterr().out
+
+    def test_zero_deadline_means_already_exhausted(self, course_bundle,
+                                                   course_jsonl, capsys):
+        # deadline=0 is an expired budget, not "no deadline": the
+        # verdict is unknown, so the exit code is 2, not 0
+        assert main(["check", course_bundle, "--stream", course_jsonl,
+                     "--deadline", "0"]) == 2
+        captured = capsys.readouterr()
+        assert "budget exhausted (deadline)" in captured.err
+        assert "satisfies all" not in captured.out
+
+    def test_backend_choices_agree(self, course_bundle, course_jsonl,
+                                   capsys):
+        for backend in ("dict", "numpy", "auto"):
+            assert main(["check", course_bundle, "--stream",
+                         course_jsonl, "--backend", backend]) == 0, \
+                backend
+            assert "satisfies all" in capsys.readouterr().out

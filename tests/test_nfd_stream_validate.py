@@ -283,3 +283,143 @@ class TestCanonicalBytes:
         left = canonical_key_bytes((Atom("ab"), Atom("c")))
         right = canonical_key_bytes((Atom("a"), Atom("bc")))
         assert left != right
+
+
+class TestCleanup:
+    """Spill hygiene: every exit path — normal finalize, a mid-stream
+    :class:`~repro.errors.StreamError`, or leaving a ``with`` block via
+    an exception — must leave no run files, no element-store sidecar,
+    and no owned spill directory behind."""
+
+    def _spilling_jsonl(self, tmp_path, course_instance, malformed):
+        from repro.io.stream import dump_jsonl
+        path = tmp_path / "course.jsonl"
+        dump_jsonl(path, iter_set_elements(
+            course_instance.relation("Course")))
+        if malformed:
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write("{not json\n")
+        return path
+
+    def test_spill_dir_emptied_after_stream_error(
+            self, tmp_path, course_schema, course_sigma,
+            course_instance):
+        """A malformed line arriving *after* the first spill must not
+        leak the runs (or the element sidecar) already on disk."""
+        from repro.errors import StreamError
+        from repro.io.stream import iter_jsonl_elements
+        from repro.nfd.stream_validate import ResourceBudget
+        path = self._spilling_jsonl(tmp_path, course_instance,
+                                    malformed=True)
+        spill = tmp_path / "spill"
+        spill.mkdir()
+        reader = iter_jsonl_elements(path, course_schema, "Course")
+        with pytest.raises(StreamError):
+            stream_validate(course_schema, course_sigma,
+                            {"Course": reader},
+                            budget=ResourceBudget(max_resident_rows=1),
+                            spill_dir=str(spill))
+        assert list(spill.iterdir()) == []  # caller's dir, emptied
+
+    def test_owned_spill_dir_removed_after_stream_error(
+            self, tmp_path, monkeypatch, course_schema, course_sigma,
+            course_instance):
+        """Without a caller-supplied dir the engine makes its own; an
+        abnormal exit must remove the directory itself."""
+        import os
+        import tempfile
+        from repro.errors import StreamError
+        from repro.io.stream import iter_jsonl_elements
+        from repro.nfd.stream_validate import ResourceBudget
+        created = []
+        real_mkdtemp = tempfile.mkdtemp
+
+        def recording_mkdtemp(*args, **kwargs):
+            path = real_mkdtemp(*args, **kwargs)
+            created.append(path)
+            return path
+
+        monkeypatch.setattr(tempfile, "mkdtemp", recording_mkdtemp)
+        path = self._spilling_jsonl(tmp_path, course_instance,
+                                    malformed=True)
+        reader = iter_jsonl_elements(path, course_schema, "Course")
+        with pytest.raises(StreamError):
+            stream_validate(course_schema, course_sigma,
+                            {"Course": reader},
+                            budget=ResourceBudget(max_resident_rows=1))
+        assert created, "the engine never made its spill dir"
+        for dir_path in created:
+            assert not os.path.exists(dir_path)
+
+    def test_context_manager_cleans_up_on_exception(
+            self, tmp_path, course_schema, course_sigma,
+            course_instance):
+        from repro.nfd import StreamValidator
+        spill = tmp_path / "spill"
+        spill.mkdir()
+        with pytest.raises(RuntimeError):
+            with StreamValidator(
+                    course_schema, course_sigma,
+                    budget=ResourceBudget(max_resident_rows=1),
+                    spill_dir=str(spill)) as validator:
+                validator.consume("Course", iter_set_elements(
+                    course_instance.relation("Course")))
+                assert validator.stats.spills >= 1
+                assert list(spill.iterdir())  # runs are on disk now
+                raise RuntimeError("abandon mid-validation")
+        assert list(spill.iterdir()) == []
+
+    def test_context_manager_returns_validator(self, course_schema,
+                                               course_sigma):
+        from repro.nfd import StreamValidator
+        with StreamValidator(course_schema, course_sigma) as validator:
+            assert validator.stats.elements_seen == 0
+
+
+class TestElementStore:
+    """The witness sidecar: elements spill once, refs are stable, and
+    point reads thaw the exact element back."""
+
+    def test_refs_round_trip(self, tmp_path):
+        import pickle
+        from repro.nfd.stream_validate import _ElementStore
+        from repro.values import thaw_value
+        store = _ElementStore(str(tmp_path / "elems.dat"))
+        element = Record([("A", Atom(1)),
+                          ("B", SetValue([Atom("x"), Atom("y")]))])
+        ref = store.put(element)
+        assert ref[0] == "@" and ref[1] == store.path
+        again = store.put(element)   # same event: memoized, same ref
+        assert again == ref
+        store.end_event()
+        store.close()
+        with open(ref[1], "rb") as handle:
+            handle.seek(ref[2])
+            assert thaw_value(pickle.load(handle)) == element
+
+    def test_memo_resets_between_events(self, tmp_path):
+        from repro.nfd.stream_validate import _ElementStore
+        store = _ElementStore(str(tmp_path / "elems.dat"))
+        element = Record([("A", Atom(7))])
+        first = store.put(element)
+        store.end_event()
+        second = store.put(element)  # new event: a fresh write
+        store.close()
+        assert first != second
+
+    def test_violating_witnesses_survive_the_sidecar(
+            self, tmp_path, course_schema, course_sigma,
+            conflicted_course):
+        """End to end: with a 1-row budget every aggregate spills, so
+        the witnesses the result carries were read back through refs —
+        and must still equal the in-memory engine's."""
+        reference = ValidatorEngine(course_schema, course_sigma) \
+            .validate(conflicted_course, all_violations=True)
+        result = stream_validate(
+            course_schema, course_sigma, _sources(conflicted_course),
+            budget=ResourceBudget(max_resident_rows=1))
+        assert result.stats.spills >= 1
+        assert _describe(result.violations) == \
+            _describe(reference.violations)
+        for violation in result.violations:
+            assert violation.element1.is_record()

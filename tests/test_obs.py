@@ -384,3 +384,63 @@ class TestRunReport:
         assert set(payload["sections"]) == \
             {"closure", "session", "validator"}
         assert payload["sections"]["session"]["queries"] == 1
+
+
+class TestCompareSnapshots:
+    """compare_snapshots: the perf-trajectory guardrail behind the
+    benchmark suite's ``--compare BASELINE.json`` mode."""
+
+    def _registry(self, **gauges):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        for name, value in gauges.items():
+            registry.gauge(name.replace("__", ".")).set(value)
+        return registry
+
+    def test_holding_the_line_passes(self):
+        from repro.obs import compare_snapshots
+        baseline = self._registry(**{"stream.elements_per_sec": 1000})
+        current = self._registry(**{"stream.elements_per_sec": 900})
+        assert compare_snapshots(current, baseline) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        from repro.obs import compare_snapshots
+        baseline = self._registry(**{"stream.elements_per_sec": 1000})
+        current = self._registry(**{"stream.elements_per_sec": 700})
+        messages = compare_snapshots(current, baseline, tolerance=0.2)
+        assert len(messages) == 1
+        assert "stream.elements_per_sec" in messages[0]
+        assert "30.0%" in messages[0]
+
+    def test_missing_gauge_is_a_regression(self):
+        from repro.obs import compare_snapshots
+        baseline = self._registry(**{"stream.elements_per_sec": 1000})
+        current = self._registry()
+        messages = compare_snapshots(current, baseline)
+        assert messages and "missing" in messages[0]
+
+    def test_only_rate_gauges_are_compared(self):
+        from repro.obs import compare_snapshots
+        baseline = self._registry(**{"stream.spills": 9,
+                                     "stream.rows_spilled": 4500})
+        current = self._registry(**{"stream.spills": 90,
+                                    "stream.rows_spilled": 1})
+        assert compare_snapshots(current, baseline) == []
+
+    def test_accepts_plain_dicts(self):
+        from repro.obs import compare_snapshots
+        baseline = {"gauges": {"x_per_sec": 100.0}}
+        current = {"gauges": {"x_per_sec": 50.0}}
+        assert compare_snapshots(current, baseline)
+        assert compare_snapshots(current, baseline, tolerance=0.6) == []
+
+    def test_rejects_bad_tolerance(self):
+        from repro.obs import compare_snapshots
+        with pytest.raises(ValueError):
+            compare_snapshots({}, {}, tolerance=1.5)
+
+    def test_improvements_never_flag(self):
+        from repro.obs import compare_snapshots
+        baseline = self._registry(**{"stream.elements_per_sec": 1000})
+        current = self._registry(**{"stream.elements_per_sec": 5000})
+        assert compare_snapshots(current, baseline) == []

@@ -11,12 +11,17 @@ class TestAtom:
         assert Atom(5).value == 5
         assert Atom("x").value == "x"
         assert Atom(True).value is True
+        assert Atom(1.5).value == 1.5
 
     def test_rejects_other_types(self):
         with pytest.raises(ValueError_):
-            Atom(1.5)
-        with pytest.raises(ValueError_):
             Atom(None)
+        with pytest.raises(ValueError_):
+            Atom(b"bytes")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError_):
+            Atom(float("nan"))
 
     def test_equality(self):
         assert Atom(5) == Atom(5)
@@ -27,6 +32,18 @@ class TestAtom:
         # bool is an int subclass in Python; the model keeps them apart.
         assert Atom(True) != Atom(1)
         assert Atom(False) != Atom(0)
+
+    def test_float_distinct_from_int_and_bool(self):
+        # int == float across Python types; the model keeps them apart
+        # (the cached hash already separates them via the type name).
+        assert Atom(1.0) != Atom(1)
+        assert Atom(1.0) != Atom(True)
+        assert Atom(0.0) != Atom(False)
+
+    def test_signed_zero_floats_equal(self):
+        # within the float type, IEEE equality applies: 0.0 == -0.0
+        assert Atom(0.0) == Atom(-0.0)
+        assert hash(Atom(0.0)) == hash(Atom(-0.0))
 
     def test_hash_consistent(self):
         assert hash(Atom(5)) == hash(Atom(5))
@@ -176,3 +193,65 @@ class TestCachedHashes:
         assert Atom(True) != Atom(1)
         assert Atom("1") != Atom(1)
         assert hash(Atom(5)) == hash(Atom(5))
+
+
+class TestFreezeThaw:
+    """freeze_value/thaw_value: a lossless plain-data round-trip whose
+    thawed values are indistinguishable from constructor-built ones —
+    equal, equal-hashed, and usable as dict/set keys."""
+
+    def _round_trip(self, value):
+        from repro.values import freeze_value, thaw_value
+        import pickle
+        thawed = thaw_value(pickle.loads(pickle.dumps(
+            freeze_value(value))))
+        assert thawed == value
+        assert hash(thawed) == hash(value)
+        assert {thawed: 1}[value] == 1
+        return thawed
+
+    def test_atoms(self):
+        for raw in (5, "x", True, False, 1.5, 0.0, -3, 2**70):
+            self._round_trip(Atom(raw))
+            # thawed atoms keep the exact scalar type
+            from repro.values import freeze_value, thaw_value
+            assert type(thaw_value(freeze_value(Atom(raw))).value) \
+                is type(raw)
+
+    def test_nested(self):
+        value = Record([("A", Atom(1)),
+                        ("B", SetValue([Record([("C", Atom("x"))]),
+                                        Record([("C", Atom("y"))])])),
+                        ("D", EMPTY_SET)])
+        thawed = self._round_trip(value)
+        assert thawed.get("B").is_set()
+        assert len(thawed.get("B")) == 2
+
+    def test_none_passes_through(self):
+        from repro.values import freeze_value, thaw_value
+        assert freeze_value(None) is None
+        assert thaw_value(None) is None
+
+    def test_frozen_form_is_plain_data(self):
+        from repro.values import freeze_value
+        frozen = freeze_value(Record([("A", SetValue([Atom(1)]))]))
+        def plain(data):
+            if isinstance(data, tuple):
+                return all(plain(part) for part in data)
+            return isinstance(data, (int, float, str, bool))
+        assert plain(frozen)
+
+    def test_rejects_non_values(self):
+        from repro.values import freeze_value
+        with pytest.raises(ValueError_):
+            freeze_value(42)
+
+    def test_numeric_type_tags_survive(self):
+        # 1, 1.0, True freeze to distinct-typed scalars; thawing must
+        # not merge them (their hashes embed the type name)
+        from repro.values import freeze_value, thaw_value
+        thawed = [thaw_value(freeze_value(Atom(raw)))
+                  for raw in (1, 1.0, True)]
+        assert thawed[0] != thawed[1]
+        assert thawed[0] != thawed[2]
+        assert thawed[1] != thawed[2]
