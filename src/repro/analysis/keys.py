@@ -65,27 +65,39 @@ def is_key(engine, base: Path, candidate: Iterable[Path]) -> bool:
 
 def minimal_keys(schema: Schema, sigma: Iterable[NFD], relation: str,
                  engine=None, *, nonempty: NonEmptySpec | None = None,
-                 jobs: int = 1) -> list[frozenset[Path]]:
+                 jobs: int = 1,
+                 cache_dir: str | None = None) -> list[frozenset[Path]]:
     """All minimal keys of *relation* over its top-level attributes.
 
     Exponential in attribute count (key discovery is NP-hard in general);
     practical for the schema sizes of the paper's setting.  *nonempty*
     selects the gated (Section 3.2) semantics; *jobs* fans the sweep out
-    across processes.
+    across processes, and *cache_dir* (parallel sweeps only — a shared
+    *engine* carries its own store) lets each worker answer from the
+    persistent closure memo, opened read-only once per process.
     """
     return local_minimal_keys(schema, sigma, Path((relation,)), engine,
-                              nonempty=nonempty, jobs=jobs)
+                              nonempty=nonempty, jobs=jobs,
+                              cache_dir=cache_dir)
 
 
 def _keys_setup(payload):
-    """Worker initializer: rebuild the session from pickle-safe texts."""
+    """Worker initializer: rebuild the session from pickle-safe texts,
+    and pre-open the persistent cache store — read-only, once per
+    process — so every probe in this worker answers warm closure
+    queries from the memo instead of saturating."""
     from ..io.json_io import load_bundle
     from ..parallel import spec_from_payload
 
-    bundle_text, spec_data, base_text = payload
+    bundle_text, spec_data, base_text, cache_dir = payload
     schema, sigma, _ = load_bundle(bundle_text)
+    store = None
+    if cache_dir is not None:
+        from ..store.cache_store import CacheStore
+        store = CacheStore(cache_dir, read_only=True)
     session = ImplicationSession(schema, sigma,
-                                 spec_from_payload(spec_data))
+                                 spec_from_payload(spec_data),
+                                 store=store)
     return session, parse_path(base_text)
 
 
@@ -99,7 +111,9 @@ def _keys_probe(context, candidate_texts: tuple[str, ...]) -> bool:
 def local_minimal_keys(schema: Schema, sigma: Iterable[NFD], base: Path,
                        engine=None, *,
                        nonempty: NonEmptySpec | None = None,
-                       jobs: int = 1) -> list[frozenset[Path]]:
+                       jobs: int = 1,
+                       cache_dir: str | None = None) \
+        -> list[frozenset[Path]]:
     """Minimal keys at an arbitrary base path (local keys).
 
     For ``base = Course:students`` this answers "which attribute sets
@@ -124,7 +138,7 @@ def local_minimal_keys(schema: Schema, sigma: Iterable[NFD], base: Path,
         from ..parallel import process_map, spec_payload
 
         payload = (dump_bundle(schema, sigma_list),
-                   spec_payload(nonempty), str(base))
+                   spec_payload(nonempty), str(base), cache_dir)
     else:
         payload = None
     tracer = getattr(working, "tracer", None)

@@ -23,6 +23,7 @@ diff      semantic diff of two constraint sets
 analyze   keys / singletons / redundancy / minimal-cover report
 report    render the whole bundle as a Markdown document
 repair    chase the instance into consistency, write a new bundle
+cache     persistent cache maintenance (stats / clear / vacuum)
 ========  ==========================================================
 
 Commands that reason under the Section 3.2 empty-set rules accept
@@ -63,6 +64,17 @@ JSON Lines span trace of the run; see :class:`repro.obs.Tracer`) and
 the ``--stats`` / ``--cache-stats`` stderr text and the metrics JSON
 render from the same frozen snapshots, so their numbers always
 reconcile.  Neither flag changes stdout or the exit code.
+
+``check``, ``implies``, ``closure``, and ``keys`` accept
+``--cache-dir DIR`` (default: the ``REPRO_CACHE_DIR`` environment
+variable) naming a directory whose SQLite database persists derived
+state across runs (see :mod:`repro.store`): closure memos, compiled
+validation plans, and — with ``check --stream FILE --incremental`` —
+stream checkpoints, so a re-validation of an appended JSONL file folds
+only the new lines.  The cache is purely an accelerator: a missing,
+corrupt, or version-mismatched database degrades to the cold
+computation with a warning on stderr and identical stdout and exit
+codes.  ``repro cache stats|clear|vacuum`` maintains the database.
 
 Every command returns a conventional exit status (0 success / holds,
 1 violation / does not hold, 2 usage error), so the CLI composes with
@@ -132,6 +144,27 @@ def _tracer_from_args(args) -> Tracer | None:
     return None
 
 
+def _store_from_args(args):
+    """An open writable :class:`~repro.store.CacheStore` when a cache
+    directory is configured (``--cache-dir`` flag, else the
+    ``REPRO_CACHE_DIR`` environment variable), else ``None`` — the
+    no-persistence default.  An unusable directory yields a store that
+    warns once and misses everywhere; cold behavior is unchanged.
+    """
+    from .store import open_store, resolve_cache_dir
+
+    return open_store(resolve_cache_dir(getattr(args, "cache_dir",
+                                                None)))
+
+
+def _finish_store(report: RunReport, store) -> None:
+    """Freeze the store's hit/miss counters into the report's ``cache``
+    section and release the database handle."""
+    if store is not None:
+        report.add("cache", store.stats)
+        store.close()
+
+
 def _obs_finish(args, report: RunReport, tracer: Tracer | None) -> None:
     """Emit every observability output of a command from one report.
 
@@ -141,7 +174,7 @@ def _obs_finish(args, report: RunReport, tracer: Tracer | None) -> None:
     construction; ``--trace`` dumps the tracer's span log as JSONL.
     """
     if getattr(args, "stats", False):
-        for name in ("closure", "validator", "stream"):
+        for name in ("closure", "validator", "stream", "cache"):
             if name in report:
                 print(report.section_text(name), file=sys.stderr)
     if getattr(args, "cache_stats", False) and "session" in report:
@@ -180,13 +213,20 @@ def _cmd_check(args) -> int:
     from .values import check_instance
     check_instance(instance)
     tracer = _tracer_from_args(args)
-    engine = ValidatorEngine(schema, sigma, tracer=tracer)
+    store = _store_from_args(args)
+    if store is not None:
+        from .store import cached_validator
+        engine = cached_validator(schema, sigma, store=store,
+                                  tracer=tracer)
+    else:
+        engine = ValidatorEngine(schema, sigma, tracer=tracer)
     result = engine.validate(instance, all_violations=True,
                              jobs=getattr(args, "jobs", 1))
     for violation in result.violations:
         print(violation.describe())
         print()
     report = RunReport(command="check").add("validator", engine.stats)
+    _finish_store(report, store)
     _obs_finish(args, report, tracer)
     if result.violations:
         print(f"{len(result.violations)} violation(s)")
@@ -237,21 +277,50 @@ def _cmd_check_stream(args) -> int:
                                 max_elements=args.max_elements)
     tracer = _tracer_from_args(args)
     tuning = StreamTuning(backend=args.backend)
-    if args.shards > 1:
+    store = _store_from_args(args)
+    spill_root = None
+    if store is not None:
+        from .store import default_spill_root
+        spill_root = default_spill_root(store.cache_dir)
+    if getattr(args, "incremental", False):
+        if store is None:
+            print("error: --incremental requires a cache directory "
+                  "(--cache-dir or REPRO_CACHE_DIR)", file=sys.stderr)
+            return 2
+        if args.shards > 1:
+            print("error: --incremental runs single-shard; drop "
+                  "--shards", file=sys.stderr)
+            store.close()
+            return 2
+        from .store import incremental_stream_validate
+        result, info = incremental_stream_validate(
+            schema, streamed, relation, args.stream, store=store,
+            budget=budget, tuning=tuning, tracer=tracer,
+            spill_root=spill_root)
+        print(f"incremental: {info['mode']} at line "
+              f"{info['start_line']}/{info['total_lines']}, "
+              f"{info['elements_folded']} element(s) folded",
+              file=sys.stderr)
+    elif args.shards > 1:
         shards = plan_shards(args.stream, args.shards)
         result = shard_validate(schema, streamed, relation, shards,
                                 jobs=getattr(args, "jobs", 1),
                                 budget=budget, tracer=tracer,
-                                tuning=tuning)
+                                tuning=tuning, spill_root=spill_root,
+                                store=store,
+                                cache_dir=store.cache_dir
+                                if store is not None else None)
     else:
         reader = iter_jsonl_elements(args.stream, schema, relation)
         result = stream_validate(schema, streamed, {relation: reader},
                                  budget=budget, tracer=tracer,
-                                 tuning=tuning)
+                                 tuning=tuning, spill_root=spill_root,
+                                 store=store)
     for violation in result.violations:
         print(violation.describe())
         print()
     report = RunReport(command="check").add("stream", result.stats)
+    _finish_store(report, store)
     _obs_finish(args, report, tracer)
     if result.budget_exhausted is not None:
         print(f"budget exhausted ({result.budget_exhausted}) after "
@@ -270,14 +339,16 @@ def _cmd_implies(args) -> int:
     schema, sigma, _ = _load(args.bundle)
     candidate = parse_nfd(args.nfd)
     tracer = _tracer_from_args(args)
+    store = _store_from_args(args)
     session = ImplicationSession(schema, sigma,
                                  nonempty=_spec_from_args(args),
-                                 tracer=tracer)
+                                 tracer=tracer, store=store)
     status = 0 if session.implies(candidate) else 1
     print(f"{'implied' if status == 0 else 'not implied'}: {candidate}")
     report = (RunReport(command="implies")
               .add("closure", session.engine.stats)
               .add("session", session.stats))
+    _finish_store(report, store)
     _obs_finish(args, report, tracer)
     return status
 
@@ -287,9 +358,10 @@ def _cmd_closure(args) -> int:
     base = parse_path(args.base)
     lhs = {parse_path(text) for text in args.paths}
     tracer = _tracer_from_args(args)
+    store = _store_from_args(args)
     session = ImplicationSession(schema, sigma,
                                  nonempty=_spec_from_args(args),
-                                 tracer=tracer)
+                                 tracer=tracer, store=store)
     closed = session.closure(base, lhs)
     lhs_text = ", ".join(sorted(map(str, lhs))) or "∅"
     print(f"({base}, {{{lhs_text}}})* =")
@@ -298,6 +370,7 @@ def _cmd_closure(args) -> int:
     report = (RunReport(command="closure")
               .add("closure", session.engine.stats)
               .add("session", session.stats))
+    _finish_store(report, store)
     _obs_finish(args, report, tracer)
     return 0
 
@@ -377,24 +450,30 @@ def _cmd_keys(args) -> int:
     spec = _spec_from_args(args)
     jobs = getattr(args, "jobs", 1)
     tracer = _tracer_from_args(args)
+    store = _store_from_args(args)
     session = None
     if jobs <= 1:
-        session = ImplicationSession(schema, sigma, spec, tracer=tracer)
+        session = ImplicationSession(schema, sigma, spec, tracer=tracer,
+                                     store=store)
     elif getattr(args, "cache_stats", False):
         print("cache stats unavailable with --jobs > 1 (each worker "
               "process holds its own session)", file=sys.stderr)
     keys = minimal_keys(schema, sigma, relation, engine=session,
-                        nonempty=spec, jobs=jobs)
+                        nonempty=spec, jobs=jobs,
+                        cache_dir=store.cache_dir
+                        if store is not None else None)
     report = RunReport(command="keys")
     if session is not None:
         report.add("closure", session.engine.stats)
         report.add("session", session.stats)
     if not keys:
         print(f"{relation}: no key among the top-level attributes")
+        _finish_store(report, store)
         _obs_finish(args, report, tracer)
         return 1
     for key in keys:
         print(f"{relation}: {{{', '.join(sorted(map(str, key)))}}}")
+    _finish_store(report, store)
     _obs_finish(args, report, tracer)
     return 0
 
@@ -474,6 +553,43 @@ def _cmd_repair(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    """``repro cache stats|clear|vacuum``: maintain the persistent
+    cache database.  Needs an explicit directory — there is no implicit
+    default to clear by accident."""
+    from .store import CacheStore, resolve_cache_dir
+
+    cache_dir = resolve_cache_dir(getattr(args, "cache_dir", None))
+    if cache_dir is None:
+        print("error: no cache directory configured (pass --cache-dir "
+              "or set REPRO_CACHE_DIR)", file=sys.stderr)
+        return 2
+    store = CacheStore(cache_dir)
+    try:
+        if not store.available:
+            print(f"error: cannot open cache database under "
+                  f"{cache_dir!r}", file=sys.stderr)
+            return 2
+        if args.action == "stats":
+            for key, value in store.summary().items():
+                print(f"{key}: {value}")
+            return 0
+        if args.action == "clear":
+            if not store.clear():
+                print("error: clearing the cache failed",
+                      file=sys.stderr)
+                return 2
+            print("cache cleared")
+            return 0
+        if not store.vacuum():
+            print("error: vacuum failed", file=sys.stderr)
+            return 2
+        print("cache vacuumed")
+        return 0
+    finally:
+        store.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -512,6 +628,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--jobs", type=int, default=1, metavar="N",
             help="fan the work out across N worker processes "
                  "(default 1: serial; output is identical either way)",
+        )
+
+    def cache_dir_arg(sub):
+        sub.add_argument(
+            "--cache-dir", metavar="DIR", dest="cache_dir",
+            help="persist closure memos, compiled plans, and stream "
+                 "checkpoints in DIR's SQLite database across runs "
+                 "(default: the REPRO_CACHE_DIR environment variable; "
+                 "neither set = no persistence)",
         )
 
     def obs_args(sub):
@@ -569,7 +694,14 @@ def build_parser() -> argparse.ArgumentParser:
              "numpy tables for atomic-key NFDs, plain dict tables, or "
              "auto-select (default)",
     )
+    sub.add_argument(
+        "--incremental", action="store_true",
+        help="with --stream: resume from the cache's checkpoint for "
+             "this file and fold only appended lines (requires a cache "
+             "directory; witnesses match a full cold re-stream)",
+    )
     jobs_arg(sub)
+    cache_dir_arg(sub)
     obs_args(sub)
     sub.set_defaults(handler=_cmd_check)
 
@@ -579,6 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
     nonempty_arg(sub)
     stats_arg(sub)
     cache_stats_arg(sub)
+    cache_dir_arg(sub)
     obs_args(sub)
     sub.set_defaults(handler=_cmd_implies)
 
@@ -589,6 +722,7 @@ def build_parser() -> argparse.ArgumentParser:
     nonempty_arg(sub)
     stats_arg(sub)
     cache_stats_arg(sub)
+    cache_dir_arg(sub)
     obs_args(sub)
     sub.set_defaults(handler=_cmd_closure)
 
@@ -627,6 +761,7 @@ def build_parser() -> argparse.ArgumentParser:
     nonempty_arg(sub)
     cache_stats_arg(sub)
     jobs_arg(sub)
+    cache_dir_arg(sub)
     obs_args(sub)
     sub.set_defaults(handler=_cmd_keys)
 
@@ -661,6 +796,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("-o", "--output", help="output bundle "
                                             "(default: in place)")
     sub.set_defaults(handler=_cmd_repair)
+
+    sub = commands.add_parser("cache",
+                              help="persistent cache maintenance")
+    sub.add_argument("action", choices=("stats", "clear", "vacuum"),
+                     help="stats: row counts and size; clear: drop "
+                          "every entry; vacuum: reclaim disk space")
+    cache_dir_arg(sub)
+    sub.set_defaults(handler=_cmd_cache)
 
     return parser
 

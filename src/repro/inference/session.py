@@ -113,16 +113,20 @@ class SessionStats:
       closure instead of saturating from scratch;
     * ``evictions`` — memo entries dropped by the LRU bound;
     * ``memo_size`` / ``max_memo`` — current and maximum memo entries;
+    * ``store_hits`` / ``store_misses`` — memo misses answered from /
+      probed against the persistent :class:`~repro.store.CacheStore`
+      (both zero when no store is attached);
     * ``engine`` — the nested :class:`EngineStats` snapshot.
     """
 
     __slots__ = ("fingerprint", "queries", "hits", "misses",
                  "seed_reuses", "evictions", "memo_size", "max_memo",
-                 "engine")
+                 "engine", "store_hits", "store_misses")
 
     def __init__(self, fingerprint: str, queries: int, hits: int,
                  misses: int, seed_reuses: int, evictions: int,
-                 memo_size: int, max_memo: int, engine: EngineStats):
+                 memo_size: int, max_memo: int, engine: EngineStats,
+                 store_hits: int = 0, store_misses: int = 0):
         self.fingerprint = fingerprint
         self.queries = queries
         self.hits = hits
@@ -132,6 +136,8 @@ class SessionStats:
         self.memo_size = memo_size
         self.max_memo = max_memo
         self.engine = engine
+        self.store_hits = store_hits
+        self.store_misses = store_misses
 
     @property
     def hit_rate(self) -> float:
@@ -149,6 +155,8 @@ class SessionStats:
             "memo_size": self.memo_size,
             "max_memo": self.max_memo,
             "hit_rate": self.hit_rate,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
             "engine": self.engine.as_dict(),
         }
 
@@ -177,6 +185,8 @@ class SessionStats:
             memo_size=self.memo_size,
             max_memo=self.max_memo,
             engine=self.engine.diff(baseline.engine),
+            store_hits=self.store_hits - baseline.store_hits,
+            store_misses=self.store_misses - baseline.store_misses,
         )
 
     def to_text(self) -> str:
@@ -188,6 +198,9 @@ class SessionStats:
             f"evictions: {self.evictions}  "
             f"memo: {self.memo_size}/{self.max_memo}",
         ]
+        if self.store_hits or self.store_misses:
+            lines.append(f"  store hits: {self.store_hits}  "
+                         f"store misses: {self.store_misses}")
         lines.append(self.engine.to_text())
         return "\n".join(lines)
 
@@ -217,7 +230,7 @@ class ImplicationSession:
     def __init__(self, schema: Schema, sigma: Iterable[NFD],
                  nonempty: NonEmptySpec | None = None, *,
                  max_memo: int = DEFAULT_MAX_MEMO, tracer=None,
-                 _engine: ClosureEngine | None = None):
+                 store=None, _engine: ClosureEngine | None = None):
         if _engine is not None:
             self.engine = _engine
         else:
@@ -226,6 +239,13 @@ class ImplicationSession:
         if max_memo < 1:
             raise InferenceError("max_memo must be at least 1")
         self.max_memo = max_memo
+        # Optional persistent write-through layer (repro.store): memo
+        # misses probe it before saturating, computed closures are
+        # written back.  Probe sessions never inherit it — their Sigma
+        # differs, so persisted entries would not apply.
+        self.store = store
+        self._store_hits = 0
+        self._store_misses = 0
         self.fingerprint = sigma_fingerprint(
             self.engine.schema, self.engine.sigma, self.engine.nonempty)
         # (relation, key) -> closure, in LRU order (oldest first).
@@ -277,6 +297,8 @@ class ImplicationSession:
             memo_size=len(self._memo),
             max_memo=self.max_memo,
             engine=self.engine.stats,
+            store_hits=self._store_hits,
+            store_misses=self._store_misses,
         )
 
     # -- memoized queries --------------------------------------------------
@@ -285,9 +307,12 @@ class ImplicationSession:
             -> frozenset[Path]:
         """Memoized ``CL(lhs)`` at a relation-name base.
 
-        A hit returns the cached closure; a miss saturates the engine,
-        seeded from the largest cached closure of a strict subset of
-        *lhs* when one exists (sound by monotonicity of ``CL``)."""
+        A hit returns the cached closure; a miss consults the
+        persistent store (when one is attached) and only then saturates
+        the engine, seeded from the largest cached closure of a strict
+        subset of *lhs* when one exists (sound by monotonicity of
+        ``CL``).  Computed closures are written through to the store,
+        so a later process warm-starts without saturating at all."""
         key = frozenset(lhs)
         self._queries += 1
         slot = (relation, key)
@@ -303,6 +328,12 @@ class ImplicationSession:
                 tracer.count("session.hits")
             return cached
         self._misses += 1
+        persisted = self._from_store(relation, key)
+        if persisted is not None:
+            self._remember(relation, key, persisted)
+            if tracer is not None:
+                tracer.count("session.store_hits")
+            return persisted
         if tracer is None:
             seed = self._best_seed(relation, key)
             if seed is not None:
@@ -312,6 +343,7 @@ class ImplicationSession:
             else:
                 result = self.engine.closure_simple(relation, key)
             self._remember(relation, key, result)
+            self._persist(relation, key, result)
             return result
         with tracer.span("session.miss", relation=relation,
                          lhs_size=len(key)) as span:
@@ -325,8 +357,29 @@ class ImplicationSession:
             else:
                 result = self.engine.closure_simple(relation, key)
             self._remember(relation, key, result)
+            self._persist(relation, key, result)
             span.add("derived", len(result) - len(key))
         return result
+
+    def _from_store(self, relation: str,
+                    key: frozenset[Path]) -> frozenset[Path] | None:
+        """Probe the persistent store on a memo miss.  A hit keeps the
+        closure engine untouched entirely — zero saturation work."""
+        if self.store is None:
+            return None
+        persisted = self.store.get_closure(self.fingerprint, relation,
+                                           key)
+        if persisted is not None:
+            self._store_hits += 1
+            return persisted
+        self._store_misses += 1
+        return None
+
+    def _persist(self, relation: str, key: frozenset[Path],
+                 result: frozenset[Path]) -> None:
+        if self.store is not None:
+            self.store.put_closure(self.fingerprint, relation, key,
+                                   result)
 
     def _best_seed(self, relation: str,
                    key: frozenset[Path]) -> frozenset[Path] | None:

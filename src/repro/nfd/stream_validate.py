@@ -546,9 +546,29 @@ def _freeze_elem(elem, store: _ElementStore | None):
 
 
 def _thaw_elem(data):
-    if data is None or (type(data) is tuple and data[0] == "@"):
+    if data is None or (type(data) is tuple
+                        and data[0] in ("@", "@v")):
         return data
     return thaw_value(data)
+
+
+def _lazy_elem(data):
+    """Wrap one checkpoint row's inline frozen element as a
+    self-contained lazy ref (``("@v", frozen_tree)``).
+
+    Witness elements are the bulk of a checkpoint by weight, yet a
+    resumed run only ever materializes the few that back an actual
+    violation (:meth:`StreamValidator._load_element`), and
+    :func:`_merge_agg` never inspects them at all — so importing them
+    thawed would pay the full ``thaw_value`` walk per group for rows
+    that are overwhelmingly just carried through to the next
+    checkpoint.  A never-touched ``("@v", ...)`` ref round-trips
+    export → import verbatim, costing nothing on either side.
+    """
+    if data is None or (type(data) is tuple
+                        and data[0] in ("@", "@v")):
+        return data
+    return ("@v", data)
 
 
 def _freeze_agg(agg: list, store: _ElementStore | None) -> list:
@@ -585,6 +605,19 @@ def _iter_run_file(path: str, thaw: bool) -> Iterator[tuple[bytes, list]]:
                 yield from chunk
 
 
+def _spill_parent(spill_root: str | None) -> str | None:
+    """The directory spill dirs are created under: an explicit
+    *spill_root*, else the cache-derived default (``REPRO_CACHE_DIR``'s
+    ``tmp/``), else ``None`` — the system temp default."""
+    if spill_root is not None:
+        os.makedirs(spill_root, exist_ok=True)
+        return spill_root
+    # lazy: repro.store pulls in the inference layer, which this
+    # module must not require at import time
+    from ..store.cache_store import default_spill_root
+    return default_spill_root()
+
+
 # ---------------------------------------------------------------- engine
 
 
@@ -609,11 +642,22 @@ class StreamValidator:
 
     def __init__(self, schema: Schema, sigma: Iterable[NFD], *,
                  budget: ResourceBudget | None = None,
-                 spill_dir: str | None = None, tracer=None,
+                 spill_dir: str | None = None,
+                 spill_root: str | None = None, tracer=None,
                  shard_index: int = 0,
-                 tuning: StreamTuning | None = None):
+                 tuning: StreamTuning | None = None, store=None):
         self.schema = schema
-        self.engine = ValidatorEngine(schema, sigma, tracer=tracer)
+        if store is not None:
+            # restore compiled plans from the persistent cache when a
+            # payload for this Σ exists (identical structure, so the
+            # stream's witnesses are unchanged); shard workers open the
+            # store read-only, making plan compilation once-per-fleet
+            # instead of once-per-process
+            from ..store.warm import cached_validator
+            self.engine = cached_validator(schema, sigma, store=store,
+                                           tracer=tracer)
+        else:
+            self.engine = ValidatorEngine(schema, sigma, tracer=tracer)
         self.tracer = tracer
         self.budget = budget
         self.tuning = tuning if tuning is not None else StreamTuning()
@@ -624,6 +668,7 @@ class StreamValidator:
         if budget is not None and budget.deadline is not None:
             self._deadline_at = time.monotonic() + budget.deadline
         self._spill_dir = spill_dir
+        self._spill_root = spill_root
         self._own_spill_dir = False
         self._pool = InternPool(self.tuning.pool_entries) \
             if self.tuning.interning else None
@@ -846,7 +891,12 @@ class StreamValidator:
 
     def _spill_path(self) -> str:
         if self._spill_dir is None:
-            self._spill_dir = tempfile.mkdtemp(prefix="repro-stream-")
+            # run files land under the configured cache/tmp dir (the
+            # engine's spill_root, else REPRO_CACHE_DIR's tmp/) so
+            # large spills hit the operator-chosen volume; only without
+            # any configuration does the system temp default apply
+            self._spill_dir = tempfile.mkdtemp(
+                prefix="repro-stream-", dir=_spill_parent(self._spill_root))
             self._own_spill_dir = True
         return self._spill_dir
 
@@ -1029,11 +1079,24 @@ class StreamValidator:
 
     # -- finishing --------------------------------------------------------
 
+    def _export_element(self, ref):
+        """Prepare a witness element for a persisted checkpoint row:
+        sidecar file refs must be materialized (their spill files are
+        about to be deleted), but inline ``"@v"`` refs and live
+        elements pass through — a never-materialized checkpoint row
+        re-exports without a freeze/thaw round-trip."""
+        if type(ref) is tuple and ref[0] == "@":
+            return self._load_element(ref)
+        return ref
+
     def _load_element(self, ref):
         """Materialize a witness element, resolving a sidecar ref via a
-        point read; live elements pass through."""
+        point read (or an inline ``"@v"`` checkpoint ref via a thaw);
+        live elements pass through."""
         if type(ref) is not tuple:
             return ref
+        if ref[0] == "@v":
+            return thaw_value(ref[1])
         _, path, offset = ref
         handle = self._read_handles.get(path)
         if handle is None:
@@ -1250,6 +1313,132 @@ class StreamValidator:
         self.stats.absorb(summary["stats"])
         self.stats.wall_time += time.perf_counter() - start
 
+    # -- persistent checkpoint protocol ------------------------------------
+
+    def export_tables(self) -> dict[int, list]:
+        """Collapse every root group table — resident, columnar, and
+        spilled runs — into fully-live resident aggregates, and return
+        their frozen (plain-codec) form keyed by plan index.
+
+        This is the persistence half of incremental streaming (see
+        :mod:`repro.store.stream_cache`): the returned rows are exact
+        summaries, so a later engine that imports them and folds only
+        *appended* bindings reports the same witnesses a full re-stream
+        would (aggregate merging over disjoint binding sets is exact).
+        Sidecar element refs are resolved to materialized values —
+        persisted rows must not point into spill files that
+        :meth:`cleanup` is about to delete — while inline ``"@v"``
+        refs from an imported checkpoint stay lazy and re-export
+        verbatim.  The engine remains finalizable afterwards with
+        unchanged witnesses: the collapsed tables hold exactly the
+        merged aggregates.
+        """
+        start = time.perf_counter()
+        out: dict[int, list] = {}
+        for tables in self._root_tables.values():
+            for table in tables:
+                merged: list[tuple[bytes, list]] = []
+                for key_bytes, agg in self._merged_rows(table):
+                    agg[3] = self._export_element(agg[3])
+                    if agg[6] is not None:
+                        agg[6] = self._export_element(agg[6])
+                    merged.append((key_bytes, agg))
+                for path in table.runs:
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                table.runs.clear()
+                table.table = dict(merged)
+                out[table.plan.index] = [
+                    (key_bytes, _freeze_agg(agg, None))
+                    for key_bytes, agg in merged]
+        self._resident = sum(
+            len(table.table)
+            for tables in self._root_tables.values()
+            for table in tables)
+        if self._resident > self.stats.peak_resident_rows:
+            self.stats.peak_resident_rows = self._resident
+        self.stats.wall_time += time.perf_counter() - start
+        return out
+
+    def import_tables(self, rows_by_plan: Mapping[int, Iterable]) \
+            -> int:
+        """Seed the root group tables from a prior engine's
+        :meth:`export_tables` rows; returns the aggregate count.
+
+        Must run before any element is consumed.  Imported aggregates
+        carry their original emission sequences, so folding appended
+        bindings (all later in sequence) into them is the exact
+        :func:`_merge_agg` outcome — the first/clash witnesses of the
+        union.  Budget accounting applies: a small
+        ``max_resident_rows`` spills imported rows like any others.
+
+        Keys and RHS values are thawed eagerly (appended bindings must
+        compare against them in :func:`_merge_agg`), but witness
+        elements stay as lazy ``"@v"`` refs — see :func:`_lazy_elem` —
+        so the import cost is per-scalar, not per-element-tree.
+        """
+        by_index = {table.plan.index: table
+                    for tables in self._root_tables.values()
+                    for table in tables}
+        count = 0
+        for index, rows in rows_by_plan.items():
+            table = by_index.get(index)
+            if table is None:
+                raise ValueError_(
+                    f"cannot import group rows for unknown plan "
+                    f"index {index}")
+            for key_bytes, frozen in rows:
+                self._reserve_slot()
+                table.table[key_bytes] = [
+                    tuple(thaw_value(part) for part in frozen[0]),
+                    frozen[1], thaw_value(frozen[2]),
+                    _lazy_elem(frozen[3]), frozen[4],
+                    thaw_value(frozen[5]), _lazy_elem(frozen[6])]
+                count += 1
+        return count
+
+    def import_checkpoint(self, *, seq: int, nested: Iterable,
+                          anchor_counts: Mapping[str, int]) -> None:
+        """Restore the cross-element bookkeeping of a prior engine: the
+        emission sequence counter (so appended bindings order strictly
+        after every imported one), the nested-anchored witnesses found
+        so far (as ``(plan index, position, violation)`` triples), and
+        the per-anchor base-set counts (so base-set numbering continues
+        where the prior run stopped)."""
+        self._seq = seq
+        self._nested_run.violations = [tuple(triple)
+                                       for triple in nested]
+        for root in self.engine._relations.values():
+            for node in _iter_scopes(root):
+                if node.anchor is None or node is root:
+                    continue
+                count = anchor_counts.get(str(node.anchor.base), 0)
+                if count:
+                    self._nested_run.base_counter[id(node.anchor)] = \
+                        count
+
+    def checkpoint_meta(self) -> dict:
+        """The non-table half of a checkpoint: what
+        :meth:`import_checkpoint` needs, mirroring the shard summary's
+        nested bookkeeping."""
+        anchors = {}
+        for root in self.engine._relations.values():
+            for node in _iter_scopes(root):
+                if node.anchor is not None and node is not root:
+                    anchors[id(node.anchor)] = str(node.anchor.base)
+        counts: dict[str, int] = {}
+        for slot, count in self._nested_run.base_counter.items():
+            base = anchors.get(slot)
+            if base is not None:
+                counts[base] = counts.get(base, 0) + count
+        return {
+            "seq": self._seq,
+            "nested": list(self._nested_run.violations),
+            "anchor_counts": counts,
+        }
+
 
 def _plan_is_atomic(element_type, plan) -> bool:
     """Is every LHS/RHS leaf path of *plan* atomic-typed at its root
@@ -1278,8 +1467,10 @@ def stream_validate(schema: Schema, sigma: Iterable[NFD],
                     sources: Mapping[str, Iterable], *,
                     budget: ResourceBudget | None = None,
                     spill_dir: str | None = None,
+                    spill_root: str | None = None,
                     tracer=None,
-                    tuning: StreamTuning | None = None) -> StreamResult:
+                    tuning: StreamTuning | None = None,
+                    store=None) -> StreamResult:
     """Validate Σ against streamed relations in one engine.
 
     *sources* maps relation names to element iterables (a JSONL reader,
@@ -1292,8 +1483,9 @@ def stream_validate(schema: Schema, sigma: Iterable[NFD],
     """
     sigma = tuple(sigma)
     validator = StreamValidator(schema, sigma, budget=budget,
-                                spill_dir=spill_dir, tracer=tracer,
-                                tuning=tuning)
+                                spill_dir=spill_dir,
+                                spill_root=spill_root, tracer=tracer,
+                                tuning=tuning, store=store)
     try:
         constrained = list(validator.engine._relations)
         missing = [name for name in constrained if name not in sources]
@@ -1338,8 +1530,11 @@ def shard_validate(schema: Schema, sigma: Iterable[NFD], relation: str,
                    shards: Iterable, *, jobs: int = 1,
                    budget: ResourceBudget | None = None,
                    spill_dir: str | None = None,
+                   spill_root: str | None = None,
                    tracer=None,
-                   tuning: StreamTuning | None = None) -> StreamResult:
+                   tuning: StreamTuning | None = None,
+                   cache_dir: str | None = None,
+                   store=None) -> StreamResult:
     """Validate Σ against one relation split into element shards.
 
     Each shard — a ``plan_shards`` range over a JSONL file, or an
@@ -1364,7 +1559,8 @@ def shard_validate(schema: Schema, sigma: Iterable[NFD], relation: str,
     """
     sigma = tuple(sigma)
     shard_specs = [_normalize_shard(spec) for spec in shards]
-    shared_dir = spill_dir or tempfile.mkdtemp(prefix="repro-stream-")
+    shared_dir = spill_dir or tempfile.mkdtemp(
+        prefix="repro-stream-", dir=_spill_parent(spill_root))
     own_dir = spill_dir is None
     deadline_epoch = None
     max_rows = max_elements = None
@@ -1378,10 +1574,11 @@ def shard_validate(schema: Schema, sigma: Iterable[NFD], relation: str,
         budget=(ResourceBudget(max_resident_rows=max_rows)
                 if max_rows is not None else None),
         spill_dir=shared_dir, tracer=tracer, shard_index=-1,
-        tuning=tuning)
+        tuning=tuning, store=store)
     try:
         payload = (schema, list(sigma), relation, max_rows,
-                   max_elements, deadline_epoch, shared_dir, tuning)
+                   max_elements, deadline_epoch, shared_dir, tuning,
+                   cache_dir)
         tasks = list(enumerate(shard_specs))
         if tracer is None:
             return _drive_shards(driver, payload, tasks, jobs, None)
@@ -1458,9 +1655,20 @@ def _drive_shards(driver: StreamValidator, payload, tasks, jobs: int,
 
 
 def _shard_setup(payload):
-    """Worker initializer: keep the shared payload; engines are per
-    shard (each shard owns its sequence space and nested run)."""
-    return payload
+    """Worker initializer: keep the shared payload, and pre-open the
+    persistent cache store — read-only — once per process.  Engines are
+    still per shard (each shard owns its sequence space and nested
+    run), but every engine in this process restores its compiled plans
+    from the one warm store handle, so plan compilation happens at most
+    once per fleet instead of once per shard.  A missing, corrupt, or
+    version-mismatched store degrades to an always-miss handle; the
+    shard result is byte-identical either way."""
+    cache_dir = payload[-1]
+    store = None
+    if cache_dir is not None:
+        from ..store.cache_store import CacheStore
+        store = CacheStore(cache_dir, read_only=True)
+    return payload, store
 
 
 def _shard_probe(context, task):
@@ -1469,8 +1677,9 @@ def _shard_probe(context, task):
     (e.g. a malformed JSONL line after the first spill) cleans this
     worker's spill runs up before the error propagates to the driver.
     """
+    payload, store = context
     schema, sigma, relation, max_rows, max_elements, deadline_epoch, \
-        shared_dir, tuning = context
+        shared_dir, tuning, _ = payload
     index, spec = task
     deadline = None
     if deadline_epoch is not None:
@@ -1483,7 +1692,7 @@ def _shard_probe(context, task):
                                 max_elements=max_elements)
     validator = StreamValidator(schema, sigma, budget=budget,
                                 spill_dir=shared_dir, shard_index=index,
-                                tuning=tuning)
+                                tuning=tuning, store=store)
     try:
         if spec[0] == "rows":
             elements: Iterable = spec[1]

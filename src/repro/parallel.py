@@ -21,6 +21,21 @@ fan-out primitive they share:
   tasks (process startup would dominate), the same ``setup``/``func``
   pair runs inline in the calling process — one code path to test,
   identical answers by construction.
+
+Warm-up path
+------------
+
+``setup`` is also where workers attach to the persistent cache
+(:mod:`repro.store`): the callers that support it — the key sweep's
+``_keys_setup``, the streaming validator's ``_shard_setup`` — thread a
+``cache_dir`` through the payload and open a **read-only**
+:class:`~repro.store.CacheStore` once per process.  Every task in that
+process then answers warm (memoized closures, restored plans) from the
+one handle, while the single writable handle stays in the driver — a
+fleet of readers and one writer is exactly the shape WAL SQLite serves
+well.  Read-only opens never create or mutate the database, so a
+worker fleet pointed at a missing or stale cache degrades to cold
+computation with byte-identical results.
 """
 
 from __future__ import annotations

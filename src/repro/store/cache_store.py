@@ -1,0 +1,570 @@
+"""A WAL-mode SQLite persistence layer behind the in-memory caches.
+
+Everything the engines compute within one process — simple-closure
+memo entries, compiled path-trie plans, streaming group-table
+aggregates — evaporates at exit.  :class:`CacheStore` is the
+write-through disk layer that survives it: one SQLite file per cache
+directory, in WAL journal mode so concurrent readers never block the
+single writer, holding three tables keyed by
+:func:`~repro.inference.session.sigma_fingerprint` plus the injective
+canonical byte encoding of :mod:`repro.values.canonical`:
+
+* ``closure_memo`` — ``(fingerprint, relation, lhs) -> closure``, the
+  persisted form of :class:`~repro.inference.session.ImplicationSession`
+  memo entries.  LHS and closure are stored as sorted canonical path
+  texts (newline-joined), which round-trip exactly through
+  ``parse_path`` and stay readable in ``sqlite3`` by hand;
+* ``plans`` — ``fingerprint -> pickled compiled plans`` of
+  :class:`~repro.nfd.batch_validate.ValidatorEngine`, tagged with the
+  Σ member order (the fingerprint is order-independent but plan
+  indices are not — a reordered Σ is a *miss*, never a wrong answer);
+* ``stream_sources`` / ``stream_groups`` — per-source watermarks and
+  per-plan ``[key, first, clash]`` aggregate blobs for incremental
+  streaming (see :mod:`repro.store.stream_cache`): one pickled list of
+  ``(canonical key bytes, plain-codec frozen aggregate)`` rows per
+  ``(source, plan)``, read and written whole with the checkpoint.
+
+Safety model
+------------
+
+The store is an *accelerator*, never an authority: every read can miss
+and every failure degrades to the cold path.
+
+* the DB carries a schema version and the canonical codec version
+  (:data:`repro.values.canonical.CODEC_VERSION`) in its ``meta`` table;
+  a mismatch reinitializes a writable store and silently empties a
+  read-only one;
+* a corrupt or unreadable DB marks the store *broken*: one
+  ``CacheWarning`` on stderr, then every read misses and every write is
+  dropped — callers never see an exception out of cache plumbing;
+* writes use ``INSERT OR REPLACE`` inside immediate transactions with a
+  busy timeout, so two processes racing on the same row resolve to
+  last-writer-wins with no corruption (WAL guarantees readers see a
+  consistent snapshot throughout).
+
+:class:`CacheStats` counts hits / misses / stale entries / dropped
+errors / writes per table family and plugs into the
+:class:`~repro.obs.RunReport` section protocol (section ``"cache"``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+import warnings
+from typing import Any, Iterable, Iterator
+
+from ..paths.path import Path, parse_path
+from ..values.canonical import CODEC_VERSION
+
+__all__ = ["CacheStore", "CacheStats", "CacheWarning",
+           "resolve_cache_dir", "default_spill_root", "open_store",
+           "DB_FILENAME", "SCHEMA_VERSION"]
+
+#: Bump when the SQLite table layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: The database file created inside a cache directory.
+DB_FILENAME = "repro-cache.sqlite"
+
+#: Environment variable naming the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Milliseconds a writer waits on a locked database before giving up.
+BUSY_TIMEOUT_MS = 30_000
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS closure_memo (
+    fingerprint TEXT NOT NULL,
+    relation    TEXT NOT NULL,
+    lhs         TEXT NOT NULL,
+    closure     TEXT NOT NULL,
+    PRIMARY KEY (fingerprint, relation, lhs)
+);
+CREATE TABLE IF NOT EXISTS plans (
+    fingerprint TEXT PRIMARY KEY,
+    payload     BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS stream_sources (
+    source_id    TEXT PRIMARY KEY,
+    fingerprint  TEXT NOT NULL,
+    relation     TEXT NOT NULL,
+    line_count   INTEGER NOT NULL,
+    content_hash TEXT NOT NULL,
+    mtime        REAL NOT NULL,
+    state        BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS stream_groups (
+    source_id TEXT NOT NULL,
+    nfd       TEXT NOT NULL,
+    groups    INTEGER NOT NULL,
+    rows      BLOB NOT NULL,
+    PRIMARY KEY (source_id, nfd)
+);
+"""
+
+
+class CacheWarning(UserWarning):
+    """A cache store degraded to the cold path (never an error)."""
+
+
+def resolve_cache_dir(explicit: str | None = None) -> str | None:
+    """The effective cache directory: an explicit ``--cache-dir`` wins,
+    then the ``REPRO_CACHE_DIR`` environment variable; ``None`` means
+    caching is off entirely (no store is opened, nothing is written)."""
+    if explicit:
+        return explicit
+    return os.environ.get(CACHE_DIR_ENV) or None
+
+
+def default_spill_root(cache_dir: str | None = None) -> str | None:
+    """The directory streaming spill files should land in: ``tmp/``
+    under the effective cache directory, created on demand — or
+    ``None`` (the system temp default) when no cache directory is
+    configured.  Large spills thereby land on the operator-chosen
+    volume instead of whatever backs ``/tmp``."""
+    root = resolve_cache_dir(cache_dir)
+    if root is None:
+        return None
+    path = os.path.join(root, "tmp")
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError:
+        return None
+    return path
+
+
+def open_store(cache_dir: str | None, *,
+               read_only: bool = False) -> "CacheStore | None":
+    """Open the store under *cache_dir*, or ``None`` when caching is
+    off.  Never raises: an unusable directory or database yields a
+    broken (all-miss) store plus one warning."""
+    resolved = resolve_cache_dir(cache_dir)
+    if resolved is None:
+        return None
+    return CacheStore(resolved, read_only=read_only)
+
+
+class CacheStats:
+    """Hit / miss / stale / error counters of one store handle.
+
+    ``stale`` counts entries that existed but were unusable (a plan
+    compiled for a different Σ order, a stream watermark that no longer
+    matches its file); ``errors`` counts operations dropped because the
+    database was broken or raised.  All counters are cumulative.
+    """
+
+    __slots__ = ("closure_hits", "closure_misses", "plan_hits",
+                 "plan_misses", "stream_hits", "stream_misses",
+                 "stale", "errors", "writes")
+
+    def __init__(self):
+        self.closure_hits = 0
+        self.closure_misses = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.stream_hits = 0
+        self.stream_misses = 0
+        self.stale = 0
+        self.errors = 0
+        self.writes = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def as_metrics(self) -> dict:
+        """The :class:`~repro.obs.RunReport` section protocol."""
+        return self.as_dict()
+
+    def to_text(self) -> str:
+        return "\n".join([
+            "cache stats (persistent store):",
+            f"  closure: {self.closure_hits} hit(s)  "
+            f"{self.closure_misses} miss(es)",
+            f"  plans: {self.plan_hits} hit(s)  "
+            f"{self.plan_misses} miss(es)",
+            f"  stream: {self.stream_hits} hit(s)  "
+            f"{self.stream_misses} miss(es)",
+            f"  stale: {self.stale}  errors: {self.errors}  "
+            f"writes: {self.writes}",
+        ])
+
+    def __repr__(self) -> str:
+        return (f"CacheStats(closure={self.closure_hits}/"
+                f"{self.closure_misses}, plans={self.plan_hits}/"
+                f"{self.plan_misses}, stream={self.stream_hits}/"
+                f"{self.stream_misses})")
+
+
+class CacheStore:
+    """One handle on the persistent cache database (see module doc).
+
+    Example::
+
+        store = CacheStore("/var/cache/repro")
+        store.put_closure(fp, "Course", lhs, closure)
+        store.get_closure(fp, "Course", lhs)     # across processes
+        store.stats.to_text()
+        store.close()
+
+    ``read_only=True`` opens the database without ever creating or
+    mutating it — the mode worker processes use, so a fleet of readers
+    shares one file while only the driver writes.
+    """
+
+    def __init__(self, cache_dir: str, *, read_only: bool = False):
+        self.cache_dir = cache_dir
+        self.read_only = read_only
+        self.path = os.path.join(cache_dir, DB_FILENAME)
+        self.stats = CacheStats()
+        self._conn: sqlite3.Connection | None = None
+        self._broken = False
+        self._warned = False
+        try:
+            self._open()
+        except sqlite3.Error as exc:
+            self._mark_broken(f"cannot open cache db {self.path!r}: {exc}")
+        except OSError as exc:
+            self._mark_broken(
+                f"cannot use cache dir {cache_dir!r}: {exc}")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _open(self) -> None:
+        if self.read_only:
+            if not os.path.exists(self.path):
+                # nothing cached yet: a valid, permanently empty store
+                return
+            uri = f"file:{self.path}?mode=ro"
+            conn = sqlite3.connect(uri, uri=True, timeout=BUSY_TIMEOUT_MS
+                                   / 1000.0)
+            if not self._versions_ok(conn):
+                # a writable open will reinitialize; readers just miss
+                conn.close()
+                return
+            self._conn = conn
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        conn = sqlite3.connect(self.path,
+                               timeout=BUSY_TIMEOUT_MS / 1000.0)
+        conn.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
+        conn.execute("PRAGMA journal_mode = WAL")
+        conn.execute("PRAGMA synchronous = NORMAL")
+        initialized = conn.execute(
+            "SELECT 1 FROM sqlite_master WHERE type = 'table' "
+            "AND name = 'meta'").fetchone() is not None
+        if initialized and not self._versions_ok(conn):
+            # schema or codec moved on: every entry is unreadable under
+            # the new encoding, so drop the lot and start clean
+            self.stats.stale += 1
+            for table in ("closure_memo", "plans", "stream_sources",
+                          "stream_groups", "meta"):
+                conn.execute(f"DROP TABLE IF EXISTS {table}")
+        conn.executescript(_TABLES)
+        conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            ("schema_version", str(SCHEMA_VERSION)))
+        conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            ("codec_version", CODEC_VERSION))
+        conn.commit()
+        self._conn = conn
+
+    def _versions_ok(self, conn: sqlite3.Connection) -> bool:
+        try:
+            rows = dict(conn.execute(
+                "SELECT key, value FROM meta WHERE key IN "
+                "('schema_version', 'codec_version')"))
+        except sqlite3.Error:
+            return False
+        return (rows.get("schema_version") == str(SCHEMA_VERSION)
+                and rows.get("codec_version") == CODEC_VERSION)
+
+    def _mark_broken(self, message: str) -> None:
+        self._broken = True
+        self.stats.errors += 1
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"{message}; continuing without the persistent cache",
+                CacheWarning, stacklevel=3)
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+
+    def __enter__(self) -> "CacheStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    @property
+    def available(self) -> bool:
+        """Can this handle currently serve reads?"""
+        return self._conn is not None and not self._broken
+
+    @property
+    def writable(self) -> bool:
+        return self.available and not self.read_only
+
+    def __repr__(self) -> str:
+        mode = "ro" if self.read_only else "rw"
+        state = "broken" if self._broken else (
+            "open" if self._conn is not None else "empty")
+        return f"CacheStore({self.path!r}, {mode}, {state})"
+
+    # -- guarded execution -------------------------------------------------
+
+    def _read(self, sql: str, params: tuple = ()) -> list:
+        if not self.available:
+            return []
+        try:
+            return list(self._conn.execute(sql, params))
+        except sqlite3.Error as exc:
+            self._mark_broken(f"cache read failed: {exc}")
+            return []
+
+    def _write(self, statements: Iterable[tuple[str, tuple]]) -> bool:
+        if not self.writable:
+            return False
+        try:
+            with self._conn:  # one transaction, committed or rolled back
+                for sql, params in statements:
+                    self._conn.execute(sql, params)
+        except sqlite3.Error as exc:
+            self._mark_broken(f"cache write failed: {exc}")
+            return False
+        self.stats.writes += 1
+        return True
+
+    # -- closure memo ------------------------------------------------------
+
+    @staticmethod
+    def _path_text(paths: Iterable[Path]) -> str:
+        # canonical path texts contain no newlines, so the join is
+        # injective and round-trips through parse_path exactly
+        return "\n".join(sorted(str(p) for p in paths))
+
+    @staticmethod
+    def _text_paths(text: str) -> frozenset[Path]:
+        if not text:
+            return frozenset()
+        return frozenset(parse_path(line) for line in text.split("\n"))
+
+    def get_closure(self, fingerprint: str, relation: str,
+                    lhs: Iterable[Path]) -> frozenset[Path] | None:
+        rows = self._read(
+            "SELECT closure FROM closure_memo WHERE fingerprint = ? "
+            "AND relation = ? AND lhs = ?",
+            (fingerprint, relation, self._path_text(lhs)))
+        if not rows:
+            self.stats.closure_misses += 1
+            return None
+        try:
+            closure = self._text_paths(rows[0][0])
+        except Exception:  # a mangled row is stale data, not an error
+            self.stats.stale += 1
+            self.stats.closure_misses += 1
+            return None
+        self.stats.closure_hits += 1
+        return closure
+
+    def put_closure(self, fingerprint: str, relation: str,
+                    lhs: Iterable[Path],
+                    closure: Iterable[Path]) -> None:
+        self._write([(
+            "INSERT OR REPLACE INTO closure_memo "
+            "(fingerprint, relation, lhs, closure) VALUES (?, ?, ?, ?)",
+            (fingerprint, relation, self._path_text(lhs),
+             self._path_text(closure)))])
+
+    # -- compiled plans ----------------------------------------------------
+
+    def get_plan(self, fingerprint: str) -> Any | None:
+        """The unpickled ``(sigma_texts, relations, trie_nodes)`` plan
+        payload for *fingerprint*, or ``None`` on a miss (including an
+        unreadable pickle, which counts as stale)."""
+        rows = self._read(
+            "SELECT payload FROM plans WHERE fingerprint = ?",
+            (fingerprint,))
+        if not rows:
+            self.stats.plan_misses += 1
+            return None
+        try:
+            payload = pickle.loads(rows[0][0])
+        except Exception:
+            self.stats.stale += 1
+            self.stats.plan_misses += 1
+            return None
+        self.stats.plan_hits += 1
+        return payload
+
+    def put_plan(self, fingerprint: str, payload: Any) -> None:
+        try:
+            blob = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            self.stats.errors += 1
+            return
+        self._write([(
+            "INSERT OR REPLACE INTO plans (fingerprint, payload) "
+            "VALUES (?, ?)", (fingerprint, blob))])
+
+    def note_stale(self) -> None:
+        """Record that a cached entry existed but was unusable."""
+        self.stats.stale += 1
+
+    # -- stream source state ----------------------------------------------
+
+    def get_stream_source(self, source_id: str) -> dict | None:
+        rows = self._read(
+            "SELECT fingerprint, relation, line_count, content_hash, "
+            "mtime, state FROM stream_sources WHERE source_id = ?",
+            (source_id,))
+        if not rows:
+            self.stats.stream_misses += 1
+            return None
+        fingerprint, relation, line_count, content_hash, mtime, blob \
+            = rows[0]
+        try:
+            state = pickle.loads(blob)
+        except Exception:
+            self.stats.stale += 1
+            self.stats.stream_misses += 1
+            return None
+        self.stats.stream_hits += 1
+        return {
+            "fingerprint": fingerprint,
+            "relation": relation,
+            "line_count": line_count,
+            "content_hash": content_hash,
+            "mtime": mtime,
+            "state": state,
+        }
+
+    def iter_stream_groups(self, source_id: str) \
+            -> Iterator[tuple[str, list[tuple[bytes, list]]]]:
+        """Yield ``(nfd_text, [(key_bytes, frozen_aggregate), ...])`` —
+        one plan's whole group table per row, in ``nfd`` order.
+
+        A checkpoint is always read and written whole, so the store
+        keeps one pickled blob per ``(source, plan)`` rather than one
+        row per group: a resume pays a handful of ``pickle.loads``
+        calls instead of one per aggregate."""
+        for nfd_text, blob in self._read(
+                "SELECT nfd, rows FROM stream_groups "
+                "WHERE source_id = ? ORDER BY nfd", (source_id,)):
+            try:
+                rows = pickle.loads(blob)
+            except Exception:
+                self.stats.stale += 1
+                continue
+            yield nfd_text, rows
+
+    def put_stream_source(self, source_id: str, *, fingerprint: str,
+                          relation: str, line_count: int,
+                          content_hash: str, mtime: float, state: dict,
+                          groups: Iterable[tuple[str, list]]) -> bool:
+        """Replace one source's watermark, state, and group index in a
+        single transaction (a reader never sees a half-written source).
+        *groups* pairs each plan's ``nfd`` text with its full
+        ``(key_bytes, frozen_aggregate)`` row list."""
+        try:
+            state_blob = pickle.dumps(state, pickle.HIGHEST_PROTOCOL)
+            group_rows = [
+                (source_id, nfd_text, len(rows),
+                 pickle.dumps(rows, pickle.HIGHEST_PROTOCOL))
+                for nfd_text, rows in groups
+            ]
+        except Exception:
+            self.stats.errors += 1
+            return False
+        statements: list[tuple[str, tuple]] = [
+            ("DELETE FROM stream_groups WHERE source_id = ?",
+             (source_id,)),
+            ("INSERT OR REPLACE INTO stream_sources (source_id, "
+             "fingerprint, relation, line_count, content_hash, mtime, "
+             "state) VALUES (?, ?, ?, ?, ?, ?, ?)",
+             (source_id, fingerprint, relation, line_count,
+              content_hash, mtime, state_blob)),
+        ]
+        statements.extend(
+            ("INSERT INTO stream_groups (source_id, nfd, groups, rows) "
+             "VALUES (?, ?, ?, ?)", row)
+            for row in group_rows)
+        return self._write(statements)
+
+    def drop_stream_source(self, source_id: str) -> None:
+        self._write([
+            ("DELETE FROM stream_groups WHERE source_id = ?",
+             (source_id,)),
+            ("DELETE FROM stream_sources WHERE source_id = ?",
+             (source_id,)),
+        ])
+
+    # -- maintenance (the `repro cache` subcommand) ------------------------
+
+    def summary(self) -> dict:
+        """Row counts and file size for ``repro cache stats``.
+        ``stream_groups`` counts persisted group aggregates (summed
+        across the per-plan blobs), not physical rows."""
+        counts = {}
+        for table in ("closure_memo", "plans", "stream_sources"):
+            rows = self._read(f"SELECT COUNT(*) FROM {table}")
+            counts[table] = rows[0][0] if rows else 0
+        rows = self._read(
+            "SELECT COALESCE(SUM(groups), 0) FROM stream_groups")
+        counts["stream_groups"] = rows[0][0] if rows else 0
+        size = 0
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            pass
+        return {
+            "path": self.path,
+            "available": self.available,
+            "schema_version": SCHEMA_VERSION,
+            "codec_version": CODEC_VERSION,
+            "size_bytes": size,
+            **counts,
+        }
+
+    def clear(self) -> bool:
+        """Delete every cached entry (the versioned meta rows stay)."""
+        return self._write([
+            ("DELETE FROM closure_memo", ()),
+            ("DELETE FROM plans", ()),
+            ("DELETE FROM stream_sources", ()),
+            ("DELETE FROM stream_groups", ()),
+        ])
+
+    def vacuum(self) -> bool:
+        if not self.writable:
+            return False
+        try:
+            self._conn.execute("VACUUM")
+        except sqlite3.Error as exc:
+            self._mark_broken(f"cache vacuum failed: {exc}")
+            return False
+        return True
+
+    def integrity_check(self) -> bool:
+        """SQLite's own ``PRAGMA integrity_check`` (used in tests)."""
+        rows = self._read("PRAGMA integrity_check")
+        return bool(rows) and rows[0][0] == "ok"

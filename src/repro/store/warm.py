@@ -1,0 +1,71 @@
+"""Warm-start construction of engines from the persistent store.
+
+:func:`cached_validator` is the one place the compiled-plan table is
+read and written: it restores a :class:`~repro.nfd.ValidatorEngine`'s
+per-relation path-trie plans from the store when a payload compiled for
+the *same Σ member order* exists under the Σ fingerprint, and compiles
+cold (writing the payload back) otherwise.  A warm engine reports
+``plan_compilations == 0`` in its stats — the counter the CLI's
+warm-start acceptance gate asserts on.
+
+:func:`cached_session` is the session-side counterpart, purely for
+symmetry of call sites: the session does its own store probing per
+closure query (see
+:meth:`~repro.inference.session.ImplicationSession.closure_simple`),
+so this helper only threads the handle through.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..inference.empty_sets import NonEmptySpec
+from ..inference.session import ImplicationSession, sigma_fingerprint
+from ..nfd.batch_validate import ValidatorEngine
+from ..nfd.nfd import NFD
+from ..types.schema import Schema
+from .cache_store import CacheStore
+
+__all__ = ["cached_validator", "cached_session"]
+
+
+def cached_validator(schema: Schema, sigma: Iterable[NFD], *,
+                     store: CacheStore | None = None,
+                     tracer=None) -> ValidatorEngine:
+    """A :class:`ValidatorEngine`, restored from *store* when possible.
+
+    The plan payload is keyed by the order-independent Σ fingerprint
+    but carries the member texts in Σ order; a payload whose order
+    differs from the caller's Σ is *stale* (plan indices — and with
+    them witness ordering — are order-dependent), so it is recompiled
+    and overwritten rather than adopted.  Restored and cold engines are
+    structurally identical and produce byte-identical results.
+    """
+    sigma = tuple(sigma)
+    if store is None:
+        return ValidatorEngine(schema, sigma, tracer=tracer)
+    fingerprint = sigma_fingerprint(schema, sigma)
+    payload = store.get_plan(fingerprint)
+    if payload is not None:
+        try:
+            sigma_texts, relations, trie_nodes = payload
+        except (TypeError, ValueError):
+            sigma_texts = None
+        if sigma_texts == tuple(str(nfd) for nfd in sigma):
+            return ValidatorEngine(schema, sigma, tracer=tracer,
+                                   _compiled=(relations, trie_nodes))
+        store.note_stale()
+    engine = ValidatorEngine(schema, sigma, tracer=tracer)
+    if store.writable:
+        store.put_plan(fingerprint, engine.compiled_payload())
+    return engine
+
+
+def cached_session(schema: Schema, sigma: Iterable[NFD],
+                   nonempty: NonEmptySpec | None = None, *,
+                   store: CacheStore | None = None,
+                   tracer=None) -> ImplicationSession:
+    """An :class:`ImplicationSession` with *store* attached — closure
+    queries probe and write through the persistent memo."""
+    return ImplicationSession(schema, sigma, nonempty, tracer=tracer,
+                              store=store)

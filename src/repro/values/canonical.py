@@ -51,7 +51,16 @@ from __future__ import annotations
 from ..errors import ValueError_
 from .value import Atom, Record, SetValue, Value
 
-__all__ = ["canonical_bytes", "canonical_key_bytes", "InternPool"]
+__all__ = ["canonical_bytes", "canonical_key_bytes", "InternPool",
+           "CODEC_VERSION"]
+
+#: Stable version tag of the canonical encoding.  Persisted caches
+#: (:mod:`repro.store`) key group-table rows by these bytes, so any
+#: change to :func:`_encode`'s output — new tags, different framing,
+#: different normalization — MUST bump this string; a store opened
+#: under a different codec version discards its contents rather than
+#: compare keys across encodings.
+CODEC_VERSION = "1"
 
 
 def canonical_bytes(value: Value) -> bytes:

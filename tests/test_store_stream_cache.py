@@ -1,0 +1,296 @@
+"""Unit tests for incremental resumable streaming validation.
+
+The contract under test (see :mod:`repro.store.stream_cache`): a
+resumed run folds only appended lines, yet reports witnesses
+byte-identical to a full cold re-stream; any prefix disturbance —
+rewrite, truncation, Σ reorder — degrades to a cold run; and a
+budget-exhausted run never poisons the checkpoint.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.generators import workloads
+from repro.io.stream import dump_jsonl, iter_jsonl_elements, \
+    iter_set_elements
+from repro.nfd import ResourceBudget, stream_validate
+from repro.store import CacheStore, incremental_stream_validate, \
+    stream_source_id
+from repro.store.stream_cache import _scan_source
+from repro.values import Atom, to_python
+
+
+@pytest.fixture
+def schema():
+    return workloads.course_schema()
+
+
+@pytest.fixture
+def sigma():
+    return tuple(workloads.course_sigma())
+
+
+@pytest.fixture
+def store(tmp_path):
+    with CacheStore(str(tmp_path / "cache")) as handle:
+        yield handle
+
+
+@pytest.fixture
+def jsonl(tmp_path):
+    path = tmp_path / "course.jsonl"
+    dump_jsonl(path, iter_set_elements(
+        workloads.course_instance().relation("Course")))
+    return str(path)
+
+
+def _append(path, element):
+    with open(path, "a") as handle:
+        handle.write(json.dumps(to_python(element)) + "\n")
+
+
+def _clashing_element():
+    first = next(iter_set_elements(
+        workloads.course_instance().relation("Course")))
+    return first.replace("time", Atom(99))
+
+
+def _nested_clash_row():
+    return {"cnum": "cis700", "time": 9,
+            "students": [{"sid": 1, "age": 20, "grade": "A"},
+                         {"sid": 1, "age": 21, "grade": "B"}],
+            "books": [{"isbn": 7, "title": "Nested FDs"}]}
+
+
+def _cold_witnesses(schema, sigma, path):
+    result = stream_validate(
+        schema, sigma,
+        {"Course": iter_jsonl_elements(path, schema, "Course")})
+    return [v.describe() for v in result.violations]
+
+
+def _witnesses(result):
+    return [v.describe() for v in result.violations]
+
+
+class TestScanSource:
+    def test_counts_and_prefix_digest(self, tmp_path):
+        path = tmp_path / "lines.jsonl"
+        path.write_bytes(b"a\nb\nc\n")
+        total, full_hash, prefix_hash = _scan_source(str(path), 2)
+        assert total == 3
+        short_total, short_full, _ = _scan_source(str(path), 0)
+        assert short_total == 3 and short_full == full_hash
+        # the prefix digest is the digest OF the two-line file
+        two = tmp_path / "two.jsonl"
+        two.write_bytes(b"a\nb\n")
+        _, two_full, _ = _scan_source(str(two), 0)
+        assert prefix_hash == two_full
+
+    def test_prefix_beyond_eof_forces_cold(self, tmp_path):
+        path = tmp_path / "lines.jsonl"
+        path.write_bytes(b"a\n")
+        _, _, prefix_hash = _scan_source(str(path), 5)
+        assert prefix_hash == ""  # never matches a stored digest
+
+
+class TestIncrementalHappyPath:
+    def test_cold_run_persists_a_checkpoint(self, schema, sigma, store,
+                                            jsonl):
+        result, info = incremental_stream_validate(
+            schema, sigma, "Course", jsonl, store=store)
+        assert result.ok
+        assert info["mode"] == "cold"
+        assert info["persisted"]
+        assert store.summary()["stream_sources"] == 1
+        assert store.summary()["stream_groups"] > 0
+
+    def test_unchanged_file_folds_nothing(self, schema, sigma, store,
+                                          jsonl):
+        incremental_stream_validate(schema, sigma, "Course", jsonl,
+                                    store=store)
+        result, info = incremental_stream_validate(
+            schema, sigma, "Course", jsonl, store=store)
+        assert info["mode"] == "resumed"
+        assert info["elements_folded"] == 0
+        assert result.ok
+
+    def test_appended_clash_matches_cold_restream(self, schema, sigma,
+                                                  store, jsonl):
+        incremental_stream_validate(schema, sigma, "Course", jsonl,
+                                    store=store)
+        _append(jsonl, _clashing_element())
+        result, info = incremental_stream_validate(
+            schema, sigma, "Course", jsonl, store=store)
+        assert info["mode"] == "resumed"
+        assert info["elements_folded"] == 1
+        assert not result.ok
+        assert _witnesses(result) == _cold_witnesses(schema, sigma,
+                                                     jsonl)
+
+    def test_violations_survive_a_further_resume(self, schema, sigma,
+                                                 store, jsonl):
+        """A checkpoint taken of a violating run re-reports the same
+        witnesses on the next resume — the clash aggregates persist."""
+        incremental_stream_validate(schema, sigma, "Course", jsonl,
+                                    store=store)
+        _append(jsonl, _clashing_element())
+        incremental_stream_validate(schema, sigma, "Course", jsonl,
+                                    store=store)
+        result, info = incremental_stream_validate(
+            schema, sigma, "Course", jsonl, store=store)
+        assert info["mode"] == "resumed"
+        assert info["elements_folded"] == 0
+        assert _witnesses(result) == _cold_witnesses(schema, sigma,
+                                                     jsonl)
+
+    def test_nested_violation_appended_after_checkpoint(
+            self, schema, sigma, store, jsonl, tmp_path):
+        incremental_stream_validate(schema, sigma, "Course", jsonl,
+                                    store=store)
+        with open(jsonl, "a") as handle:
+            handle.write(json.dumps(_nested_clash_row()) + "\n")
+        result, info = incremental_stream_validate(
+            schema, sigma, "Course", jsonl, store=store)
+        assert info["mode"] == "resumed"
+        assert not result.ok
+        assert _witnesses(result) == _cold_witnesses(schema, sigma,
+                                                     jsonl)
+
+    def test_nested_violation_before_checkpoint_is_restored(
+            self, schema, sigma, store, tmp_path):
+        path = str(tmp_path / "nested.jsonl")
+        rows = [to_python(e) for e in iter_set_elements(
+            workloads.course_instance().relation("Course"))]
+        rows.append(_nested_clash_row())
+        with open(path, "w") as handle:
+            for row in rows:
+                handle.write(json.dumps(row) + "\n")
+        first, _ = incremental_stream_validate(
+            schema, sigma, "Course", path, store=store)
+        assert not first.ok
+        _append(path, _clashing_element())
+        result, info = incremental_stream_validate(
+            schema, sigma, "Course", path, store=store)
+        assert info["mode"] == "resumed"
+        assert _witnesses(result) == _cold_witnesses(schema, sigma,
+                                                     path)
+
+    def test_read_only_store_resumes_without_persisting(
+            self, schema, sigma, store, jsonl):
+        incremental_stream_validate(schema, sigma, "Course", jsonl,
+                                    store=store)
+        _append(jsonl, _clashing_element())
+        reader = CacheStore(store.cache_dir, read_only=True)
+        try:
+            result, info = incremental_stream_validate(
+                schema, sigma, "Course", jsonl, store=reader)
+            assert info["mode"] == "resumed"
+            assert not info["persisted"]
+            assert _witnesses(result) == _cold_witnesses(schema, sigma,
+                                                         jsonl)
+        finally:
+            reader.close()
+
+
+class TestWatermarkInvalidation:
+    def test_rewritten_prefix_forces_cold(self, schema, sigma, store,
+                                          jsonl):
+        incremental_stream_validate(schema, sigma, "Course", jsonl,
+                                    store=store)
+        lines = open(jsonl).readlines()
+        with open(jsonl, "w") as handle:
+            handle.writelines(reversed(lines))
+        result, info = incremental_stream_validate(
+            schema, sigma, "Course", jsonl, store=store)
+        assert info["mode"] == "cold"
+        assert store.stats.stale >= 1
+        assert result.ok
+        assert _witnesses(result) == _cold_witnesses(schema, sigma,
+                                                     jsonl)
+
+    def test_truncated_file_forces_cold(self, schema, sigma, store,
+                                        jsonl):
+        incremental_stream_validate(schema, sigma, "Course", jsonl,
+                                    store=store)
+        lines = open(jsonl).readlines()
+        with open(jsonl, "w") as handle:
+            handle.writelines(lines[:1])
+        result, info = incremental_stream_validate(
+            schema, sigma, "Course", jsonl, store=store)
+        assert info["mode"] == "cold"
+        assert info["elements_folded"] == 1
+
+    def test_sigma_reorder_forces_cold_then_resumes(self, schema,
+                                                    sigma, store,
+                                                    jsonl):
+        assert len(sigma) >= 2
+        reordered = tuple(reversed(sigma))
+        incremental_stream_validate(schema, sigma, "Course", jsonl,
+                                    store=store)
+        # same fingerprint, same source id — but plan indices differ
+        assert stream_source_id(jsonl, "x", "Course") == \
+            stream_source_id(jsonl, "x", "Course")
+        result, info = incremental_stream_validate(
+            schema, reordered, "Course", jsonl, store=store)
+        assert info["mode"] == "cold"
+        assert store.stats.stale >= 1
+        _, again = incremental_stream_validate(
+            schema, reordered, "Course", jsonl, store=store)
+        assert again["mode"] == "resumed"
+
+    def test_different_relations_checkpoint_independently(
+            self, schema, sigma, store, jsonl, tmp_path):
+        fp = "samefp"
+        assert stream_source_id(jsonl, fp, "Course") != \
+            stream_source_id(jsonl, fp, "Other")
+        other = str(tmp_path / "other.jsonl")
+        with open(other, "w") as handle:
+            handle.write(open(jsonl).read())
+        assert stream_source_id(jsonl, fp, "Course") != \
+            stream_source_id(other, fp, "Course")
+
+
+class TestBudgets:
+    def test_exhausted_run_does_not_poison_the_checkpoint(
+            self, schema, sigma, store, jsonl):
+        incremental_stream_validate(schema, sigma, "Course", jsonl,
+                                    store=store)
+        _append(jsonl, _clashing_element())
+        result, info = incremental_stream_validate(
+            schema, sigma, "Course", jsonl, store=store,
+            budget=ResourceBudget(max_elements=0))
+        assert result.budget_exhausted == "max_elements"
+        assert not info["persisted"]
+        # the checkpoint still points at the last complete run, so a
+        # full-budget retry folds the append and matches cold
+        result, info = incremental_stream_validate(
+            schema, sigma, "Course", jsonl, store=store)
+        assert info["mode"] == "resumed"
+        assert info["elements_folded"] == 1
+        assert _witnesses(result) == _cold_witnesses(schema, sigma,
+                                                     jsonl)
+
+    def test_cold_exhausted_run_persists_nothing(self, schema, sigma,
+                                                 store, jsonl):
+        result, info = incremental_stream_validate(
+            schema, sigma, "Course", jsonl, store=store,
+            budget=ResourceBudget(max_elements=1))
+        assert result.budget_exhausted == "max_elements"
+        assert not info["persisted"]
+        assert store.summary()["stream_sources"] == 0
+
+    def test_resume_with_spilling_budget_matches_cold(
+            self, schema, sigma, store, jsonl):
+        incremental_stream_validate(
+            schema, sigma, "Course", jsonl, store=store,
+            budget=ResourceBudget(max_resident_rows=1))
+        _append(jsonl, _clashing_element())
+        result, info = incremental_stream_validate(
+            schema, sigma, "Course", jsonl, store=store,
+            budget=ResourceBudget(max_resident_rows=1))
+        assert info["mode"] == "resumed"
+        assert _witnesses(result) == _cold_witnesses(schema, sigma,
+                                                     jsonl)
