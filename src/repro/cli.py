@@ -33,6 +33,12 @@ The ``counter`` command is the exception: the Appendix-A construction
 lives in the Section 3.1 setting, so it rejects a restrictive spec
 instead of silently ignoring it.
 
+``implies``, ``closure``, ``keys``, and ``analyze`` accept
+``--strategy {worklist,naive,dense}`` selecting the closure engine's
+saturation strategy (default ``worklist``; ``dense`` is the interned
+bitset kernel — fastest for sweep workloads, but it records no
+provenance, so ``explain``/``prove`` always run the worklist).
+
 Commands that build a closure engine accept ``--stats``, which prints
 the engine's saturation counters (see
 :class:`repro.inference.EngineStats`) to stderr after the normal
@@ -342,6 +348,8 @@ def _cmd_implies(args) -> int:
     store = _store_from_args(args)
     session = ImplicationSession(schema, sigma,
                                  nonempty=_spec_from_args(args),
+                                 strategy=getattr(args, "strategy",
+                                                  "worklist"),
                                  tracer=tracer, store=store)
     status = 0 if session.implies(candidate) else 1
     print(f"{'implied' if status == 0 else 'not implied'}: {candidate}")
@@ -361,6 +369,8 @@ def _cmd_closure(args) -> int:
     store = _store_from_args(args)
     session = ImplicationSession(schema, sigma,
                                  nonempty=_spec_from_args(args),
+                                 strategy=getattr(args, "strategy",
+                                                  "worklist"),
                                  tracer=tracer, store=store)
     closed = session.closure(base, lhs)
     lhs_text = ", ".join(sorted(map(str, lhs))) or "∅"
@@ -451,15 +461,17 @@ def _cmd_keys(args) -> int:
     jobs = getattr(args, "jobs", 1)
     tracer = _tracer_from_args(args)
     store = _store_from_args(args)
+    strategy = getattr(args, "strategy", "worklist")
     session = None
     if jobs <= 1:
-        session = ImplicationSession(schema, sigma, spec, tracer=tracer,
+        session = ImplicationSession(schema, sigma, spec,
+                                     strategy=strategy, tracer=tracer,
                                      store=store)
     elif getattr(args, "cache_stats", False):
         print("cache stats unavailable with --jobs > 1 (each worker "
               "process holds its own session)", file=sys.stderr)
     keys = minimal_keys(schema, sigma, relation, engine=session,
-                        nonempty=spec, jobs=jobs,
+                        nonempty=spec, jobs=jobs, strategy=strategy,
                         cache_dir=store.cache_dir
                         if store is not None else None)
     report = RunReport(command="keys")
@@ -506,6 +518,8 @@ def _cmd_analyze(args) -> int:
     spec = _spec_from_args(args)
     tracer = _tracer_from_args(args)
     session = ImplicationSession(schema, list(sigma), spec,
+                                 strategy=getattr(args, "strategy",
+                                                  "worklist"),
                                  tracer=tracer)
     analysis = analyze_constraints(schema, sigma, nonempty=spec,
                                    session=session)
@@ -616,6 +630,16 @@ def build_parser() -> argparse.ArgumentParser:
                  "stderr",
         )
 
+    def strategy_arg(sub):
+        sub.add_argument(
+            "--strategy", choices=("worklist", "naive", "dense"),
+            default="worklist",
+            help="closure saturation strategy: the indexed worklist "
+                 "(default), the naive reference loop, or the dense "
+                 "bitset kernel (fastest for sweeps; records no "
+                 "provenance)",
+        )
+
     def cache_stats_arg(sub):
         sub.add_argument(
             "--cache-stats", action="store_true", dest="cache_stats",
@@ -710,6 +734,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("nfd", help='candidate, e.g. "Course:[cnum -> time]"')
     nonempty_arg(sub)
     stats_arg(sub)
+    strategy_arg(sub)
     cache_stats_arg(sub)
     cache_dir_arg(sub)
     obs_args(sub)
@@ -721,6 +746,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("paths", nargs="*", help="LHS paths")
     nonempty_arg(sub)
     stats_arg(sub)
+    strategy_arg(sub)
     cache_stats_arg(sub)
     cache_dir_arg(sub)
     obs_args(sub)
@@ -759,6 +785,7 @@ def build_parser() -> argparse.ArgumentParser:
     bundle_arg(sub)
     sub.add_argument("relation", nargs="?", default=None)
     nonempty_arg(sub)
+    strategy_arg(sub)
     cache_stats_arg(sub)
     jobs_arg(sub)
     cache_dir_arg(sub)
@@ -778,6 +805,7 @@ def build_parser() -> argparse.ArgumentParser:
     bundle_arg(sub)
     nonempty_arg(sub)
     stats_arg(sub)
+    strategy_arg(sub)
     cache_stats_arg(sub)
     obs_args(sub)
     sub.set_defaults(handler=_cmd_analyze)

@@ -5,6 +5,7 @@ from .armstrong import (
     FD,
     armstrong_relation,
     attribute_closure,
+    attribute_closure_many,
     closed_sets,
     fd_implies,
     fd_to_nfd,
@@ -13,6 +14,7 @@ from .armstrong import (
 )
 from .brute_force import BruteForceProver
 from .closure import ClosureEngine, EngineStats, Explanation
+from .dense import DenseTables, compile_tables
 from .countermodel import (
     CountermodelBuilder,
     build_countermodel,
@@ -53,6 +55,8 @@ __all__ = [
     "ClosureEngine",
     "EngineStats",
     "Explanation",
+    "DenseTables",
+    "compile_tables",
     "ImplicationSession",
     "SessionStats",
     "sigma_fingerprint",
@@ -84,6 +88,7 @@ __all__ = [
     "implies_fd_mixed",
     "satisfies_mvd",
     "attribute_closure",
+    "attribute_closure_many",
     "armstrong_relation",
     "closed_sets",
     "fd_implies",

@@ -90,14 +90,16 @@ from ..paths.typing import (
 )
 from ..types.base import SetType
 from ..types.schema import Schema
+from .dense import DenseTables, bit_indices, compile_row, compile_tables
 from .empty_sets import NonEmptySpec
 
 __all__ = ["ClosureEngine", "EngineStats", "engine_counters",
            "pool_build_count"]
 
-#: Engine saturation strategies: the indexed worklist (default) and the
-#: retained global-rescan reference used for differential testing.
-STRATEGIES = ("worklist", "naive")
+#: Engine saturation strategies: the indexed worklist (default), the
+#: retained global-rescan reference used for differential testing, and
+#: the interned-bitmask kernel (see :mod:`repro.inference.dense`).
+STRATEGIES = ("worklist", "naive", "dense")
 
 # Process-global work counters, accumulated across every engine ever
 # constructed.  Benchmarks and tests snapshot/diff these to assert
@@ -140,18 +142,25 @@ class EngineStats:
     * ``usables`` / ``candidates`` / ``activated`` — usable-pool size,
       singleton-candidate count, and activated candidates per relation;
     * ``queries`` / ``derived`` — live closure queries and the total
-      number of non-seed paths they derived, per relation.
+      number of non-seed paths they derived, per relation;
+    * ``mask_tests`` — dense-kernel row scans (each scan is at least
+      one bitmask test; zero for the object strategies);
+    * ``dense_seeds`` — dense queries created with a superset seed;
+    * ``interned`` — interned universe size per relation (dense only).
     """
 
     __slots__ = ("strategy", "saturations", "rounds", "attempts",
                  "successes", "wall_time", "usables", "candidates",
-                 "activated", "queries", "derived")
+                 "activated", "queries", "derived", "mask_tests",
+                 "dense_seeds", "interned")
 
     def __init__(self, strategy: str, saturations: int, rounds: int,
                  attempts: int, successes: int, wall_time: float,
                  usables: dict[str, int], candidates: dict[str, int],
                  activated: dict[str, int], queries: dict[str, int],
-                 derived: dict[str, int]):
+                 derived: dict[str, int], mask_tests: int = 0,
+                 dense_seeds: int = 0,
+                 interned: dict[str, int] | None = None):
         self.strategy = strategy
         self.saturations = saturations
         self.rounds = rounds
@@ -163,11 +172,14 @@ class EngineStats:
         self.activated = activated
         self.queries = queries
         self.derived = derived
+        self.mask_tests = mask_tests
+        self.dense_seeds = dense_seeds
+        self.interned = interned if interned is not None else {}
 
     #: Monotonic totals (subtracted by :meth:`diff`); the per-relation
     #: maps are point-in-time state and diff to the later snapshot's.
     CUMULATIVE = ("saturations", "rounds", "attempts", "successes",
-                  "wall_time")
+                  "wall_time", "mask_tests", "dense_seeds")
 
     def as_dict(self) -> dict:
         """The snapshot as a plain (JSON-friendly) dictionary."""
@@ -183,6 +195,9 @@ class EngineStats:
             "activated": dict(self.activated),
             "queries": dict(self.queries),
             "derived": dict(self.derived),
+            "mask_tests": self.mask_tests,
+            "dense_seeds": self.dense_seeds,
+            "interned": dict(self.interned),
         }
 
     def as_metrics(self) -> dict:
@@ -198,7 +213,10 @@ class EngineStats:
         if baseline.strategy != self.strategy:
             raise InferenceError(
                 "cannot diff snapshots from different strategies: "
-                f"{self.strategy!r} vs {baseline.strategy!r}")
+                f"{self.strategy!r} vs {baseline.strategy!r}; diff() "
+                "expects two snapshot() calls taken from the *same* "
+                "engine — snapshot() before the window, snapshot() "
+                "after, then diff the later against the earlier")
         return EngineStats(
             strategy=self.strategy,
             saturations=self.saturations - baseline.saturations,
@@ -211,6 +229,9 @@ class EngineStats:
             activated=dict(self.activated),
             queries=dict(self.queries),
             derived=dict(self.derived),
+            mask_tests=self.mask_tests - baseline.mask_tests,
+            dense_seeds=self.dense_seeds - baseline.dense_seeds,
+            interned=dict(self.interned),
         )
 
     def to_text(self) -> str:
@@ -222,6 +243,16 @@ class EngineStats:
             f"successes: {self.successes}",
             f"  saturation wall time: {self.wall_time:.6f}s",
         ]
+        if self.strategy == "dense":
+            interned = ", ".join(
+                f"{relation}={self.interned[relation]}"
+                for relation in sorted(self.interned)
+            ) or "-"
+            lines.append(
+                f"  mask tests: {self.mask_tests}  "
+                f"dense seeds: {self.dense_seeds}  "
+                f"interned ids: {interned}"
+            )
         for relation in sorted(self.usables):
             lines.append(
                 f"  {relation}: {self.usables[relation]} usable(s), "
@@ -363,7 +394,7 @@ class _SigmaPool:
 
     __slots__ = ("schema", "nonempty", "paths", "candidates",
                  "candidate_index", "member_usables", "trigger",
-                 "empty_lhs", "by_relation")
+                 "empty_lhs", "by_relation", "_dense")
 
     def __init__(self, schema: Schema, sigma: tuple[NFD, ...],
                  nonempty: NonEmptySpec):
@@ -400,6 +431,28 @@ class _SigmaPool:
                 else:
                     self.empty_lhs[relation].append((index, usable))
 
+        # Lazily compiled dense tables, per relation.  A pure cache:
+        # the tables depend only on (schema, Sigma members, nonempty),
+        # so sharing them between copy-on-write siblings is safe.
+        self._dense: dict[str, DenseTables] = {}
+
+    def dense(self, relation: str) -> DenseTables:
+        """The relation's dense tables, compiled on first use."""
+        tables = self._dense.get(relation)
+        if tables is None:
+            tables = compile_tables(self, relation)
+            self._dense[relation] = tables
+        return tables
+
+    def has_dense(self, relation: str) -> bool:
+        return relation in self._dense
+
+    def adopt_dense(self, relation: str, tables: DenseTables) -> None:
+        """Install externally compiled tables (a persisted copy, or one
+        shipped to a worker process) instead of compiling."""
+        if relation not in self._dense:
+            self._dense[relation] = tables
+
     def _build_singleton_candidates(self, schema: Schema) -> None:
         for relation in schema.relation_names:
             element = schema.element_type(relation)
@@ -430,6 +483,39 @@ class _SigmaPool:
                         candidate.premise_lhs, []).append(candidate)
 
 
+class _DenseState:
+    """One relation's dense saturation state for one engine.
+
+    ``rows`` is the append-only active rule list: the shared tables'
+    rows for this engine's active members, the overlay members compiled
+    at state creation, then rows appended as singleton candidates
+    activate.  Each query carries its own *specialized* row list
+    (``qrows``): members already covered by the query key are dropped
+    and ``keyonly`` masks are resolved against the key up front, so the
+    hot loop tests nothing but ``acc & mask``.  ``qmark`` is the
+    per-query watermark into ``rows`` (rows appended later are
+    specialized on the query's next fixpoint).
+    """
+
+    __slots__ = ("tables", "rows", "acc", "keymask", "qrows", "qmark",
+                 "cache", "pending", "unsaturated")
+
+    def __init__(self, tables: DenseTables, rows: list,
+                 pending: list[int]):
+        self.tables = tables
+        self.rows = rows
+        self.pending = pending
+        self.acc: dict[frozenset[Path], int] = {}
+        self.keymask: dict[frozenset[Path], int] = {}
+        self.qrows: dict[frozenset[Path], list] = {}
+        self.qmark: dict[frozenset[Path], int] = {}
+        # query -> (mask at materialization, frozenset) — rebuilt only
+        # when the mask has since grown
+        self.cache: dict[frozenset[Path], tuple[int, frozenset[Path]]] \
+            = {}
+        self.unsaturated: list[frozenset[Path]] = []
+
+
 class ClosureEngine:
     """Closure computation and implication for a schema and NFD set.
 
@@ -443,8 +529,12 @@ class ClosureEngine:
     the same ``(schema, Sigma)`` is cheap after the first.
 
     *strategy* selects the saturation algorithm: ``"worklist"`` (the
-    indexed semi-naive default) or ``"naive"`` (the reference global
-    fixpoint; same results, more work — see :attr:`stats`).
+    indexed semi-naive default), ``"naive"`` (the reference global
+    fixpoint; same results, more work — see :attr:`stats`), or
+    ``"dense"`` (the interned-bitmask kernel of
+    :mod:`repro.inference.dense`; same results, fastest for query
+    sweeps, but records no provenance — :meth:`explain` needs the
+    worklist).
 
     Probing nearby Sigmas is copy-on-write: :meth:`without`,
     :meth:`with_added`, and :meth:`replace` return sibling engines that
@@ -539,6 +629,11 @@ class ClosureEngine:
         self._attempts = 0
         self._successes = 0
         self._wall_time = 0.0
+        self._mask_tests = 0
+        self._dense_seeds = 0
+
+        # per-relation dense saturation state, built on first use
+        self._dense_states: dict[str, _DenseState] = {}
 
         # Compile overlay members (no broadcast needed: the engine has
         # no closure queries yet).
@@ -618,13 +713,39 @@ class ClosureEngine:
     @property
     def stats(self) -> EngineStats:
         """A point-in-time :class:`EngineStats` snapshot."""
-        derived = {
-            relation: sum(
-                len(closure_set) - len(key)
-                for key, closure_set in queries.items()
-            )
-            for relation, queries in self._queries.items()
-        }
+        if self.strategy == "dense":
+            usables: dict[str, int] = {}
+            queries: dict[str, int] = {}
+            derived: dict[str, int] = {}
+            interned: dict[str, int] = {}
+            for relation in self.schema.relation_names:
+                state = self._dense_states.get(relation)
+                if state is None:
+                    usables[relation] = sum(
+                        1 for _ in self._all_usables(relation))
+                    queries[relation] = 0
+                    derived[relation] = 0
+                    interned[relation] = 0
+                else:
+                    usables[relation] = len(state.rows)
+                    queries[relation] = len(state.acc)
+                    derived[relation] = sum(
+                        mask.bit_count() - len(key)
+                        for key, mask in state.acc.items()
+                    )
+                    interned[relation] = len(state.tables.paths)
+        else:
+            usables = {r: sum(1 for _ in self._all_usables(r))
+                       for r in self.schema.relation_names}
+            queries = {r: len(q) for r, q in self._queries.items()}
+            derived = {
+                relation: sum(
+                    len(closure_set) - len(key)
+                    for key, closure_set in relation_queries.items()
+                )
+                for relation, relation_queries in self._queries.items()
+            }
+            interned = {}
         return EngineStats(
             strategy=self.strategy,
             saturations=self._saturations,
@@ -632,13 +753,15 @@ class ClosureEngine:
             attempts=self._attempts,
             successes=self._successes,
             wall_time=self._wall_time,
-            usables={r: sum(1 for _ in self._all_usables(r))
-                     for r in self.schema.relation_names},
+            usables=usables,
             candidates={r: len(c)
                         for r, c in self._pool.candidates.items()},
             activated={r: len(a) for r, a in self._activated.items()},
-            queries={r: len(q) for r, q in self._queries.items()},
+            queries=queries,
             derived=derived,
+            mask_tests=self._mask_tests,
+            dense_seeds=self._dense_seeds,
+            interned=interned,
         )
 
     # -- pool layering -----------------------------------------------------
@@ -721,6 +844,19 @@ class ClosureEngine:
         """
         if key in self._pool.candidate_index[relation]:
             return False
+        if self.strategy == "dense":
+            state = self._dense_states.get(relation)
+            if state is None or key not in state.acc:
+                return False
+            del state.acc[key]
+            del state.keymask[key]
+            state.qrows.pop(key, None)
+            state.qmark.pop(key, None)
+            state.cache.pop(key, None)
+            if key in state.unsaturated:  # defensive: never saturated
+                state.unsaturated = [k for k in state.unsaturated
+                                     if k != key]
+            return True
         queries = self._queries[relation]
         if key not in queries:
             return False
@@ -809,6 +945,8 @@ class ClosureEngine:
             _COUNTERS["saturations"] += 1
             if self.strategy == "naive":
                 self._saturate_naive(relation)
+            elif self.strategy == "dense":
+                self._saturate_dense(relation)
             else:
                 self._saturate_worklist(relation)
             self._wall_time += time.perf_counter() - started
@@ -847,6 +985,8 @@ class ClosureEngine:
         _COUNTERS["saturations"] += 1
         if self.strategy == "naive":
             self._saturate_naive(relation)
+        elif self.strategy == "dense":
+            self._saturate_dense(relation)
         else:
             self._saturate_worklist(relation)
         self._wall_time += time.perf_counter() - started
@@ -966,6 +1106,175 @@ class ClosureEngine:
                 self._fresh[relation].clear()
                 return
 
+    # -- dense kernel ------------------------------------------------------
+
+    def _dense_state(self, relation: str) -> _DenseState:
+        state = self._dense_states.get(relation)
+        if state is None:
+            tables = self._pool.dense(relation)
+            rows: list = []
+            for index in sorted(self._active):
+                rows.extend(tables.member_rows[index])
+            for usable in self._overlay_usables[relation]:
+                rows.append(compile_row(tables.ids, relation,
+                                        usable.lhs, usable.rhs,
+                                        self.nonempty))
+            activated = self._activated[relation]
+            pending = [index for index, entry
+                       in enumerate(tables.candidates)
+                       if entry[3] not in activated]
+            state = _DenseState(tables, rows, pending)
+            self._dense_states[relation] = state
+        return state
+
+    def _dense_ensure(self, relation: str, key: frozenset[Path],
+                      seed: Iterable[Path] = ()) -> None:
+        """Create a dense query: intern the key (and seed) to masks."""
+        state = self._dense_state(relation)
+        if key in state.acc:
+            return
+        ids = state.tables.ids
+        keymask = 0
+        for path in key:
+            keymask |= 1 << ids[path]
+        accmask = keymask
+        seeded = False
+        for path in seed:
+            accmask |= 1 << ids[path]
+            seeded = True
+        if seeded:
+            self._dense_seeds += 1
+        state.acc[key] = accmask
+        state.keymask[key] = keymask
+        state.qrows[key] = []
+        state.qmark[key] = 0
+        state.unsaturated.append(key)
+
+    def _saturate_dense(self, relation: str) -> None:
+        """Saturate via the interned-bitmask kernel.
+
+        New queries run their own mask fixpoint; singleton candidates
+        activate when their premise query's accumulator covers the
+        target mask, appending precompiled rows to the active list and
+        re-running every query's fixpoint (per-query watermarks pick up
+        exactly the appended rows).  The alternation repeats until no
+        activation fires and no query grows — the same least fixpoint
+        the object strategies reach, because both saturate the same
+        monotone step operator over the same rule pool.
+        """
+        state = self._dense_state(relation)
+        if not self._seeded[relation]:
+            self._seeded[relation] = True
+            for candidate in self._pool.candidates[relation]:
+                self._dense_ensure(relation, candidate.premise_lhs)
+        # the object-worklist book-keeping has no dense meaning
+        self._dirty[relation].clear()
+        self._new_usables[relation].clear()
+        self._fresh[relation].clear()
+        acc = state.acc
+        activated = self._activated[relation]
+        while True:
+            progress = False
+            while state.unsaturated:
+                key = state.unsaturated.pop()
+                if self._dense_fixpoint(state, key):
+                    progress = True
+            if state.pending:
+                still: list[int] = []
+                fired = False
+                for index in state.pending:
+                    premise_key, target_mask, rows, cand_key = \
+                        state.tables.candidates[index]
+                    if acc.get(premise_key, 0) & target_mask \
+                            == target_mask:
+                        activated.add(cand_key)
+                        state.rows.extend(rows)
+                        fired = True
+                    else:
+                        still.append(index)
+                if fired:
+                    state.pending = still
+                    # new rows may fire anywhere: revisit every query
+                    state.unsaturated.extend(acc)
+                    progress = True
+            if not progress:
+                return
+
+    def _dense_fixpoint(self, state: _DenseState,
+                        key: frozenset[Path]) -> bool:
+        """Run one query's mask fixpoint; True if the closure grew."""
+        active = state.rows
+        qrows = state.qrows[key]
+        mark = state.qmark[key]
+        if mark < len(active):
+            # specialize rows appended since the last visit: members
+            # covered by the key drop out, keyonly masks resolve now;
+            # rows the key doesn't touch reuse the shared default list
+            keymask = state.keymask[key]
+            for rhs_bit, members, union, default in active[mark:]:
+                if not keymask & union:
+                    if default is not None:
+                        qrows.append((rhs_bit, default))
+                    continue
+                masks = []
+                dead = False
+                for uncond, keyonly in members:
+                    if (uncond & keymask) or (keyonly & keymask):
+                        continue  # covered from the seed on
+                    if not uncond:
+                        dead = True  # key-gated options can never open
+                        break
+                    masks.append(uncond)
+                if not dead:
+                    qrows.append((rhs_bit, masks))
+            state.qmark[key] = len(active)
+        acc = state.acc[key]
+        start = acc
+        passes = 0
+        scans = 0
+        # work on the rows not yet fired for this query; each pass
+        # drops the rows that fired, so late passes scan only the tail
+        pending = [row for row in qrows if not acc & row[0]]
+        progress = True
+        while progress and pending:
+            progress = False
+            passes += 1
+            scans += len(pending)
+            remaining = []
+            for row in pending:
+                if acc & row[0]:
+                    continue  # a sibling row already derived this rhs
+                for mask in row[1]:
+                    if not acc & mask:
+                        remaining.append(row)
+                        break
+                else:
+                    acc |= row[0]
+                    progress = True
+            pending = remaining
+        self._rounds += passes
+        self._attempts += scans
+        self._mask_tests += scans
+        _COUNTERS["attempts"] += scans
+        if acc == start:
+            return False
+        state.acc[key] = acc
+        self._successes += (acc ^ start).bit_count()
+        return True
+
+    def _dense_result(self, relation: str,
+                      key: frozenset[Path]) -> frozenset[Path]:
+        """Materialize a saturated dense query back into paths."""
+        state = self._dense_states[relation]
+        mask = state.acc[key]
+        cached = state.cache.get(key)
+        if cached is not None and cached[0] == mask:
+            return cached[1]
+        paths = state.tables.paths
+        result = frozenset(paths[i] for i in bit_indices(mask))
+        state.cache[key] = (mask, result)
+        return result
+
     # -- public API -----------------------------------------------------------
 
     def closure_simple(self, relation: str, lhs: Iterable[Path]) \
@@ -1001,6 +1310,10 @@ class ClosureEngine:
                     f"path {path} is not well-typed in relation "
                     f"{relation!r}"
                 )
+        if self.strategy == "dense":
+            self._dense_ensure(relation, key, seed)
+            self._saturate(relation)
+            return self._dense_result(relation, key)
         self._ensure(relation, key, seed)
         self._saturate(relation)
         return frozenset(self._queries[relation][key])
@@ -1024,6 +1337,12 @@ class ClosureEngine:
                   simple_closure: frozenset[Path]) -> frozenset[Path]:
         """The local reading of a saturated simple closure, applying the
         gated pull-out rules of Section 3.2 when needed."""
+        if ybar.is_empty:
+            # relation-name base: stripping an empty prefix is the
+            # identity and the closure never contains the empty path,
+            # so the simple closure IS the local reading (the gated
+            # branch below also returns `result` unchanged here)
+            return simple_closure
         result = frozenset(
             p.strip_prefix(ybar) for p in simple_closure
             if ybar.is_proper_prefix_of(p)
@@ -1085,6 +1404,128 @@ class ClosureEngine:
         return self._pull_out(base, relation, ybar, lhs_set,
                               simple_closure)
 
+    def closure_many(self, queries) -> list[frozenset[Path]]:
+        """Batch :meth:`closure`: one result per ``(base, lhs)`` pair.
+
+        Answers are identical to mapping :meth:`closure` over the
+        batch, but the engine visits the simple-form keys in subset
+        order (ascending size, then canonical text) and seeds each
+        saturation from the largest already-computed closure of a
+        strict subset key — sound by monotonicity of ``CL`` exactly as
+        in :meth:`closure_simple_seeded` — so a sweep of overlapping
+        queries pays for the *new* derivations only.  Results come back
+        in input order.
+        """
+        prepared = []
+        for base, lhs in queries:
+            relation, ybar, lhs_set, simple_lhs = \
+                self._push_in(base, lhs)
+            prepared.append((base, relation, ybar, lhs_set, simple_lhs))
+        order = sorted(
+            range(len(prepared)),
+            key=lambda i: (len(prepared[i][4]),
+                           tuple(sorted(str(p) for p in prepared[i][4])))
+        )
+        computed: dict[tuple[str, frozenset[Path]], frozenset[Path]] = {}
+        for i in order:
+            _, relation, _, _, simple_lhs = prepared[i]
+            slot = (relation, simple_lhs)
+            if slot in computed:
+                continue
+            # drop-one probes: sub-combinations sort earlier, so their
+            # closures are already computed; each CL(key - {p}) is a
+            # subset of CL(key), and so is their union
+            seed: frozenset[Path] | None = None
+            for path in simple_lhs:
+                sub = computed.get((relation, simple_lhs - {path}))
+                if sub is not None:
+                    seed = sub if seed is None else seed | sub
+            computed[slot] = self.closure_simple_seeded(
+                relation, simple_lhs, seed if seed is not None else ())
+        return [
+            self._pull_out(base, relation, ybar, lhs_set,
+                           computed[(relation, simple_lhs)])
+            for base, relation, ybar, lhs_set, simple_lhs in prepared
+        ]
+
+    def covers_many(self, queries_base: Path, candidates,
+                    targets: Iterable[Path]) -> list[bool]:
+        """Batch verdicts: does ``closure(base, candidate)`` contain
+        every path of *targets*, for each candidate?
+
+        Answers equal ``[targets <= closure(base, c) for c in
+        candidates]``.  At a relation-name base the dense strategy
+        reads each verdict straight off the saturated accumulator mask
+        — no closure is ever materialized back into path objects, which
+        is the dominant non-kernel cost of a key sweep.  Other
+        strategies (and nested bases, whose pull-out gating needs the
+        path-level reading) route through :meth:`closure_many`.
+        """
+        target_set = frozenset(targets)
+        prepared = [frozenset(candidate) for candidate in candidates]
+        if self.strategy == "dense" and queries_base.tail.is_empty \
+                and queries_base.first in self.schema:
+            return self._covers_many_dense(queries_base.first, prepared,
+                                           target_set)
+        closures = self.closure_many(
+            [(queries_base, candidate) for candidate in prepared])
+        return [target_set <= closed for closed in closures]
+
+    def _covers_many_dense(self, relation: str,
+                           keys: list[frozenset[Path]],
+                           targets: frozenset[Path]) -> list[bool]:
+        """Mask-only sweep: saturate each candidate in subset order with
+        drop-one mask seeding, then answer every verdict with one
+        ``acc & target == target`` test."""
+        state = self._dense_state(relation)
+        ids = state.tables.ids
+        target_mask = 0
+        for path in targets:
+            bit = ids.get(path)
+            if bit is None:
+                raise InferenceError(
+                    f"path {path} is not well-typed in relation "
+                    f"{relation!r}")
+            target_mask |= 1 << bit
+        order = sorted(
+            range(len(keys)),
+            key=lambda i: (len(keys[i]),
+                           tuple(sorted(str(p) for p in keys[i])))
+        )
+        acc = state.acc
+        for i in order:
+            key = keys[i]
+            if key in acc:
+                continue
+            keymask = 0
+            for path in key:
+                bit = ids.get(path)
+                if bit is None:
+                    raise InferenceError(
+                        f"path {path} is not well-typed in relation "
+                        f"{relation!r}")
+                keymask |= 1 << bit
+            # drop-one probes: sub-combinations sort earlier and are
+            # already saturated; their masks are sound seeds by
+            # monotonicity of CL, no path objects involved
+            accmask = keymask
+            seeded = False
+            for path in key:
+                sub = acc.get(key - {path})
+                if sub is not None:
+                    accmask |= sub
+                    seeded = True
+            if seeded:
+                self._dense_seeds += 1
+            acc[key] = accmask
+            state.keymask[key] = keymask
+            state.qrows[key] = []
+            state.qmark[key] = 0
+            state.unsaturated.append(key)
+            self._saturate(relation)
+        self._mask_tests += len(keys)
+        return [acc[key] & target_mask == target_mask for key in keys]
+
     def _stated_at_base(self, base: Path, lhs_set: frozenset[Path],
                         q: Path) -> bool:
         """Is ``base:[lhs -> q]`` a (possibly augmented) Sigma member?"""
@@ -1123,6 +1564,10 @@ class ClosureEngine:
         LHS needed.  Raises :class:`InferenceError` when the NFD is not
         implied.
         """
+        if self.strategy == "dense":
+            raise InferenceError(
+                "the dense strategy records no provenance; build the "
+                "engine with strategy='worklist' for explain/prove")
         if not self.implies(nfd):
             raise InferenceError(
                 f"{nfd} is not implied; ask find_countermodel for a "

@@ -174,7 +174,10 @@ class SessionStats:
             raise InferenceError(
                 "cannot diff snapshots of different sessions "
                 f"({self.fingerprint[:12]} vs "
-                f"{baseline.fingerprint[:12]})")
+                f"{baseline.fingerprint[:12]}); diff() expects two "
+                "snapshot() calls taken from the *same* session — "
+                "snapshot() before the window, snapshot() after, then "
+                "diff the later against the earlier")
         return SessionStats(
             fingerprint=self.fingerprint,
             queries=self.queries - baseline.queries,
@@ -229,13 +232,14 @@ class ImplicationSession:
 
     def __init__(self, schema: Schema, sigma: Iterable[NFD],
                  nonempty: NonEmptySpec | None = None, *,
+                 strategy: str = "worklist",
                  max_memo: int = DEFAULT_MAX_MEMO, tracer=None,
                  store=None, _engine: ClosureEngine | None = None):
         if _engine is not None:
             self.engine = _engine
         else:
             self.engine = ClosureEngine(schema, sigma, nonempty,
-                                        tracer=tracer)
+                                        strategy=strategy, tracer=tracer)
         if max_memo < 1:
             raise InferenceError("max_memo must be at least 1")
         self.max_memo = max_memo
@@ -248,6 +252,9 @@ class ImplicationSession:
         self._store_misses = 0
         self.fingerprint = sigma_fingerprint(
             self.engine.schema, self.engine.sigma, self.engine.nonempty)
+        if store is not None and _engine is None \
+                and self.engine.strategy == "dense":
+            self._warm_dense()
         # (relation, key) -> closure, in LRU order (oldest first).
         self._memo: "OrderedDict[tuple[str, frozenset[Path]], frozenset[Path]]" \
             = OrderedDict()
@@ -259,6 +266,30 @@ class ImplicationSession:
         self._misses = 0
         self._seed_reuses = 0
         self._evictions = 0
+
+    def _warm_dense(self) -> None:
+        """Adopt persisted dense tables / persist freshly compiled ones.
+
+        Dense tables depend on ``(schema, Sigma members, nonempty)`` —
+        the fingerprint — but their rows are tagged by Σ *member index*
+        (the fingerprint is order-independent, indexes are not), so the
+        persisted payload carries the member texts in order and a
+        mismatch is a miss, never a wrong answer (exactly the
+        compiled-plan rule)."""
+        pool = self.engine._pool
+        sigma_texts = tuple(str(nfd) for nfd in self.engine.sigma)
+        for relation in self.engine.schema.relation_names:
+            payload = self.store.get_dense(self.fingerprint, relation)
+            if payload is not None:
+                stored_texts, tables = payload
+                if stored_texts == sigma_texts:
+                    pool.adopt_dense(relation, tables)
+                    continue
+                self.store.note_stale()
+            if not pool.has_dense(relation):
+                self.store.put_dense(self.fingerprint, relation,
+                                     (sigma_texts,
+                                      pool.dense(relation)))
 
     # -- introspection -----------------------------------------------------
 
@@ -273,6 +304,11 @@ class ImplicationSession:
     @property
     def nonempty(self) -> NonEmptySpec:
         return self.engine.nonempty
+
+    @property
+    def strategy(self) -> str:
+        """The engine's saturation strategy (worklist/naive/dense)."""
+        return self.engine.strategy
 
     @property
     def tracer(self):
@@ -383,10 +419,24 @@ class ImplicationSession:
 
     def _best_seed(self, relation: str,
                    key: frozenset[Path]) -> frozenset[Path] | None:
-        """The largest cached ``CL(X)`` with ``X ⊂ key``, if any."""
+        """A cached-closure seed for ``CL(key)``: the union of every
+        cached ``CL(key - {p})`` (each is a subset of ``CL(key)`` by
+        monotonicity, so their union seeds soundly).  Combination
+        sweeps — the heavy caller, via :meth:`closure_batch` — always
+        hit these drop-one probes (a candidate's sub-combinations are
+        visited first), making the probe O(|key|); only when every
+        probe misses does the original full memo scan for the largest
+        strict-subset closure run."""
         cached = self._by_relation.get(relation)
         if not cached:
             return None
+        seed: frozenset[Path] | None = None
+        for path in key:
+            sub = cached.get(key - {path})
+            if sub is not None:
+                seed = sub if seed is None else seed | sub
+        if seed is not None:
+            return seed
         best: frozenset[Path] | None = None
         for other, closure in cached.items():
             if len(other) < len(key) and other < key:
@@ -413,6 +463,60 @@ class ImplicationSession:
         return self.engine._pull_out(base, relation, ybar, lhs_set,
                                      simple_closure)
 
+    def closure_batch(self, queries) -> list[frozenset[Path]]:
+        """Batch :meth:`closure`: one result per ``(base, lhs)`` pair.
+
+        The session-level counterpart of
+        :meth:`ClosureEngine.closure_many`: the batch is visited in
+        subset order (ascending simple-LHS size, then canonical text)
+        so each memo miss can seed from the closures the batch itself
+        just computed — :meth:`closure_simple` finds them through
+        ``_best_seed`` — and results come back in input order,
+        identical to mapping :meth:`closure` over the batch."""
+        prepared = []
+        for base, lhs in queries:
+            relation, ybar, lhs_set, simple_lhs = \
+                self.engine._push_in(base, lhs)
+            prepared.append((base, relation, ybar, lhs_set, simple_lhs))
+        order = sorted(
+            range(len(prepared)),
+            key=lambda i: (len(prepared[i][4]),
+                           tuple(sorted(str(p) for p in prepared[i][4])))
+        )
+        computed: dict[tuple, frozenset[Path]] = {}
+        for i in order:
+            _, relation, _, _, simple_lhs = prepared[i]
+            slot = (relation, simple_lhs)
+            if slot not in computed:
+                computed[slot] = self.closure_simple(relation,
+                                                     simple_lhs)
+        return [
+            self.engine._pull_out(base, relation, ybar, lhs_set,
+                                  computed[(relation, simple_lhs)])
+            for base, relation, ybar, lhs_set, simple_lhs in prepared
+        ]
+
+    def covers_batch(self, base: Path, candidates,
+                     targets: Iterable[Path]) -> list[bool]:
+        """Batch key-style verdicts: for each candidate, does
+        ``closure(base, candidate)`` contain every path of *targets*?
+
+        Answers equal ``[targets <= self.closure(base, c) for c in
+        candidates]``.  Dense-strategy sessions at a relation-name base
+        delegate to :meth:`ClosureEngine.covers_many` — verdicts come
+        straight off the kernel's saturated masks, skipping both
+        closure materialization and the memo (a sweep's candidates
+        rarely repeat, so the memo only adds bookkeeping there); other
+        configurations route through :meth:`closure_batch` and keep the
+        memo warm.
+        """
+        if self.engine.strategy == "dense" and base.tail.is_empty:
+            return self.engine.covers_many(base, candidates, targets)
+        target_set = frozenset(targets)
+        closures = self.closure_batch(
+            [(base, candidate) for candidate in candidates])
+        return [target_set <= closed for closed in closures]
+
     def implies(self, nfd: NFD) -> bool:
         """Decide ``Sigma |= nfd`` (identical to the engine's answer)."""
         try:
@@ -422,8 +526,21 @@ class ImplicationSession:
         return nfd.rhs in self.closure(nfd.base, nfd.lhs)
 
     def implies_all(self, nfds: Iterable[NFD]) -> bool:
-        """True iff every NFD in *nfds* is implied."""
-        return all(self.implies(nfd) for nfd in nfds)
+        """True iff every NFD in *nfds* is implied.
+
+        Runs the closures as one :meth:`closure_batch` (subset-ordered,
+        seed-sharing), so a cover check over a whole Σ pays for each
+        distinct simple LHS once."""
+        candidates = list(nfds)
+        for nfd in candidates:
+            try:
+                nfd.check_well_formed(self.schema)
+            except NFDError as exc:
+                raise InferenceError(str(exc)) from exc
+        closures = self.closure_batch(
+            [(nfd.base, nfd.lhs) for nfd in candidates])
+        return all(nfd.rhs in closed
+                   for nfd, closed in zip(candidates, closures))
 
     # -- copy-on-write delta probes ----------------------------------------
 

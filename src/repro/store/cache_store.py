@@ -18,6 +18,10 @@ canonical byte encoding of :mod:`repro.values.canonical`:
   :class:`~repro.nfd.batch_validate.ValidatorEngine`, tagged with the
   Σ member order (the fingerprint is order-independent but plan
   indices are not — a reordered Σ is a *miss*, never a wrong answer);
+* ``dense_tables`` — ``(fingerprint, relation) -> pickled interned
+  closure tables`` of :mod:`repro.inference.dense`, tagged with the Σ
+  member order exactly like plans (dense rows are indexed positionally),
+  so a dense-strategy session warm-starts with zero compilation;
 * ``stream_sources`` / ``stream_groups`` — per-source watermarks and
   per-plan ``[key, first, clash]`` aggregate blobs for incremental
   streaming (see :mod:`repro.store.stream_cache`): one pickled list of
@@ -63,7 +67,7 @@ __all__ = ["CacheStore", "CacheStats", "CacheWarning",
            "DB_FILENAME", "SCHEMA_VERSION"]
 
 #: Bump when the SQLite table layout changes incompatibly.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: The database file created inside a cache directory.
 DB_FILENAME = "repro-cache.sqlite"
@@ -89,6 +93,12 @@ CREATE TABLE IF NOT EXISTS closure_memo (
 CREATE TABLE IF NOT EXISTS plans (
     fingerprint TEXT PRIMARY KEY,
     payload     BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS dense_tables (
+    fingerprint TEXT NOT NULL,
+    relation    TEXT NOT NULL,
+    payload     BLOB NOT NULL,
+    PRIMARY KEY (fingerprint, relation)
 );
 CREATE TABLE IF NOT EXISTS stream_sources (
     source_id    TEXT PRIMARY KEY,
@@ -160,7 +170,8 @@ class CacheStats:
     """
 
     __slots__ = ("closure_hits", "closure_misses", "plan_hits",
-                 "plan_misses", "stream_hits", "stream_misses",
+                 "plan_misses", "dense_hits", "dense_misses",
+                 "stream_hits", "stream_misses",
                  "stale", "errors", "writes")
 
     def __init__(self):
@@ -168,6 +179,8 @@ class CacheStats:
         self.closure_misses = 0
         self.plan_hits = 0
         self.plan_misses = 0
+        self.dense_hits = 0
+        self.dense_misses = 0
         self.stream_hits = 0
         self.stream_misses = 0
         self.stale = 0
@@ -188,6 +201,8 @@ class CacheStats:
             f"{self.closure_misses} miss(es)",
             f"  plans: {self.plan_hits} hit(s)  "
             f"{self.plan_misses} miss(es)",
+            f"  dense tables: {self.dense_hits} hit(s)  "
+            f"{self.dense_misses} miss(es)",
             f"  stream: {self.stream_hits} hit(s)  "
             f"{self.stream_misses} miss(es)",
             f"  stale: {self.stale}  errors: {self.errors}  "
@@ -262,8 +277,8 @@ class CacheStore:
             # schema or codec moved on: every entry is unreadable under
             # the new encoding, so drop the lot and start clean
             self.stats.stale += 1
-            for table in ("closure_memo", "plans", "stream_sources",
-                          "stream_groups", "meta"):
+            for table in ("closure_memo", "plans", "dense_tables",
+                          "stream_sources", "stream_groups", "meta"):
                 conn.execute(f"DROP TABLE IF EXISTS {table}")
         conn.executescript(_TABLES)
         conn.execute(
@@ -430,6 +445,41 @@ class CacheStore:
         """Record that a cached entry existed but was unusable."""
         self.stats.stale += 1
 
+    # -- dense closure tables ----------------------------------------------
+
+    def get_dense(self, fingerprint: str, relation: str) -> Any | None:
+        """The unpickled ``(sigma_texts, DenseTables)`` payload for one
+        relation's interned closure tables (see
+        :mod:`repro.inference.dense`), or ``None`` on a miss.  Like
+        compiled plans, the payload is tagged with the Σ member order:
+        row indices are positional, so a reordered Σ must re-compile."""
+        rows = self._read(
+            "SELECT payload FROM dense_tables WHERE fingerprint = ? "
+            "AND relation = ?", (fingerprint, relation))
+        if not rows:
+            self.stats.dense_misses += 1
+            return None
+        try:
+            payload = pickle.loads(rows[0][0])
+        except Exception:
+            self.stats.stale += 1
+            self.stats.dense_misses += 1
+            return None
+        self.stats.dense_hits += 1
+        return payload
+
+    def put_dense(self, fingerprint: str, relation: str,
+                  payload: Any) -> None:
+        try:
+            blob = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            self.stats.errors += 1
+            return
+        self._write([(
+            "INSERT OR REPLACE INTO dense_tables "
+            "(fingerprint, relation, payload) VALUES (?, ?, ?)",
+            (fingerprint, relation, blob))])
+
     # -- stream source state ----------------------------------------------
 
     def get_stream_source(self, source_id: str) -> dict | None:
@@ -525,9 +575,14 @@ class CacheStore:
         ``stream_groups`` counts persisted group aggregates (summed
         across the per-plan blobs), not physical rows."""
         counts = {}
-        for table in ("closure_memo", "plans", "stream_sources"):
+        for table in ("closure_memo", "plans", "dense_tables",
+                      "stream_sources"):
             rows = self._read(f"SELECT COUNT(*) FROM {table}")
             counts[table] = rows[0][0] if rows else 0
+        rows = self._read(
+            "SELECT COALESCE(SUM(LENGTH(payload)), 0) "
+            "FROM dense_tables")
+        counts["dense_bytes"] = rows[0][0] if rows else 0
         rows = self._read(
             "SELECT COALESCE(SUM(groups), 0) FROM stream_groups")
         counts["stream_groups"] = rows[0][0] if rows else 0
@@ -550,6 +605,7 @@ class CacheStore:
         return self._write([
             ("DELETE FROM closure_memo", ()),
             ("DELETE FROM plans", ()),
+            ("DELETE FROM dense_tables", ()),
             ("DELETE FROM stream_sources", ()),
             ("DELETE FROM stream_groups", ()),
         ])

@@ -269,6 +269,46 @@ class TestCounterNonemptySpec:
                      "Course:[time -> cnum]"]) == 0
 
 
+class TestStrategyFlag:
+    def test_dense_implies_matches_default(self, course_bundle, capsys):
+        assert main(["implies", course_bundle,
+                     "Course:[students:sid, time -> books]"]) == 0
+        default = capsys.readouterr().out
+        assert main(["implies", course_bundle,
+                     "Course:[students:sid, time -> books]",
+                     "--strategy", "dense"]) == 0
+        assert capsys.readouterr().out == default
+        assert main(["implies", course_bundle,
+                     "Course:[time -> cnum]",
+                     "--strategy", "dense"]) == 1
+
+    def test_dense_closure_and_keys_match_default(self, course_bundle,
+                                                  capsys):
+        assert main(["closure", course_bundle, "Course", "cnum"]) == 0
+        closure_out = capsys.readouterr().out
+        assert main(["closure", course_bundle, "Course", "cnum",
+                     "--strategy", "dense"]) == 0
+        assert capsys.readouterr().out == closure_out
+        assert main(["keys", course_bundle]) == 0
+        keys_out = capsys.readouterr().out
+        assert main(["keys", course_bundle,
+                     "--strategy", "dense"]) == 0
+        assert capsys.readouterr().out == keys_out
+
+    def test_dense_stats_name_the_strategy(self, course_bundle, capsys):
+        assert main(["implies", course_bundle,
+                     "Course:[students:sid, time -> books]",
+                     "--strategy", "dense", "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "engine stats (dense strategy)" in err
+        assert "mask tests" in err
+
+    def test_unknown_strategy_rejected(self, course_bundle, capsys):
+        with pytest.raises(SystemExit):
+            main(["implies", course_bundle, "Course:[cnum -> time]",
+                  "--strategy", "magic"])
+
+
 class TestStatsFlag:
     def test_implies_prints_stats_to_stderr(self, course_bundle, capsys):
         assert main(["implies", course_bundle,

@@ -163,6 +163,21 @@ class TestCacheSubcommand:
         assert main(["cache", "stats"]) == 0
         assert "available: True" in capsys.readouterr().out
 
+    def test_stats_report_dense_tables(self, course_bundle, cache_dir,
+                                       capsys):
+        # a dense-strategy query persists the interned tables ...
+        assert main(["closure", course_bundle, "Course", "cnum",
+                     "--strategy", "dense",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        # ... and `cache stats` reports their rows and bytes
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        stats = dict(line.split(": ", 1)
+                     for line in out.splitlines() if ": " in line)
+        assert int(stats["dense_tables"]) >= 1
+        assert int(stats["dense_bytes"]) > 0
+
 
 class TestIncrementalCLI:
     def test_requires_a_cache_dir(self, course_bundle, course_jsonl,

@@ -10,6 +10,7 @@ from repro.inference import (
     FD,
     ClosureEngine,
     attribute_closure,
+    attribute_closure_many,
     fd_implies,
     fd_to_nfd,
     is_flat_relation,
@@ -39,6 +40,34 @@ class TestAttributeClosure:
     def test_fd_identity(self):
         assert FD({"A", "B"}, "C") == FD({"B", "A"}, "C")
         assert hash(FD({"A"}, "B")) == hash(FD({"A"}, "B"))
+
+
+class TestAttributeClosureMany:
+    def test_matches_single_closures(self):
+        fds = [FD({"A"}, "B"), FD({"B"}, "C"), FD({"C", "D"}, "E"),
+               FD(set(), "F")]
+        bases = [set(), {"A"}, {"D"}, {"A", "D"}, {"C", "D"}, {"A"}]
+        batch = attribute_closure_many(bases, fds)
+        assert batch == [attribute_closure(base, fds)
+                         for base in bases]
+
+    def test_random_agreement(self):
+        rng = random.Random(7)
+        names = [f"a{i}" for i in range(8)]
+        for _ in range(25):
+            fds = [FD(rng.sample(names, rng.randint(0, 2)),
+                      rng.choice(names)) for _ in range(rng.randint(1, 8))]
+            bases = [rng.sample(names, rng.randint(0, 3))
+                     for _ in range(10)]
+            assert attribute_closure_many(bases, fds) == \
+                [attribute_closure(base, fds) for base in bases]
+
+    def test_order_independent(self):
+        fds = [FD({"A"}, "B"), FD({"B"}, "C")]
+        bases = [{"A"}, {"B"}, {"C"}]
+        forward = attribute_closure_many(bases, fds)
+        assert attribute_closure_many(reversed(bases), fds) == \
+            forward[::-1]
 
 
 class TestBridge:

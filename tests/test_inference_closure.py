@@ -271,7 +271,7 @@ class TestGatedPrefixCoverage:
 
     def test_prefix_covered_member_fires(self, gated_setup):
         schema, sigma, spec = gated_setup
-        for strategy in ("worklist", "naive"):
+        for strategy in ("worklist", "naive", "dense"):
             engine = ClosureEngine(schema, sigma, nonempty=spec,
                                    strategy=strategy)
             assert engine.implies(parse_nfd("R:[A:B -> E]")), strategy
@@ -284,3 +284,92 @@ class TestGatedPrefixCoverage:
         spec = NonEmptySpec({parse_path("R")})
         engine = ClosureEngine(schema, sigma, nonempty=spec)
         assert not engine.implies(parse_nfd("R:[A:B -> E]"))
+
+
+class TestDenseStrategy:
+    """The interned-bitmask kernel behind ``strategy="dense"``."""
+
+    def test_agrees_with_worklist(self, course_schema, course_sigma):
+        dense = ClosureEngine(course_schema, course_sigma,
+                              strategy="dense")
+        worklist = ClosureEngine(course_schema, course_sigma)
+        for text in ["Course:[students:sid, time -> books]",
+                     "Course:[students:sid -> books]",
+                     "Course:students:[sid -> grade]",
+                     "Course:[cnum -> time]"]:
+            assert dense.implies(parse_nfd(text)) == \
+                worklist.implies(parse_nfd(text)), text
+
+    def test_closure_many_matches_mapped(self, course_schema,
+                                         course_sigma):
+        base = parse_path("Course")
+        queries = [(base, _paths("cnum")), (base, _paths("time")),
+                   (base, _paths("cnum", "time")), (base, frozenset())]
+        batch = ClosureEngine(course_schema, course_sigma,
+                              strategy="dense").closure_many(queries)
+        fresh = ClosureEngine(course_schema, course_sigma,
+                              strategy="dense")
+        assert batch == [fresh.closure(b, lhs) for b, lhs in queries]
+
+    def test_covers_many_matches_membership(self, course_schema,
+                                            course_sigma):
+        base = parse_path("Course")
+        candidates = [_paths("cnum"), _paths("time"), _paths("books")]
+        targets = _paths("time", "books")
+        engine = ClosureEngine(course_schema, course_sigma,
+                               strategy="dense")
+        verdicts = engine.covers_many(base, candidates, targets)
+        fresh = ClosureEngine(course_schema, course_sigma)
+        assert verdicts == [targets <= fresh.closure(base, c)
+                            for c in candidates]
+
+    def test_covers_many_rejects_bad_paths(self, course_schema,
+                                           course_sigma):
+        engine = ClosureEngine(course_schema, course_sigma,
+                               strategy="dense")
+        with pytest.raises(InferenceError, match="not well-typed"):
+            engine.covers_many(parse_path("Course"),
+                               [_paths("nope")], _paths("time"))
+
+    def test_explain_requires_provenance(self, course_schema,
+                                         course_sigma):
+        engine = ClosureEngine(course_schema, course_sigma,
+                               strategy="dense")
+        with pytest.raises(InferenceError, match="worklist"):
+            engine.explain(parse_nfd("Course:[cnum -> time]"))
+
+    def test_stats_report_kernel_counters(self, course_schema,
+                                          course_sigma):
+        engine = ClosureEngine(course_schema, course_sigma,
+                               strategy="dense")
+        engine.implies(parse_nfd("Course:[students:sid, time -> books]"))
+        stats = engine.stats
+        assert stats.strategy == "dense"
+        assert stats.mask_tests > 0
+        assert stats.interned["Course"] > 0
+        payload = stats.as_metrics()
+        assert payload["mask_tests"] == stats.mask_tests
+        assert payload["dense_seeds"] == stats.dense_seeds
+        assert payload["interned"] == stats.interned
+        text = stats.to_text()
+        assert "mask tests" in text
+        assert "interned ids" in text
+
+    def test_diff_mismatch_names_snapshot_misuse(self, course_schema,
+                                                 course_sigma):
+        dense = ClosureEngine(course_schema, course_sigma,
+                              strategy="dense").stats
+        worklist = ClosureEngine(course_schema, course_sigma).stats
+        with pytest.raises(InferenceError,
+                           match=r"snapshot\(\) calls taken from the "
+                                 r"\*same\* engine"):
+            dense.diff(worklist)
+
+    def test_batch_seeding_counts(self, course_schema, course_sigma):
+        engine = ClosureEngine(course_schema, course_sigma,
+                               strategy="dense")
+        base = parse_path("Course")
+        engine.closure_many([(base, _paths("cnum")),
+                             (base, _paths("cnum", "time"))])
+        # the two-member query must have seeded from the one-member one
+        assert engine.stats.dense_seeds >= 1

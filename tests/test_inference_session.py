@@ -202,3 +202,56 @@ class TestForgetQuery:
         engine.closure_simple("Course", key)
         assert engine.forget_query("Course", key) is True
         assert engine.forget_query("Course", key) is False
+
+
+class TestStrategyAndBatches:
+    def test_strategy_is_forwarded(self, course):
+        schema, sigma = course
+        assert ImplicationSession(schema, sigma).strategy == "worklist"
+        dense = ImplicationSession(schema, sigma, strategy="dense")
+        assert dense.strategy == "dense"
+        assert dense.engine.strategy == "dense"
+
+    def test_closure_batch_matches_mapped_closure(self, course):
+        schema, sigma = course
+        base = parse_path("Course")
+        queries = [(base, _paths("cnum")),
+                   (base, _paths("cnum", "time")),
+                   (base, _paths("books"))]
+        for strategy in ("worklist", "dense"):
+            batch = ImplicationSession(schema, sigma,
+                                       strategy=strategy) \
+                .closure_batch(queries)
+            fresh = ImplicationSession(schema, sigma, strategy=strategy)
+            assert batch == [fresh.closure(b, lhs) for b, lhs in queries]
+
+    def test_covers_batch_matches_membership(self, course):
+        schema, sigma = course
+        base = parse_path("Course")
+        candidates = [_paths("cnum"), _paths("time")]
+        targets = _paths("time", "books")
+        for strategy in ("worklist", "dense"):
+            session = ImplicationSession(schema, sigma,
+                                         strategy=strategy)
+            fresh = ImplicationSession(schema, sigma, strategy=strategy)
+            assert session.covers_batch(base, candidates, targets) == [
+                targets <= fresh.closure(base, c) for c in candidates
+            ]
+
+    def test_implies_all_matches_per_member(self, course):
+        schema, sigma = course
+        session = ImplicationSession(schema, sigma, strategy="dense")
+        assert session.implies_all(sigma)
+        bogus = parse_nfd("Course:[time -> cnum]")
+        assert session.implies_all(list(sigma) + [bogus]) == \
+            all(ImplicationSession(schema, sigma).implies(nfd)
+                for nfd in list(sigma) + [bogus])
+
+    def test_diff_mismatch_names_snapshot_misuse(self, course):
+        schema, sigma = course
+        mine = ImplicationSession(schema, sigma).snapshot()
+        other = ImplicationSession(schema, sigma[:-1]).snapshot()
+        with pytest.raises(InferenceError,
+                           match=r"snapshot\(\) calls taken from the "
+                                 r"\*same\* session"):
+            mine.diff(other)

@@ -203,6 +203,63 @@ class TestPlanTable:
         assert engine.stats.as_dict()["plan_compilations"] == 1
 
 
+class TestDenseTablesTable:
+    def test_round_trip(self, cache_dir, schema, sigma):
+        from repro.inference.dense import compile_tables
+        from repro.inference.closure import ClosureEngine
+
+        fp = sigma_fingerprint(schema, tuple(sigma))
+        engine = ClosureEngine(schema, sigma, strategy="dense")
+        tables = engine._pool.dense("Course")
+        payload = (tuple(str(nfd) for nfd in sigma), tables)
+        with CacheStore(cache_dir) as store:
+            assert store.get_dense(fp, "Course") is None
+            assert store.stats.dense_misses == 1
+            store.put_dense(fp, "Course", payload)
+            texts, restored = store.get_dense(fp, "Course")
+            assert texts == payload[0]
+            assert restored.paths == tables.paths
+            assert restored.ids == tables.ids
+            assert restored.member_rows == tables.member_rows
+            summary = store.summary()
+            assert summary["dense_tables"] == 1
+            assert summary["dense_bytes"] > 0
+            assert "dense tables" in store.stats.to_text()
+        assert compile_tables is not None  # the pickle layer's source
+
+    def test_dense_session_warm_starts_from_the_store(self, cache_dir,
+                                                      schema, sigma):
+        base = parse_path("Course")
+        lhs = {parse_path("cnum")}
+        with CacheStore(cache_dir) as store:
+            cold = ImplicationSession(schema, sigma, store=store,
+                                      strategy="dense")
+            cold_closure = cold.closure(base, lhs)
+            assert store.summary()["dense_tables"] >= 1
+        with CacheStore(cache_dir) as store:
+            warm = ImplicationSession(schema, sigma, store=store,
+                                      strategy="dense")
+            # the tables were adopted, not recompiled
+            assert store.stats.dense_hits >= 1
+            assert warm.engine._pool.has_dense("Course")
+            assert warm.closure(base, lhs) == cold_closure
+
+    def test_sigma_reorder_is_stale_not_wrong(self, cache_dir, schema,
+                                              sigma):
+        sigma = tuple(sigma)
+        reordered = tuple(reversed(sigma))
+        with CacheStore(cache_dir) as store:
+            ImplicationSession(schema, sigma, store=store,
+                               strategy="dense")
+        with CacheStore(cache_dir) as store:
+            # same fingerprint, but dense rows are indexed by Σ member
+            # position — the payload must be recompiled, not adopted
+            session = ImplicationSession(schema, reordered, store=store,
+                                         strategy="dense")
+            assert store.stats.stale >= 1
+            assert session.implies(sigma[0])
+
+
 class TestSpillPlacement:
     def _spilling_run(self, schema, sigma, spill_root):
         instance = workloads.course_instance()
