@@ -24,6 +24,8 @@ analyze   keys / singletons / redundancy / minimal-cover report
 report    render the whole bundle as a Markdown document
 repair    chase the instance into consistency, write a new bundle
 cache     persistent cache maintenance (stats / clear / vacuum)
+serve     run the constraint-checking daemon (see repro.server)
+client    administer a running daemon (ping / stats / shutdown)
 ========  ==========================================================
 
 Commands that reason under the Section 3.2 empty-set rules accept
@@ -81,6 +83,16 @@ only the new lines.  The cache is purely an accelerator: a missing,
 corrupt, or version-mismatched database degrades to the cold
 computation with a warning on stderr and identical stdout and exit
 codes.  ``repro cache stats|clear|vacuum`` maintains the database.
+
+``repro serve`` runs the long-lived constraint-checking daemon (see
+:mod:`repro.server`): a line-delimited JSON protocol over TCP, a warm
+pool of sessions and compiled plans shared by every client, admission
+control, and cooperative deadlines.  ``check``, ``implies``,
+``closure``, and ``keys`` accept ``--server HOST:PORT`` to route the
+query through a running daemon instead of computing in-process —
+stdout and exit codes are identical either way (observability stays
+server-side: query it with ``repro client stats``).  ``repro client
+ping|stats|shutdown`` administer a daemon.
 
 Every command returns a conventional exit status (0 success / holds,
 1 violation / does not hold, 2 usage error), so the CLI composes with
@@ -209,7 +221,127 @@ def _emit_cache_stats(args, session) -> None:
         print(session.stats.to_text(), file=sys.stderr)
 
 
+# -- daemon passthrough ----------------------------------------------------
+
+
+def _remote_client(args):
+    """A connected :class:`~repro.server.ReproClient` for ``--server``.
+
+    Transport failures raise :class:`~repro.errors.ReproError`
+    subclasses, which :func:`main` renders as ``error: ...`` + exit 2.
+    """
+    from .server import ReproClient, parse_endpoint
+
+    host, port = parse_endpoint(args.server)
+    return ReproClient(host, port)
+
+
+def _remote_bundle(args) -> dict:
+    """The bundle file as a plain JSON object, with ``--nonempty``
+    flags overriding the persisted declarations — the same precedence
+    :func:`_spec_from_args` gives the in-process path."""
+    import json
+
+    try:
+        content = FilePath(args.bundle).read_text()
+    except OSError as exc:
+        raise ReproError(f"cannot read bundle {args.bundle!r}: {exc}") \
+            from exc
+    try:
+        payload = json.loads(content)
+    except json.JSONDecodeError as exc:
+        raise ReproError(
+            f"bundle is not valid JSON at line {exc.lineno}, column "
+            f"{exc.colno}: {exc.msg}") from exc
+    if not isinstance(payload, dict):
+        raise ReproError("bundle must be a JSON object")
+    declared = getattr(args, "nonempty", None)
+    if declared:
+        payload["nonempty"] = list(declared)
+    return payload
+
+
+def _obs_note(args) -> None:
+    """Observability lives daemon-side: note ignored local flags."""
+    ignored = [flag for flag, name in (
+        ("--stats", "stats"), ("--cache-stats", "cache_stats"),
+        ("--trace", "trace"), ("--metrics-json", "metrics_json"),
+    ) if getattr(args, name, None)]
+    if ignored:
+        print(f"note: {', '.join(ignored)} ignored with --server "
+              "(query the daemon with `repro client stats`)",
+              file=sys.stderr)
+
+
+def _cmd_check_remote(args) -> int:
+    _obs_note(args)
+    bundle = _remote_bundle(args)
+    if bundle.get("instance") is None:
+        print("bundle has no instance to check", file=sys.stderr)
+        return 2
+    with _remote_client(args) as client:
+        result = client.check(bundle)
+    for violation in result.get("violations", ()):
+        print(violation)
+        print()
+    if not result.get("satisfied", False):
+        print(f"{len(result.get('violations', ()))} violation(s)")
+        return 1
+    print("instance satisfies all constraints")
+    return 0
+
+
+def _cmd_implies_remote(args) -> int:
+    _obs_note(args)
+    bundle = _remote_bundle(args)
+    with _remote_client(args) as client:
+        implied = client.implies(bundle, args.nfd,
+                                 strategy=getattr(args, "strategy",
+                                                  None))
+    candidate = parse_nfd(args.nfd)
+    print(f"{'implied' if implied else 'not implied'}: {candidate}")
+    return 0 if implied else 1
+
+
+def _cmd_closure_remote(args) -> int:
+    _obs_note(args)
+    bundle = _remote_bundle(args)
+    base = parse_path(args.base)
+    lhs = {parse_path(text) for text in args.paths}
+    with _remote_client(args) as client:
+        closed = client.closure(bundle, args.base, list(args.paths),
+                                strategy=getattr(args, "strategy",
+                                                 None))
+    lhs_text = ", ".join(sorted(map(str, lhs))) or "∅"
+    print(f"({base}, {{{lhs_text}}})* =")
+    for path in closed:
+        print(f"  {path}")
+    return 0
+
+
+def _cmd_keys_remote(args) -> int:
+    _obs_note(args)
+    bundle = _remote_bundle(args)
+    with _remote_client(args) as client:
+        result = client.keys(bundle, args.relation,
+                             strategy=getattr(args, "strategy", None))
+    relation = result.get("relation", args.relation)
+    keys = result.get("keys", [])
+    if not keys:
+        print(f"{relation}: no key among the top-level attributes")
+        return 1
+    for key in keys:
+        print(f"{relation}: {{{', '.join(key)}}}")
+    return 0
+
+
 def _cmd_check(args) -> int:
+    if getattr(args, "server", None):
+        if getattr(args, "stream", None):
+            print("error: --stream runs locally; drop --server",
+                  file=sys.stderr)
+            return 2
+        return _cmd_check_remote(args)
     if getattr(args, "stream", None):
         return _cmd_check_stream(args)
     schema, sigma, instance = _load(args.bundle)
@@ -342,6 +474,8 @@ def _cmd_check_stream(args) -> int:
 
 
 def _cmd_implies(args) -> int:
+    if getattr(args, "server", None):
+        return _cmd_implies_remote(args)
     schema, sigma, _ = _load(args.bundle)
     candidate = parse_nfd(args.nfd)
     tracer = _tracer_from_args(args)
@@ -362,6 +496,8 @@ def _cmd_implies(args) -> int:
 
 
 def _cmd_closure(args) -> int:
+    if getattr(args, "server", None):
+        return _cmd_closure_remote(args)
     schema, sigma, _ = _load(args.bundle)
     base = parse_path(args.base)
     lhs = {parse_path(text) for text in args.paths}
@@ -455,6 +591,8 @@ def _cmd_render(args) -> int:
 
 
 def _cmd_keys(args) -> int:
+    if getattr(args, "server", None):
+        return _cmd_keys_remote(args)
     schema, sigma, _ = _load(args.bundle)
     relation = args.relation or schema.relation_names[0]
     spec = _spec_from_args(args)
@@ -604,6 +742,65 @@ def _cmd_cache(args) -> int:
         store.close()
 
 
+def _cmd_serve(args) -> int:
+    """``repro serve``: run the daemon until SIGINT/SIGTERM.
+
+    Prints one readiness line — ``repro daemon listening on
+    HOST:PORT`` — once the listener is bound (with ``--port 0`` the
+    line carries the actual ephemeral port), so supervisors and test
+    harnesses can wait on it instead of polling.
+    """
+    from .server import ServerConfig, run_server
+
+    from .store import resolve_cache_dir
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        max_inflight=args.max_inflight,
+        max_pending=args.max_pending,
+        connection_deadline=args.deadline,
+        cache_dir=resolve_cache_dir(getattr(args, "cache_dir", None)),
+        allow_debug=args.allow_debug,
+        allow_shutdown=args.allow_shutdown,
+    )
+    tracer = _tracer_from_args(args)
+
+    def announce(server) -> None:
+        print(f"repro daemon listening on {server.host}:{server.port}",
+              flush=True)
+
+    report = run_server(config, tracer=tracer, ready=announce)
+    path = getattr(args, "metrics_json", None)
+    if path:
+        report.write_json(path)
+    if tracer is not None:
+        tracer.write_jsonl(args.trace)
+    print("repro daemon stopped", flush=True)
+    return 0
+
+
+def _cmd_client(args) -> int:
+    """``repro client ping|stats|shutdown``: daemon administration."""
+    from .server import ReproClient, parse_endpoint
+
+    host, port = parse_endpoint(args.server)
+    with ReproClient(host, port, timeout=args.timeout) as client:
+        if args.action == "ping":
+            client.ping()
+            print(f"pong from {host}:{port}")
+            return 0
+        if args.action == "stats":
+            import json as json_module
+            print(json_module.dumps(client.stats(), indent=2,
+                                    sort_keys=True))
+            return 0
+        client.shutdown()
+        print("server stopping")
+        return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -661,6 +858,14 @@ def build_parser() -> argparse.ArgumentParser:
                  "checkpoints in DIR's SQLite database across runs "
                  "(default: the REPRO_CACHE_DIR environment variable; "
                  "neither set = no persistence)",
+        )
+
+    def server_arg(sub):
+        sub.add_argument(
+            "--server", metavar="HOST:PORT",
+            help="answer through a running `repro serve` daemon "
+                 "instead of computing in-process (same stdout and "
+                 "exit codes; observability stays server-side)",
         )
 
     def obs_args(sub):
@@ -726,6 +931,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     jobs_arg(sub)
     cache_dir_arg(sub)
+    server_arg(sub)
     obs_args(sub)
     sub.set_defaults(handler=_cmd_check)
 
@@ -737,6 +943,7 @@ def build_parser() -> argparse.ArgumentParser:
     strategy_arg(sub)
     cache_stats_arg(sub)
     cache_dir_arg(sub)
+    server_arg(sub)
     obs_args(sub)
     sub.set_defaults(handler=_cmd_implies)
 
@@ -749,6 +956,7 @@ def build_parser() -> argparse.ArgumentParser:
     strategy_arg(sub)
     cache_stats_arg(sub)
     cache_dir_arg(sub)
+    server_arg(sub)
     obs_args(sub)
     sub.set_defaults(handler=_cmd_closure)
 
@@ -789,6 +997,7 @@ def build_parser() -> argparse.ArgumentParser:
     cache_stats_arg(sub)
     jobs_arg(sub)
     cache_dir_arg(sub)
+    server_arg(sub)
     obs_args(sub)
     sub.set_defaults(handler=_cmd_keys)
 
@@ -832,6 +1041,52 @@ def build_parser() -> argparse.ArgumentParser:
                           "every entry; vacuum: reclaim disk space")
     cache_dir_arg(sub)
     sub.set_defaults(handler=_cmd_cache)
+
+    sub = commands.add_parser(
+        "serve", help="run the constraint-checking daemon")
+    sub.add_argument("--host", default="127.0.0.1",
+                     help="interface to bind (default 127.0.0.1)")
+    sub.add_argument("--port", type=int, default=0, metavar="N",
+                     help="port to bind (default 0: an ephemeral port, "
+                          "reported on the readiness line)")
+    sub.add_argument("--max-sessions", type=int, default=32,
+                     dest="max_sessions", metavar="N",
+                     help="warm-engine pool bound: distinct Σ "
+                          "fingerprints kept live (LRU eviction)")
+    sub.add_argument("--max-inflight", type=int, default=8,
+                     dest="max_inflight", metavar="N",
+                     help="requests executing concurrently before "
+                          "admission control queues")
+    sub.add_argument("--max-pending", type=int, default=32,
+                     dest="max_pending", metavar="N",
+                     help="queued requests before new ones are shed "
+                          "with an overloaded response")
+    sub.add_argument("--deadline", type=float, default=None,
+                     metavar="S",
+                     help="per-connection wall-clock budget in "
+                          "seconds; check requests stop cooperatively "
+                          "at the deadline (stream-engine budget)")
+    sub.add_argument("--allow-debug", action="store_true",
+                     dest="allow_debug",
+                     help="honour ping sleep_ms (testing aid)")
+    sub.add_argument("--allow-shutdown", action="store_true",
+                     dest="allow_shutdown",
+                     help="honour the remote shutdown request")
+    cache_dir_arg(sub)
+    obs_args(sub)
+    sub.set_defaults(handler=_cmd_serve)
+
+    sub = commands.add_parser(
+        "client", help="administer a running daemon")
+    sub.add_argument("action", choices=("ping", "stats", "shutdown"),
+                     help="ping: round-trip check; stats: dump the "
+                          "daemon's metrics as JSON; shutdown: stop "
+                          "it (needs --allow-shutdown server-side)")
+    sub.add_argument("--server", metavar="HOST:PORT", required=True,
+                     help="the daemon's endpoint")
+    sub.add_argument("--timeout", type=float, default=30.0,
+                     metavar="S", help="socket timeout in seconds")
+    sub.set_defaults(handler=_cmd_client)
 
     return parser
 

@@ -1,0 +1,41 @@
+"""Client/server split: the constraint-checking daemon and its client.
+
+The per-process engines of the inference and validation layers —
+memoized :class:`~repro.inference.ImplicationSession` closures,
+compiled :class:`~repro.nfd.ValidatorEngine` plans, dense kernel
+tables — are fast once warm, but every fresh process pays the warm-up
+again.  This package turns them into *fleet-shared* infrastructure:
+
+* :mod:`repro.server.protocol` — the line-delimited JSON wire format
+  (versioned ``hello`` handshake, explicit ``id`` correlation, typed
+  error responses);
+* :mod:`repro.server.pool` — the bounded LRU of warm engines keyed by
+  Σ fingerprint, with coalesced compilation and closure batching;
+* :mod:`repro.server.daemon` — the asyncio server: admission control
+  with load-shed responses, cooperative deadlines riding the stream
+  engine's :class:`~repro.nfd.stream_validate.ResourceBudget`, and
+  full observability through :mod:`repro.obs`;
+* :mod:`repro.server.client` — the thin synchronous client the CLI's
+  ``repro client`` verbs and ``--server`` passthrough use.
+
+CLI entry points: ``repro serve`` runs the daemon; ``repro client
+ping|stats|shutdown`` administer it; ``check`` / ``implies`` /
+``closure`` / ``keys`` accept ``--server HOST:PORT`` to answer through
+a daemon instead of in-process, with identical stdout and exit codes.
+"""
+
+from .client import ClientError, ReproClient, ServerError, parse_endpoint
+from .daemon import (BackgroundServer, ReproServer, ServerConfig,
+                     ServerStats, run_server)
+from .pool import EnginePool, PoolEntry, PoolStats
+from .protocol import (DEFAULT_PORT, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+                       ProtocolError)
+
+__all__ = [
+    "ReproServer", "ServerConfig", "ServerStats", "BackgroundServer",
+    "run_server",
+    "EnginePool", "PoolEntry", "PoolStats",
+    "ReproClient", "ClientError", "ServerError", "parse_endpoint",
+    "ProtocolError", "PROTOCOL_VERSION", "DEFAULT_PORT",
+    "MAX_FRAME_BYTES",
+]

@@ -1,0 +1,741 @@
+"""The constraint-checking daemon: asyncio, line-delimited JSON.
+
+:class:`ReproServer` is a long-lived TCP server answering ``implies``,
+``closure``, ``keys``, and ``check`` queries over the protocol of
+:mod:`repro.server.protocol`.  It exists so a fleet of clients shares
+one set of warm engines (:class:`~repro.server.pool.EnginePool`)
+instead of each process paying saturation and plan compilation on
+startup — the per-process caches of the inference and validation
+layers, turned into shared infrastructure.
+
+Operational behaviour, all of it bounded and typed:
+
+* **Admission control** — at most ``max_inflight`` requests execute at
+  once and at most ``max_pending`` wait; a request beyond both is shed
+  immediately with ``{"error": "overloaded", "retry_after_ms": ...}``
+  instead of queueing unboundedly or hanging.
+* **Deadlines** — with ``connection_deadline`` set, every connection
+  gets a wall-clock budget; ``check`` requests thread the remaining
+  time into the stream engine's cooperative
+  :class:`~repro.nfd.stream_validate.ResourceBudget` (the same
+  machinery ``check --stream --deadline`` uses), so even a validation
+  that is mid-walk stops at the deadline and answers
+  ``deadline_exceeded`` with its progress.
+* **Frame bounds** — a request line beyond ``max_frame_bytes`` is
+  answered with ``frame_too_large`` and the connection is closed.
+* **Observability** — per-request spans when a tracer is attached,
+  request/latency/shed/eviction counters in :class:`ServerStats`, and
+  a ``stats`` request (or ``repro serve --metrics-json``) rendering
+  the same numbers through a :class:`~repro.obs.RunReport`.
+
+No stack trace ever crosses the wire or lands on stderr: unexpected
+handler failures become ``{"error": "internal"}`` responses and a
+counter tick, and the warm pool survives them.
+
+:class:`BackgroundServer` runs the same server on a daemon thread for
+tests and embedding; the CLI's ``repro serve`` runs :func:`run_server`
+in the foreground with signal-driven shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import NFDError, ReproError
+from ..nfd.stream_validate import ResourceBudget, stream_validate
+from ..io.stream import iter_set_elements
+from ..nfd.parser import parse_nfd
+from ..obs import RunReport, Tracer
+from ..paths.path import parse_path
+from .pool import EnginePool
+from .protocol import (MAX_FRAME_BYTES, PROTOCOL_VERSION, STRATEGIES,
+                       ProtocolError, decode_line, encode,
+                       error_response, ok_response,
+                       parse_bundle_payload)
+
+__all__ = ["ServerConfig", "ServerStats", "ReproServer",
+           "BackgroundServer", "run_server"]
+
+
+@dataclass
+class ServerConfig:
+    """Everything ``repro serve`` can tune, in one picklable record."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                     # 0 = ephemeral, report after bind
+    max_sessions: int = 32            # engine-pool LRU bound
+    max_inflight: int = 8             # concurrently executing requests
+    max_pending: int = 32             # admission queue bound
+    connection_deadline: float | None = None  # seconds per connection
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    cache_dir: str | None = None      # persistent store write-through
+    allow_debug: bool = False         # honour ping {"sleep_ms": ...}
+    allow_shutdown: bool = False      # honour the shutdown request
+    retry_after_ms: int = 50          # advisory backoff in shed replies
+
+    def validate(self) -> None:
+        if self.max_sessions < 1:
+            raise ReproError("max-sessions must be at least 1")
+        if self.max_inflight < 1:
+            raise ReproError("max-inflight must be at least 1")
+        if self.max_pending < 0:
+            raise ReproError("max-pending must be >= 0")
+        if self.connection_deadline is not None \
+                and self.connection_deadline < 0:
+            raise ReproError("deadline must be >= 0")
+        if not (0 < self.port < 65536 or self.port == 0):
+            raise ReproError(f"port must be 0..65535, got {self.port}")
+
+
+class ServerStats:
+    """Cumulative counters of the daemon's lifetime activity."""
+
+    __slots__ = ("started_at", "connections", "connections_active",
+                 "requests", "by_type", "ok", "errors", "by_error",
+                 "sheds", "deadline_hits", "protocol_errors",
+                 "bytes_in", "bytes_out", "latency_count",
+                 "latency_total_ms", "latency_max_ms")
+
+    def __init__(self):
+        self.started_at = time.monotonic()
+        self.connections = 0
+        self.connections_active = 0
+        self.requests = 0
+        self.by_type: dict[str, int] = {}
+        self.ok = 0
+        self.errors = 0
+        self.by_error: dict[str, int] = {}
+        self.sheds = 0
+        self.deadline_hits = 0
+        self.protocol_errors = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.latency_count = 0
+        self.latency_total_ms = 0.0
+        self.latency_max_ms = 0.0
+
+    def observe(self, request_type: str, ok: bool, elapsed_ms: float,
+                error_code: str | None = None) -> None:
+        self.requests += 1
+        self.by_type[request_type] = \
+            self.by_type.get(request_type, 0) + 1
+        if ok:
+            self.ok += 1
+        else:
+            self.errors += 1
+            if error_code is not None:
+                self.by_error[error_code] = \
+                    self.by_error.get(error_code, 0) + 1
+        self.latency_count += 1
+        self.latency_total_ms += elapsed_ms
+        if elapsed_ms > self.latency_max_ms:
+            self.latency_max_ms = elapsed_ms
+
+    def as_dict(self) -> dict:
+        mean = (self.latency_total_ms / self.latency_count
+                if self.latency_count else 0.0)
+        return {
+            "uptime_s": time.monotonic() - self.started_at,
+            "connections": self.connections,
+            "connections_active": self.connections_active,
+            "requests": self.requests,
+            "by_type": dict(self.by_type),
+            "ok": self.ok,
+            "errors": self.errors,
+            "by_error": dict(self.by_error),
+            "sheds": self.sheds,
+            "deadline_hits": self.deadline_hits,
+            "protocol_errors": self.protocol_errors,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "latency_mean_ms": mean,
+            "latency_max_ms": self.latency_max_ms,
+        }
+
+    def as_metrics(self) -> dict:
+        """The :class:`~repro.obs.RunReport` section protocol."""
+        return self.as_dict()
+
+
+class ReproServer:
+    """The asyncio daemon.  See the module docstring for semantics."""
+
+    def __init__(self, config: ServerConfig | None = None, *,
+                 tracer: Tracer | None = None):
+        self.config = config if config is not None else ServerConfig()
+        self.config.validate()
+        self.tracer = tracer
+        self.stats = ServerStats()
+        self.store = None
+        if self.config.cache_dir is not None:
+            from ..store import open_store
+            self.store = open_store(self.config.cache_dir)
+        self.pool = EnginePool(max_entries=self.config.max_sessions,
+                               store=self.store, tracer=tracer)
+        self.host: str | None = None
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._inflight = 0
+        self._waiting = 0
+        self._slots: asyncio.Semaphore | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and record the actual host/port."""
+        self._stop_event = asyncio.Event()
+        self._slots = asyncio.Semaphore(self.config.max_inflight)
+        self._server = await asyncio.start_server(
+            self._on_connect, self.config.host, self.config.port,
+            limit=self.config.max_frame_bytes)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to finish (safe from the loop thread)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def wait_stopped(self) -> None:
+        await self._stop_event.wait()
+
+    async def close(self) -> None:
+        """Stop accepting, drop live connections, release the store."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks,
+                                 return_exceptions=True)
+        if self.store is not None:
+            self.store.close()
+            self.store = None
+
+    async def run(self) -> None:
+        """``start`` + serve until :meth:`request_stop` + ``close``."""
+        await self.start()
+        try:
+            await self.wait_stopped()
+        finally:
+            await self.close()
+
+    def report(self) -> RunReport:
+        """The daemon's consolidated metrics report."""
+        report = (RunReport(command="serve")
+                  .add("server", self.stats)
+                  .add("pool", self.pool))
+        if self.store is not None:
+            report.add("cache", self.store.stats)
+        return report
+
+    # -- connection handling -----------------------------------------------
+
+    async def _on_connect(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self.stats.connections += 1
+        self.stats.connections_active += 1
+        deadline_at = None
+        if self.config.connection_deadline is not None:
+            deadline_at = time.monotonic() \
+                + self.config.connection_deadline
+        greeted = False
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # the frame outgrew the stream limit; the buffer
+                    # was discarded, so the stream position is gone —
+                    # answer and close
+                    self.stats.protocol_errors += 1
+                    await self._send(writer, error_response(
+                        None, "frame_too_large",
+                        f"request line exceeds "
+                        f"{self.config.max_frame_bytes} bytes"))
+                    break
+                if not line:
+                    break  # client closed cleanly
+                self.stats.bytes_in += len(line)
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_line(line)
+                except ProtocolError as exc:
+                    self.stats.protocol_errors += 1
+                    await self._send(writer, error_response(
+                        None, exc.code, str(exc)))
+                    if exc.close:
+                        break
+                    continue
+                response, close, greeted = await self._dispatch(
+                    request, greeted, deadline_at)
+                await self._send(writer, response)
+                if close:
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass  # client vanished mid-stream, or the daemon is closing
+        finally:
+            self.stats.connections_active -= 1
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    response: dict) -> None:
+        data = encode(response)
+        self.stats.bytes_out += len(data)
+        writer.write(data)
+        await writer.drain()
+
+    # -- dispatch ----------------------------------------------------------
+
+    QUERY_TYPES = ("implies", "closure", "keys", "check")
+
+    async def _dispatch(self, request: dict, greeted: bool,
+                        deadline_at: float | None) \
+            -> tuple[dict, bool, bool]:
+        """One request → ``(response, close_connection, greeted)``."""
+        request_id = request.get("id")
+        request_type = request["type"]
+        started = time.monotonic()
+
+        def done(response: dict, close: bool = False):
+            elapsed_ms = (time.monotonic() - started) * 1000.0
+            code = response.get("error")
+            self.stats.observe(request_type, response.get("ok", False),
+                               elapsed_ms, code)
+            return response, close, greeted or request_type == "hello" \
+                and response.get("ok", False)
+
+        if not greeted and request_type != "hello":
+            return done(error_response(
+                request_id, "handshake_required",
+                'the first request must be {"type": "hello", '
+                f'"version": {PROTOCOL_VERSION}}}'), close=True)
+        if request_type == "hello":
+            version = request.get("version")
+            if version != PROTOCOL_VERSION:
+                return done(error_response(
+                    request_id, "version_mismatch",
+                    f"server speaks protocol {PROTOCOL_VERSION}, "
+                    f"client offered {version!r}",
+                    server_version=PROTOCOL_VERSION), close=True)
+            return done(ok_response(request_id, "hello", {
+                "server": "repro",
+                "protocol": PROTOCOL_VERSION,
+                "strategies": list(STRATEGIES),
+                "types": ["hello", "ping", "stats", "shutdown",
+                          *self.QUERY_TYPES],
+            }))
+        if request_type == "ping":
+            sleep_ms = request.get("sleep_ms", 0)
+            if sleep_ms and self.config.allow_debug:
+                admitted = await self._admit()
+                if not admitted:
+                    return done(self._shed_response(request_id))
+                try:
+                    await asyncio.sleep(sleep_ms / 1000.0)
+                finally:
+                    self._slots.release()
+            return done(ok_response(request_id, "ping",
+                                    {"pong": True}))
+        if request_type == "stats":
+            return done(ok_response(request_id, "stats", {
+                "server": self.stats.as_dict(),
+                "pool": self.pool.as_metrics(),
+            }))
+        if request_type == "shutdown":
+            if not self.config.allow_shutdown:
+                return done(error_response(
+                    request_id, "shutdown_disabled",
+                    "the daemon was started without "
+                    "--allow-shutdown"))
+            response, close, greeted = done(ok_response(
+                request_id, "shutdown", {"stopping": True}),
+                close=True)
+            self.request_stop()
+            return response, close, greeted
+        if request_type not in self.QUERY_TYPES:
+            return done(error_response(
+                request_id, "unknown_type",
+                f"unknown request type {request_type!r}; this server "
+                f"speaks {', '.join(('hello', 'ping', 'stats', 'shutdown') + self.QUERY_TYPES)}"))
+
+        # -- query types: admission control, then the handler ------------
+        admitted = await self._admit()
+        if not admitted:
+            return done(self._shed_response(request_id))
+        try:
+            remaining = None
+            if deadline_at is not None:
+                remaining = max(0.0, deadline_at - time.monotonic())
+            tracer = self.tracer
+            if tracer is None:
+                response = await self._handle_query(
+                    request_id, request_type, request, remaining)
+            else:
+                with tracer.span("server.request", type=request_type) \
+                        as span:
+                    response = await self._handle_query(
+                        request_id, request_type, request, remaining)
+                    span.add("ok", bool(response.get("ok")))
+            if response.get("error") == "deadline_exceeded":
+                self.stats.deadline_hits += 1
+            return done(response)
+        except ProtocolError as exc:
+            if exc.code == "deadline_exceeded":
+                self.stats.deadline_hits += 1
+            return done(error_response(request_id, exc.code, str(exc)))
+        except ReproError as exc:
+            return done(error_response(request_id, "invalid_query",
+                                       str(exc)))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # no traceback across the wire or onto stderr — the typed
+            # response plus a counter is the whole fault surface
+            return done(error_response(
+                request_id, "internal",
+                f"{type(exc).__name__}: {exc}"))
+        finally:
+            self._slots.release()
+
+    async def _admit(self) -> bool:
+        """Admission control: a bounded wait for an execution slot."""
+        if self._slots.locked():
+            if self._waiting >= self.config.max_pending:
+                return False
+            self._waiting += 1
+            try:
+                await self._slots.acquire()
+            finally:
+                self._waiting -= 1
+            return True
+        await self._slots.acquire()
+        return True
+
+    def _shed_response(self, request_id) -> dict:
+        self.stats.sheds += 1
+        return error_response(
+            request_id, "overloaded",
+            f"server is at capacity ({self.config.max_inflight} "
+            f"in flight, {self.config.max_pending} queued)",
+            retry_after_ms=self.config.retry_after_ms)
+
+    # -- query handlers ----------------------------------------------------
+
+    @staticmethod
+    def _strategy_of(request: dict) -> str:
+        strategy = request.get("strategy", "worklist")
+        if strategy not in STRATEGIES:
+            raise ProtocolError(
+                "invalid_query",
+                f"unknown strategy {strategy!r}; expected one of "
+                f"{', '.join(STRATEGIES)}")
+        return strategy
+
+    @staticmethod
+    def _effective_deadline(request: dict,
+                            remaining: float | None) -> float | None:
+        """The request's cooperative budget: the smaller of the
+        connection's remaining time and the request's own ``deadline``
+        parameter (``None`` = unbounded)."""
+        requested = request.get("deadline")
+        if requested is not None:
+            if not isinstance(requested, (int, float)) \
+                    or isinstance(requested, bool) or requested < 0:
+                raise ProtocolError(
+                    "invalid_query",
+                    f'"deadline" must be a non-negative number, got '
+                    f"{requested!r}")
+            remaining = requested if remaining is None \
+                else min(remaining, float(requested))
+        return remaining
+
+    def _check_deadline(self, deadline: float | None) -> None:
+        if deadline is not None and deadline <= 0:
+            raise ProtocolError("deadline_exceeded",
+                                "the connection deadline has expired")
+
+    async def _handle_query(self, request_id, request_type: str,
+                            request: dict,
+                            remaining: float | None) -> dict:
+        deadline = self._effective_deadline(request, remaining)
+        if "bundle" not in request:
+            raise ProtocolError(
+                "invalid_query",
+                f'"{request_type}" requires a "bundle" object')
+        schema, sigma, instance, spec = \
+            parse_bundle_payload(request["bundle"])
+        entry = self.pool.entry_for(schema, sigma, spec)
+        if request_type == "check":
+            return await self._query_check(request_id, entry, instance,
+                                           deadline)
+        strategy = self._strategy_of(request)
+        self._check_deadline(deadline)
+        if request_type == "implies":
+            return await self._query_implies(request_id, entry,
+                                             strategy, request)
+        if request_type == "closure":
+            return await self._query_closure(request_id, entry,
+                                             strategy, request)
+        return await self._query_keys(request_id, entry, strategy,
+                                      request)
+
+    async def _query_implies(self, request_id, entry, strategy,
+                             request) -> dict:
+        text = request.get("nfd")
+        if not isinstance(text, str):
+            raise ProtocolError("invalid_query",
+                                '"implies" requires an "nfd" string')
+        candidate = parse_nfd(text)
+        session = await self.pool.session_for(entry, strategy)
+        try:
+            candidate.check_well_formed(session.schema)
+        except NFDError as exc:
+            raise ProtocolError("invalid_query", str(exc)) from exc
+        batcher = await self.pool.batcher_for(entry, strategy)
+        closed = await batcher.closure(candidate.base, candidate.lhs)
+        implied = candidate.rhs in closed
+        return ok_response(request_id, "implies", {
+            "implied": implied,
+            "nfd": str(candidate),
+        })
+
+    async def _query_closure(self, request_id, entry, strategy,
+                             request) -> dict:
+        """Single ``base``/``paths`` query, or a pipelined ``queries``
+        list — either way served through the entry's batcher, so
+        concurrent and pipelined queries share kernel sweeps."""
+        if "queries" in request:
+            specs = request["queries"]
+            if not isinstance(specs, list) or not all(
+                    isinstance(q, (list, tuple)) and len(q) == 2
+                    for q in specs):
+                raise ProtocolError(
+                    "invalid_query",
+                    '"queries" must be a list of [base, [paths]] '
+                    "pairs")
+            single = False
+        else:
+            if not isinstance(request.get("base"), str):
+                raise ProtocolError(
+                    "invalid_query",
+                    '"closure" requires a "base" path string')
+            specs = [[request["base"], request.get("paths", [])]]
+            single = True
+        parsed = []
+        for base_text, path_texts in specs:
+            if not isinstance(path_texts, (list, tuple)) or not all(
+                    isinstance(p, str) for p in path_texts):
+                raise ProtocolError(
+                    "invalid_query", '"paths" must be a list of path '
+                                     "strings")
+            parsed.append((parse_path(base_text),
+                           {parse_path(p) for p in path_texts}))
+        batcher = await self.pool.batcher_for(entry, strategy)
+        closures = await asyncio.gather(*[
+            batcher.closure(base, lhs) for base, lhs in parsed])
+        # Path-tuple sort order (what the CLI prints), not string sort
+        # — the two differ once labels mix digits and separators
+        rendered = [[str(p) for p in sorted(closed)]
+                    for closed in closures]
+        result = {"closures": rendered}
+        if single:
+            result["closure"] = rendered[0]
+        return ok_response(request_id, "closure", result)
+
+    async def _query_keys(self, request_id, entry, strategy,
+                          request) -> dict:
+        from ..analysis import minimal_keys
+        relation = request.get("relation")
+        if relation is None:
+            relation = entry.schema.relation_names[0]
+        if not isinstance(relation, str):
+            raise ProtocolError("invalid_query",
+                                '"relation" must be a string')
+        session = await self.pool.session_for(entry, strategy)
+        keys = minimal_keys(entry.schema, entry.sigma, relation,
+                            engine=session, nonempty=entry.nonempty,
+                            strategy=strategy)
+        return ok_response(request_id, "keys", {
+            "relation": relation,
+            "keys": [sorted(str(p) for p in key) for key in keys],
+        })
+
+    async def _query_check(self, request_id, entry, instance,
+                           deadline: float | None) -> dict:
+        if instance is None:
+            raise ProtocolError(
+                "invalid_query",
+                'bundle has no "instance" to check')
+        from ..values import check_instance
+        check_instance(instance)
+        if deadline is None:
+            # the warm path: the pool's compiled validator, one walk
+            validator = await self.pool.validator_for(entry)
+            result = validator.validate(instance, all_violations=True)
+            return ok_response(request_id, "check", {
+                "satisfied": not result.violations,
+                "violations": [v.describe()
+                               for v in result.violations],
+                "partial": None,
+            })
+        # a bounded check rides the stream engine's cooperative
+        # cancellation: elements feed through iter_set_elements and
+        # the ResourceBudget deadline stops the walk mid-stream
+        budget = ResourceBudget(deadline=deadline)
+        sources = {
+            name: iter_set_elements(instance.relation(name))
+            for name in dict.fromkeys(nfd.relation
+                                      for nfd in entry.sigma)
+        }
+        result = stream_validate(entry.schema, entry.sigma, sources,
+                                 budget=budget, store=self.store,
+                                 tracer=self.tracer)
+        if result.budget_exhausted is not None \
+                and not result.violations:
+            raise ProtocolError(
+                "deadline_exceeded",
+                f"deadline expired after {result.elements_seen} "
+                f"element(s); verdict unknown")
+        return ok_response(request_id, "check", {
+            "satisfied": result.ok,
+            "violations": [v.describe() for v in result.violations],
+            "partial": result.budget_exhausted,
+            "elements_seen": result.elements_seen,
+        })
+
+
+# ---------------------------------------------------------------- embedding
+
+
+class BackgroundServer:
+    """A daemon on a background thread, for tests and embedding.
+
+    ::
+
+        with BackgroundServer(ServerConfig(allow_debug=True)) as bg:
+            client = ReproClient(bg.host, bg.port)
+
+    ``start`` blocks until the listener is bound (so ``host``/``port``
+    are real), and ``stop`` blocks until the loop thread has exited —
+    no sleeps, no races.
+    """
+
+    def __init__(self, config: ServerConfig | None = None, *,
+                 tracer: Tracer | None = None):
+        self.server = ReproServer(config, tracer=tracer)
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._startup_error: BaseException | None = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self, timeout: float = 10.0) -> "BackgroundServer":
+        self._thread = threading.Thread(target=self._main,
+                                        name="repro-server",
+                                        daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ReproError("server thread did not start in time")
+        if self._startup_error is not None:
+            raise ReproError(
+                f"server failed to start: {self._startup_error}")
+        return self
+
+    def _main(self) -> None:
+        asyncio.run(self._serve())
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self.server.wait_stopped()
+        finally:
+            await self.server.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(
+                    self.server.request_stop)
+            except RuntimeError:  # loop already gone
+                pass
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - watchdog
+            raise ReproError("server thread did not stop in time")
+        self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def run_server(config: ServerConfig, *, tracer: Tracer | None = None,
+               ready=None) -> RunReport:
+    """Run a daemon in the foreground until SIGINT/SIGTERM.
+
+    *ready* (a callable receiving the server) fires after the listener
+    is bound — the CLI uses it to print the readiness line holding the
+    actual ephemeral port.  Returns the final metrics report.
+    """
+    import signal
+
+    server = ReproServer(config, tracer=tracer)
+
+    async def main() -> RunReport:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except (NotImplementedError, RuntimeError):
+                # platforms without signal handler support fall back
+                # to KeyboardInterrupt propagation
+                pass
+        if ready is not None:
+            ready(server)
+        try:
+            await server.wait_stopped()
+        finally:
+            report = server.report()
+            await server.close()
+        return report
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - fallback path
+        return (RunReport(command="serve")
+                .add("server", server.stats)
+                .add("pool", server.pool))

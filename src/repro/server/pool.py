@@ -1,0 +1,311 @@
+"""The daemon's warm state: a bounded pool of compiled engines.
+
+Every query request names its constraint universe by shipping a bundle;
+the pool maps the bundle's canonical
+:func:`~repro.inference.session.sigma_fingerprint` to a
+:class:`PoolEntry` holding the parsed model objects plus, built lazily
+and kept warm:
+
+* one :class:`~repro.inference.session.ImplicationSession` per
+  requested closure strategy (memoized closures, optional write-through
+  to the persistent :class:`~repro.store.CacheStore`), and
+* one :class:`~repro.nfd.batch_validate.ValidatorEngine` (compiled
+  path-trie plans, restored from the store when a payload for this Σ
+  exists).
+
+The pool is a **bounded LRU** (:attr:`EnginePool.max_entries`): the
+least-recently-used fingerprint is evicted when a new one would exceed
+the bound, and its cumulative engine counters are folded into retired
+totals first, so the aggregate counters the ``stats`` request reports
+never go backwards.
+
+Concurrent requests for a fingerprint whose engines are still being
+built **coalesce**: the first request runs the build in the event
+loop's default executor and every later request awaits the same
+future, so one Σ arriving on a hundred connections compiles exactly
+once (``coalesced_builds`` counts the riders).
+
+Queued closure queries against one entry **batch**: each
+:class:`_ClosureBatcher` parks callers for one event-loop tick, drains
+everything that accumulated, and serves the whole batch through
+:meth:`ImplicationSession.closure_batch` — subset-ordered, seed-shared,
+and (under ``strategy="dense"``) one sweep of the dense kernel per
+batch instead of one per query.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from collections import OrderedDict
+from typing import Iterable
+
+from ..inference.session import ImplicationSession, sigma_fingerprint
+from ..nfd.batch_validate import ValidatorEngine
+from ..store.warm import cached_validator
+
+__all__ = ["EnginePool", "PoolEntry", "PoolStats"]
+
+
+class PoolStats:
+    """Counters of the pool's lifetime activity (cumulative)."""
+
+    __slots__ = ("hits", "misses", "evictions", "coalesced_builds",
+                 "session_builds", "validator_builds", "batches",
+                 "batched_queries")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.coalesced_builds = 0
+        self.session_builds = 0
+        self.validator_builds = 0
+        self.batches = 0
+        self.batched_queries = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class _ClosureBatcher:
+    """Coalesce concurrent closure queries into ``closure_batch`` calls.
+
+    Callers enqueue ``(base, lhs)`` and await a future; the first
+    caller becomes the *drainer*: it yields once to the event loop (so
+    every request already parked on other connections can enqueue),
+    then serves the entire backlog in one
+    :meth:`ImplicationSession.closure_batch` call and resolves the
+    futures in order.  Batching changes only how many kernel sweeps
+    run — answers are identical to per-query :meth:`closure` calls.
+    """
+
+    __slots__ = ("session", "stats", "_pending", "_draining")
+
+    def __init__(self, session: ImplicationSession, stats: PoolStats):
+        self.session = session
+        self.stats = stats
+        self._pending: list[tuple[object, object, asyncio.Future]] = []
+        self._draining = False
+
+    async def closure(self, base, lhs) -> frozenset:
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append((base, lhs, future))
+        if not self._draining:
+            self._draining = True
+            try:
+                # one tick for concurrently-parked requests to enqueue
+                await asyncio.sleep(0)
+                while self._pending:
+                    batch = self._pending
+                    self._pending = []
+                    self._drain(batch)
+            finally:
+                self._draining = False
+        return await future
+
+    def _drain(self, batch) -> None:
+        self.stats.batches += 1
+        self.stats.batched_queries += len(batch)
+        try:
+            results = self.session.closure_batch(
+                [(base, lhs) for base, lhs, _ in batch])
+        except BaseException as exc:
+            for _, _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, _, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)
+
+
+class PoolEntry:
+    """One fingerprint's warm state: model objects plus lazy engines."""
+
+    __slots__ = ("key", "fingerprint", "schema", "sigma", "nonempty",
+                 "sessions", "batchers", "validator")
+
+    def __init__(self, key: str, fingerprint: str, schema, sigma,
+                 nonempty):
+        self.key = key
+        self.fingerprint = fingerprint
+        self.schema = schema
+        self.sigma = tuple(sigma)
+        self.nonempty = nonempty
+        self.sessions: dict[str, ImplicationSession] = {}
+        self.batchers: dict[str, _ClosureBatcher] = {}
+        self.validator: ValidatorEngine | None = None
+
+
+class EnginePool:
+    """Bounded, coalescing LRU of warm engines keyed by fingerprint.
+
+    The entry key is the Σ fingerprint extended with a hash of the
+    member texts *in order*: closure answers are order-independent but
+    compiled validator plans (and with them witness ordering) are not,
+    so two spellings of one logical Σ in different member order get
+    separate entries while still sharing the persistent store's
+    fingerprint-keyed closure memo.
+    """
+
+    def __init__(self, *, max_entries: int = 32, store=None,
+                 tracer=None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.store = store
+        self.tracer = tracer
+        self.stats = PoolStats()
+        self._entries: "OrderedDict[str, PoolEntry]" = OrderedDict()
+        self._building: dict[tuple[str, str], asyncio.Future] = {}
+        # Engine counters folded out of evicted entries, so aggregates
+        # are monotone across evictions.
+        self._retired = {"rule_attempts": 0, "saturations": 0,
+                         "plan_compilations": 0, "closure_queries": 0,
+                         "memo_hits": 0, "store_hits": 0,
+                         "store_misses": 0}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- entry lookup ------------------------------------------------------
+
+    def entry_for(self, schema, sigma, nonempty) -> PoolEntry:
+        """The (possibly fresh) entry for one parsed bundle."""
+        sigma = tuple(sigma)
+        fingerprint = sigma_fingerprint(schema, sigma, nonempty)
+        order = hashlib.sha256(
+            "\n".join(str(nfd) for nfd in sigma).encode()).hexdigest()
+        key = f"{fingerprint}:{order[:16]}"
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.stats.misses += 1
+        entry = PoolEntry(key, fingerprint, schema, sigma, nonempty)
+        self._entries[key] = entry
+        while len(self._entries) > self.max_entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._retire(evicted)
+            self.stats.evictions += 1
+        return entry
+
+    def _retire(self, entry: PoolEntry) -> None:
+        """Fold an evicted entry's counters into the retired totals."""
+        for session in entry.sessions.values():
+            stats = session.stats
+            self._retired["rule_attempts"] += stats.engine.attempts
+            self._retired["saturations"] += stats.engine.saturations
+            self._retired["closure_queries"] += stats.queries
+            self._retired["memo_hits"] += stats.hits
+            self._retired["store_hits"] += stats.store_hits
+            self._retired["store_misses"] += stats.store_misses
+        if entry.validator is not None:
+            self._retired["plan_compilations"] += \
+                entry.validator.stats.plan_compilations
+
+    # -- coalesced engine builds -------------------------------------------
+
+    async def _build(self, slot: tuple[str, str], factory):
+        """Run *factory* in the default executor, coalescing callers.
+
+        The first caller for *slot* owns the build; every concurrent
+        caller awaits the same future and counts as a coalesced rider.
+        The slot is cleared afterwards so a failed build can retry.
+        """
+        pending = self._building.get(slot)
+        if pending is not None:
+            self.stats.coalesced_builds += 1
+            return await pending
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._building[slot] = future
+        try:
+            result = await loop.run_in_executor(None, factory)
+        except BaseException as exc:
+            future.set_exception(exc)
+            # mark the exception retrieved (riders re-raise on await
+            # regardless; without this a rider-less failure would log
+            # an "exception was never retrieved" warning at GC time)
+            future.exception()
+            raise
+        else:
+            future.set_result(result)
+            return result
+        finally:
+            del self._building[slot]
+
+    async def session_for(self, entry: PoolEntry,
+                          strategy: str) -> ImplicationSession:
+        """The entry's warm session for *strategy*, built on first use."""
+        session = entry.sessions.get(strategy)
+        if session is not None:
+            return session
+        def factory():
+            return ImplicationSession(
+                entry.schema, entry.sigma, entry.nonempty,
+                strategy=strategy, tracer=self.tracer,
+                store=self.store)
+        session = await self._build((entry.key, strategy), factory)
+        if strategy not in entry.sessions:
+            entry.sessions[strategy] = session
+            self.stats.session_builds += 1
+        return entry.sessions[strategy]
+
+    async def validator_for(self, entry: PoolEntry) -> ValidatorEngine:
+        """The entry's warm validator, restored from the store when a
+        payload compiled for this Σ order exists."""
+        if entry.validator is not None:
+            return entry.validator
+        def factory():
+            return cached_validator(entry.schema, entry.sigma,
+                                    store=self.store,
+                                    tracer=self.tracer)
+        validator = await self._build((entry.key, "validator"), factory)
+        if entry.validator is None:
+            entry.validator = validator
+            self.stats.validator_builds += 1
+        return entry.validator
+
+    async def batcher_for(self, entry: PoolEntry,
+                          strategy: str) -> _ClosureBatcher:
+        """The entry's closure batcher for *strategy*."""
+        batcher = entry.batchers.get(strategy)
+        if batcher is None:
+            session = await self.session_for(entry, strategy)
+            batcher = entry.batchers.get(strategy)
+            if batcher is None:
+                batcher = _ClosureBatcher(session, self.stats)
+                entry.batchers[strategy] = batcher
+        return batcher
+
+    # -- aggregate counters ------------------------------------------------
+
+    def engine_totals(self) -> dict:
+        """Monotone aggregates over live and retired entries — the
+        numbers the warm-start acceptance gate asserts on (a fully warm
+        request window must move none of the cold-work counters)."""
+        totals = dict(self._retired)
+        for entry in self._entries.values():
+            for session in entry.sessions.values():
+                stats = session.stats
+                totals["rule_attempts"] += stats.engine.attempts
+                totals["saturations"] += stats.engine.saturations
+                totals["closure_queries"] += stats.queries
+                totals["memo_hits"] += stats.hits
+                totals["store_hits"] += stats.store_hits
+                totals["store_misses"] += stats.store_misses
+            if entry.validator is not None:
+                totals["plan_compilations"] += \
+                    entry.validator.stats.plan_compilations
+        return totals
+
+    def as_metrics(self) -> dict:
+        """The :class:`~repro.obs.RunReport` section protocol."""
+        data = self.stats.as_dict()
+        data["entries"] = len(self._entries)
+        data["max_entries"] = self.max_entries
+        data["engines"] = self.engine_totals()
+        return data

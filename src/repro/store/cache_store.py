@@ -56,6 +56,7 @@ from __future__ import annotations
 import os
 import pickle
 import sqlite3
+import threading
 import warnings
 from typing import Any, Iterable, Iterator
 
@@ -230,6 +231,10 @@ class CacheStore:
     ``read_only=True`` opens the database without ever creating or
     mutating it — the mode worker processes use, so a fleet of readers
     shares one file while only the driver writes.
+
+    One handle may be shared across threads: every connection touch is
+    serialized behind a lock (the daemon builds engines in executor
+    threads while serving memo lookups from its event loop thread).
     """
 
     def __init__(self, cache_dir: str, *, read_only: bool = False):
@@ -238,6 +243,7 @@ class CacheStore:
         self.path = os.path.join(cache_dir, DB_FILENAME)
         self.stats = CacheStats()
         self._conn: sqlite3.Connection | None = None
+        self._lock = threading.RLock()
         self._broken = False
         self._warned = False
         try:
@@ -257,7 +263,7 @@ class CacheStore:
                 return
             uri = f"file:{self.path}?mode=ro"
             conn = sqlite3.connect(uri, uri=True, timeout=BUSY_TIMEOUT_MS
-                                   / 1000.0)
+                                   / 1000.0, check_same_thread=False)
             if not self._versions_ok(conn):
                 # a writable open will reinitialize; readers just miss
                 conn.close()
@@ -266,7 +272,8 @@ class CacheStore:
             return
         os.makedirs(self.cache_dir, exist_ok=True)
         conn = sqlite3.connect(self.path,
-                               timeout=BUSY_TIMEOUT_MS / 1000.0)
+                               timeout=BUSY_TIMEOUT_MS / 1000.0,
+                               check_same_thread=False)
         conn.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
         conn.execute("PRAGMA journal_mode = WAL")
         conn.execute("PRAGMA synchronous = NORMAL")
@@ -316,12 +323,13 @@ class CacheStore:
                 CacheWarning, stacklevel=3)
 
     def close(self) -> None:
-        if self._conn is not None:
-            try:
-                self._conn.close()
-            except sqlite3.Error:
-                pass
-            self._conn = None
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+                self._conn = None
 
     def __enter__(self) -> "CacheStore":
         return self
@@ -348,26 +356,28 @@ class CacheStore:
     # -- guarded execution -------------------------------------------------
 
     def _read(self, sql: str, params: tuple = ()) -> list:
-        if not self.available:
-            return []
-        try:
-            return list(self._conn.execute(sql, params))
-        except sqlite3.Error as exc:
-            self._mark_broken(f"cache read failed: {exc}")
-            return []
+        with self._lock:
+            if not self.available:
+                return []
+            try:
+                return list(self._conn.execute(sql, params))
+            except sqlite3.Error as exc:
+                self._mark_broken(f"cache read failed: {exc}")
+                return []
 
     def _write(self, statements: Iterable[tuple[str, tuple]]) -> bool:
-        if not self.writable:
-            return False
-        try:
-            with self._conn:  # one transaction, committed or rolled back
-                for sql, params in statements:
-                    self._conn.execute(sql, params)
-        except sqlite3.Error as exc:
-            self._mark_broken(f"cache write failed: {exc}")
-            return False
-        self.stats.writes += 1
-        return True
+        with self._lock:
+            if not self.writable:
+                return False
+            try:
+                with self._conn:  # one transaction, committed or rolled
+                    for sql, params in statements:
+                        self._conn.execute(sql, params)
+            except sqlite3.Error as exc:
+                self._mark_broken(f"cache write failed: {exc}")
+                return False
+            self.stats.writes += 1
+            return True
 
     # -- closure memo ------------------------------------------------------
 
@@ -611,14 +621,15 @@ class CacheStore:
         ])
 
     def vacuum(self) -> bool:
-        if not self.writable:
-            return False
-        try:
-            self._conn.execute("VACUUM")
-        except sqlite3.Error as exc:
-            self._mark_broken(f"cache vacuum failed: {exc}")
-            return False
-        return True
+        with self._lock:
+            if not self.writable:
+                return False
+            try:
+                self._conn.execute("VACUUM")
+            except sqlite3.Error as exc:
+                self._mark_broken(f"cache vacuum failed: {exc}")
+                return False
+            return True
 
     def integrity_check(self) -> bool:
         """SQLite's own ``PRAGMA integrity_check`` (used in tests)."""

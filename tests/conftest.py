@@ -21,6 +21,23 @@ settings.register_profile("nightly", max_examples=1000, deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
+@pytest.fixture(scope="session", autouse=True)
+def repro_cache_dir_must_not_leak():
+    """REPRO_CACHE_DIR redirects every store-aware code path, so a test
+    exporting it via ``os.environ`` instead of ``monkeypatch`` would
+    silently re-point all later tests at a stale cache.  The variable
+    must be unset when the session starts and still unset when it ends;
+    tests that need it go through ``monkeypatch.setenv`` (undone per
+    test) and ``tmp_path``."""
+    assert "REPRO_CACHE_DIR" not in os.environ, (
+        "REPRO_CACHE_DIR is set in the test environment; unset it -- "
+        "tests must opt in via monkeypatch, not inherit ambient state")
+    yield
+    assert "REPRO_CACHE_DIR" not in os.environ, (
+        "a test exported REPRO_CACHE_DIR without monkeypatch and "
+        "leaked it past its own scope")
+
+
 @pytest.fixture
 def course_schema():
     return workloads.course_schema()

@@ -1,0 +1,209 @@
+"""The CLI's exit-code contract, table-driven across every subcommand.
+
+The contract is three-valued and uniform:
+
+* ``0`` — the command succeeded and the property *holds* (instance
+  satisfies Sigma, NFD implied, sets equivalent, countermodel built);
+* ``1`` — the command succeeded and the property *fails* (violations
+  found, NFD not implied, sets differ, no countermodel because the
+  candidate is implied);
+* ``2`` — the command could not run: usage errors, unreadable or
+  ill-formed bundles, bad parameters, unreachable servers.
+
+Scripts branch on these numbers, so each row here pins one
+``(argv, exit code)`` pair — including the ``serve`` / ``client``
+error paths and the ``--server`` passthrough, whose codes must match
+the in-process ones exactly.
+"""
+
+import socket
+
+import pytest
+
+from repro.cli import main
+from repro.generators import workloads
+from repro.io import dump_bundle
+from repro.server import BackgroundServer, ServerConfig
+
+IMPLIED = "Course:[students:sid, time -> books]"
+NOT_IMPLIED = "Course:[time -> cnum]"
+
+
+def run(argv) -> int:
+    """``main`` plus argparse's own SystemExit(2) usage failures."""
+    try:
+        return main(argv)
+    except SystemExit as exc:
+        return exc.code
+
+
+@pytest.fixture
+def good(tmp_path):
+    path = tmp_path / "good.json"
+    path.write_text(dump_bundle(workloads.course_schema(),
+                                workloads.course_sigma(),
+                                workloads.course_instance()))
+    return str(path)
+
+
+@pytest.fixture
+def broken(tmp_path):
+    instance = workloads.course_instance().with_relation("Course", [
+        {"cnum": "a", "time": 1,
+         "students": [{"sid": 1, "age": 20, "grade": "A"}],
+         "books": [{"isbn": 1, "title": "X"}]},
+        {"cnum": "b", "time": 2,
+         "students": [{"sid": 1, "age": 99, "grade": "A"}],
+         "books": [{"isbn": 1, "title": "X"}]},
+    ])
+    path = tmp_path / "broken.json"
+    path.write_text(dump_bundle(workloads.course_schema(),
+                                workloads.course_sigma(), instance))
+    return str(path)
+
+
+@pytest.fixture
+def weaker(tmp_path):
+    """The course constraints minus one member: diff -> not equivalent."""
+    path = tmp_path / "weaker.json"
+    path.write_text(dump_bundle(workloads.course_schema(),
+                                workloads.course_sigma()[1:]))
+    return str(path)
+
+
+@pytest.fixture
+def no_instance(tmp_path):
+    path = tmp_path / "sigma_only.json"
+    path.write_text(dump_bundle(workloads.course_schema(),
+                                workloads.course_sigma()))
+    return str(path)
+
+
+@pytest.fixture
+def missing(tmp_path):
+    return str(tmp_path / "does_not_exist.json")
+
+
+@pytest.fixture
+def dead_port():
+    """A port that was just bound and released: connection refused."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+# Each row: (case id, argv template, expected exit code).  Templates
+# name fixtures in braces; ``_argv`` substitutes the per-test paths.
+TABLE = [
+    # -- exit 0: success, property holds ------------------------------
+    ("check-clean", ["check", "{good}"], 0),
+    ("implies-implied", ["implies", "{good}", IMPLIED], 0),
+    ("closure", ["closure", "{good}", "Course", "cnum"], 0),
+    ("explain-implied", ["explain", "{good}", IMPLIED], 0),
+    ("prove-implied", ["prove", "{good}", IMPLIED], 0),
+    ("counter-not-implied", ["counter", "{good}", NOT_IMPLIED], 0),
+    ("render", ["render", "{good}"], 0),
+    ("keys", ["keys", "{good}", "Course"], 0),
+    ("diff-equivalent", ["diff", "{good}", "{good}"], 0),
+    ("analyze", ["analyze", "{good}"], 0),
+    ("report", ["report", "{good}"], 0),
+    ("repair-clean", ["repair", "{good}"], 0),
+    # -- exit 1: success, property fails ------------------------------
+    ("check-violations", ["check", "{broken}"], 1),
+    ("implies-not-implied", ["implies", "{good}", NOT_IMPLIED], 1),
+    ("explain-not-implied", ["explain", "{good}", NOT_IMPLIED], 1),
+    ("prove-not-implied", ["prove", "{good}", NOT_IMPLIED], 1),
+    ("counter-implied", ["counter", "{good}", IMPLIED], 1),
+    ("diff-weaker", ["diff", "{good}", "{weaker}"], 1),
+    # -- exit 2: could not run ----------------------------------------
+    ("missing-bundle", ["check", "{missing}"], 2),
+    ("check-no-instance", ["check", "{no_instance}"], 2),
+    ("implies-bad-nfd", ["implies", "{good}", "not an nfd"], 2),
+    ("closure-bad-path", ["closure", "{good}", "No:Such:::Path!"], 2),
+    ("keys-unknown-relation", ["keys", "{good}", "NoSuchRel"], 2),
+    ("cache-no-dir", ["cache", "stats"], 2),
+    ("unknown-subcommand", ["frobnicate"], 2),
+    ("missing-argument", ["implies", "{good}"], 2),
+    ("bad-strategy", ["implies", "{good}", IMPLIED,
+                      "--strategy", "quantum"], 2),
+    # -- serve / client error paths -----------------------------------
+    ("serve-bad-inflight", ["serve", "--max-inflight", "0"], 2),
+    ("serve-bad-port", ["serve", "--port", "99999"], 2),
+    ("client-bad-endpoint", ["client", "ping",
+                             "--server", "nonsense"], 2),
+    ("client-no-endpoint", ["client", "ping"], 2),
+    ("client-refused", ["client", "ping",
+                        "--server", "127.0.0.1:{dead_port}"], 2),
+    ("implies-server-refused", ["implies", "{good}", IMPLIED,
+                                "--server", "127.0.0.1:{dead_port}"],
+     2),
+    ("check-stream-plus-server", ["check", "{good}",
+                                  "--stream", "{missing}",
+                                  "--server", "127.0.0.1:{dead_port}"],
+     2),
+]
+
+
+@pytest.mark.parametrize(("case", "template", "expected"), TABLE,
+                         ids=[row[0] for row in TABLE])
+def test_exit_code(case, template, expected, good, broken, weaker,
+                   no_instance, missing, dead_port, capsys):
+    values = {"good": good, "broken": broken, "weaker": weaker,
+              "no_instance": no_instance, "missing": missing,
+              "dead_port": str(dead_port)}
+    argv = [arg.format(**values) for arg in template]
+    assert run(argv) == expected, argv
+
+
+# -- the --server passthrough mirrors in-process codes exactly ---------
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    with BackgroundServer(ServerConfig()) as bg:
+        yield f"{bg.host}:{bg.port}"
+
+
+SERVER_TABLE = [
+    ("check-clean", ["check", "{good}"], 0),
+    ("check-violations", ["check", "{broken}"], 1),
+    ("implies-implied", ["implies", "{good}", IMPLIED], 0),
+    ("implies-not-implied", ["implies", "{good}", NOT_IMPLIED], 1),
+    ("implies-bad-nfd", ["implies", "{good}", "not an nfd"], 2),
+    ("closure", ["closure", "{good}", "Course", "cnum"], 0),
+    ("keys", ["keys", "{good}", "Course"], 0),
+    ("check-no-instance", ["check", "{no_instance}"], 2),
+]
+
+
+@pytest.mark.parametrize(("case", "template", "expected"), SERVER_TABLE,
+                         ids=[row[0] for row in SERVER_TABLE])
+def test_server_passthrough_exit_code(case, template, expected,
+                                      live_server, good, broken,
+                                      no_instance, capsys):
+    values = {"good": good, "broken": broken,
+              "no_instance": no_instance}
+    argv = [arg.format(**values) for arg in template]
+    assert run(argv + ["--server", live_server]) == expected, argv
+    # and the code agrees with the in-process run of the same argv
+    capsys.readouterr()
+    assert run(argv) == expected, argv
+
+
+def test_client_verbs_against_live_server(good, capsys):
+    config = ServerConfig(allow_shutdown=True)
+    with BackgroundServer(config) as bg:
+        endpoint = f"{bg.host}:{bg.port}"
+        assert run(["client", "ping", "--server", endpoint]) == 0
+        assert "pong" in capsys.readouterr().out
+        assert run(["client", "stats", "--server", endpoint]) == 0
+        assert '"requests"' in capsys.readouterr().out
+        assert run(["client", "shutdown", "--server", endpoint]) == 0
+        assert "stopping" in capsys.readouterr().out
+
+
+def test_shutdown_refused_maps_to_exit_2(capsys):
+    with BackgroundServer(ServerConfig()) as bg:
+        endpoint = f"{bg.host}:{bg.port}"
+        assert run(["client", "shutdown", "--server", endpoint]) == 2
+        assert "shutdown_disabled" in capsys.readouterr().err

@@ -1,0 +1,322 @@
+"""Unit tests for the daemon's components: protocol, pool, lifecycle.
+
+The differential and fault suites drive the server end-to-end (and
+partly out-of-process); these tests pin the pieces in isolation —
+frame codec edge cases, bundle parsing, LRU eviction with monotone
+retired counters, build coalescing, closure batching, the foreground
+``run_server`` loop, and the ``repro serve`` command itself.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.generators import workloads
+from repro.io import dump_bundle
+from repro.server import (BackgroundServer, EnginePool, ReproClient,
+                          ReproServer, ServerConfig, run_server)
+from repro.server.protocol import (PROTOCOL_VERSION, ProtocolError,
+                                   decode_line, encode,
+                                   error_response, ok_response,
+                                   parse_bundle_payload)
+
+TIMEOUT = 10.0
+
+
+def _bundle_dict(**extra) -> dict:
+    payload = json.loads(dump_bundle(workloads.course_schema(),
+                                     workloads.course_sigma(),
+                                     workloads.course_instance()))
+    payload.update(extra)
+    return payload
+
+
+# ---------------------------------------------------------------- protocol
+
+
+class TestProtocol:
+    def test_encode_is_one_compact_line(self):
+        data = encode({"b": 1, "a": [2, 3]})
+        assert data.endswith(b"\n") and data.count(b"\n") == 1
+        assert data == b'{"a":[2,3],"b":1}\n'
+
+    def test_decode_roundtrip(self):
+        request = {"id": 7, "type": "ping"}
+        assert decode_line(encode(request)) == request
+
+    @pytest.mark.parametrize(("line", "code"), [
+        (b"\xff\xfe\n", "bad_json"),
+        (b"{not json}\n", "bad_json"),
+        (b"[1]\n", "bad_request"),
+        (b'{"id": 1.5, "type": "ping"}\n', "bad_request"),
+        (b'{"id": 1}\n', "bad_request"),
+        (b'{"id": 1, "type": 9}\n', "bad_request"),
+    ], ids=["utf8", "syntax", "non-object", "float-id", "no-type",
+            "non-string-type"])
+    def test_decode_failures_are_typed(self, line, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_line(line)
+        assert excinfo.value.code == code
+
+    def test_response_shapes(self):
+        ok = ok_response(3, "ping", {"pong": True})
+        assert ok["ok"] is True and ok["id"] == 3
+        err = error_response(None, "overloaded", "busy",
+                             retry_after_ms=9)
+        assert err["ok"] is False and err["retry_after_ms"] == 9
+
+    def test_parse_bundle_variants(self):
+        schema, sigma, instance, spec = \
+            parse_bundle_payload(_bundle_dict())
+        assert instance is not None and spec is None
+        assert len(sigma) == len(workloads.course_sigma())
+        _, _, _, spec = parse_bundle_payload(_bundle_dict(nonempty="*"))
+        assert spec.declares_everything
+        _, _, _, spec = parse_bundle_payload(
+            _bundle_dict(nonempty=["Course:students"]))
+        assert not spec.declares_everything
+
+    @pytest.mark.parametrize("payload", [
+        "not an object",
+        {"nfds": []},
+        {"schema": {"R": "not a type"}},
+        _bundle_dict(nonempty=7),
+        _bundle_dict(nfds=["R:[nonsense"]),
+    ], ids=["non-object", "no-schema", "bad-schema", "bad-nonempty",
+            "bad-nfd"])
+    def test_parse_bundle_failures(self, payload):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_bundle_payload(payload)
+        assert excinfo.value.code == "invalid_bundle"
+
+
+# -------------------------------------------------------------------- pool
+
+
+def _parsed_universe(count=2):
+    schema, sigma, instance, spec = \
+        parse_bundle_payload(_bundle_dict())
+    return schema, sigma[:count], spec
+
+
+class TestEnginePool:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            EnginePool(max_entries=0)
+
+    def test_hit_miss_and_order_sensitivity(self):
+        pool = EnginePool(max_entries=4)
+        schema, sigma, spec = _parsed_universe()
+        first = pool.entry_for(schema, sigma, spec)
+        again = pool.entry_for(schema, sigma, spec)
+        assert first is again
+        assert pool.stats.hits == 1 and pool.stats.misses == 1
+        # same logical Sigma, different member order: same fingerprint,
+        # different pool entry (plan/witness order depends on it)
+        reordered = pool.entry_for(schema, list(reversed(sigma)), spec)
+        assert reordered is not first
+        assert reordered.fingerprint == first.fingerprint
+        assert reordered.key != first.key
+
+    def test_eviction_keeps_totals_monotone(self):
+        async def scenario():
+            pool = EnginePool(max_entries=1)
+            schema, sigma, spec = _parsed_universe()
+            entry = pool.entry_for(schema, sigma, spec)
+            session = await pool.session_for(entry, "worklist")
+            session.closure_simple("Course", frozenset())
+            before = pool.engine_totals()
+            assert before["closure_queries"] == 1
+            # a second fingerprint evicts the first (capacity 1)...
+            pool.entry_for(schema, sigma[:1], spec)
+            assert pool.stats.evictions == 1 and len(pool) == 1
+            # ...but its counters survive in the retired totals
+            after = pool.engine_totals()
+            assert after["closure_queries"] == 1
+            assert after["rule_attempts"] >= before["rule_attempts"]
+            return pool.as_metrics()
+
+        metrics = asyncio.run(scenario())
+        assert metrics["entries"] == 1 and metrics["evictions"] == 1
+
+    def test_concurrent_builds_coalesce(self):
+        async def scenario():
+            pool = EnginePool(max_entries=4)
+            schema, sigma, spec = _parsed_universe()
+            entry = pool.entry_for(schema, sigma, spec)
+            sessions = await asyncio.gather(
+                pool.session_for(entry, "worklist"),
+                pool.session_for(entry, "worklist"),
+                pool.session_for(entry, "worklist"))
+            assert sessions[0] is sessions[1] is sessions[2]
+            assert pool.stats.session_builds == 1
+            assert pool.stats.coalesced_builds == 2
+            validator = await pool.validator_for(entry)
+            assert (await pool.validator_for(entry)) is validator
+            assert pool.stats.validator_builds == 1
+
+        asyncio.run(scenario())
+
+    def test_batcher_coalesces_queued_queries(self):
+        async def scenario():
+            pool = EnginePool(max_entries=4)
+            schema, sigma, spec = _parsed_universe()
+            entry = pool.entry_for(schema, sigma, spec)
+            batcher = await pool.batcher_for(entry, "worklist")
+            assert (await pool.batcher_for(entry, "worklist")) \
+                is batcher
+            from repro.paths import Path
+            base = Path(("Course",))
+            answers = await asyncio.gather(*[
+                batcher.closure(base, frozenset())
+                for _ in range(5)])
+            assert len({frozenset(a) for a in answers}) == 1
+            assert pool.stats.batches >= 1
+            assert pool.stats.batched_queries == 5
+            # queued concurrently -> fewer batches than queries
+            assert pool.stats.batches < 5
+
+        asyncio.run(scenario())
+
+
+# ------------------------------------------------------------ server bits
+
+
+class TestServerLifecycle:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_sessions": 0}, {"max_inflight": 0}, {"max_pending": -1},
+        {"connection_deadline": -1.0}, {"port": 70000},
+    ])
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ReproError):
+            ReproServer(ServerConfig(**kwargs))
+
+    def test_background_server_startup_error_propagates(self):
+        with socket.socket() as holder:
+            holder.bind(("127.0.0.1", 0))
+            holder.listen(1)
+            taken = holder.getsockname()[1]
+            bg = BackgroundServer(ServerConfig(port=taken))
+            with pytest.raises(ReproError, match="failed to start"):
+                bg.start()
+
+    def test_run_server_foreground_with_remote_shutdown(self):
+        """The foreground loop: ready callback, serve, clean report."""
+        config = ServerConfig(allow_shutdown=True)
+        ready = threading.Event()
+        endpoint = {}
+
+        def announce(server):
+            endpoint["host"], endpoint["port"] = \
+                server.host, server.port
+            ready.set()
+
+        result = {}
+
+        def serve():
+            result["report"] = run_server(config, ready=announce)
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert ready.wait(TIMEOUT), "run_server never became ready"
+        with ReproClient(endpoint["host"], endpoint["port"],
+                         timeout=TIMEOUT) as client:
+            assert client.ping()["pong"] is True
+            assert client.shutdown()["stopping"] is True
+        thread.join(TIMEOUT)
+        assert not thread.is_alive()
+        metrics = result["report"].as_dict()
+        assert metrics["sections"]["server"]["requests"] >= 3
+
+    def test_cache_dir_write_through_warms_restarts(self, tmp_path):
+        """Two daemon generations over one --cache-dir: the second
+        answers from the persistent store instead of re-saturating."""
+        cache_dir = str(tmp_path / "cache")
+        bundle = _bundle_dict()
+        nfd = str(workloads.course_sigma()[0])
+
+        config = ServerConfig(cache_dir=cache_dir)
+        with BackgroundServer(config) as bg:
+            with ReproClient(bg.host, bg.port,
+                             timeout=TIMEOUT) as client:
+                assert client.implies(bundle, nfd) is True
+                report = bg.server.report().as_dict()
+        assert "cache" in report["sections"]
+
+        with BackgroundServer(ServerConfig(cache_dir=cache_dir)) as bg:
+            with ReproClient(bg.host, bg.port,
+                             timeout=TIMEOUT) as client:
+                assert client.implies(bundle, nfd) is True
+                engines = client.stats()["pool"]["engines"]
+        assert engines["store_hits"] > 0
+
+    def test_debug_sleep_requires_flag(self):
+        """Without --allow-debug a sleeping ping is an ordinary ping."""
+        with BackgroundServer(ServerConfig()) as bg:
+            with ReproClient(bg.host, bg.port,
+                             timeout=TIMEOUT) as client:
+                started = time.monotonic()
+                assert client.ping(sleep_ms=5000)["pong"] is True
+                assert time.monotonic() - started < 2.0
+
+    def test_strategies_shared_per_entry(self):
+        """One entry serves both strategies; answers agree."""
+        bundle = _bundle_dict()
+        nfd = "Course:[students:sid, time -> books]"
+        with BackgroundServer(ServerConfig()) as bg:
+            with ReproClient(bg.host, bg.port,
+                             timeout=TIMEOUT) as client:
+                for strategy in ("worklist", "dense", "naive"):
+                    assert client.implies(bundle, nfd,
+                                          strategy=strategy) is True
+                pool = client.stats()["pool"]
+        assert pool["entries"] == 1
+        assert pool["session_builds"] == 3
+
+
+# --------------------------------------------------------------- the CLI
+
+
+def test_cli_serve_end_to_end(tmp_path, capsys):
+    """``repro serve`` in-process: readiness line, remote shutdown,
+    exit 0, metrics written."""
+    metrics_path = tmp_path / "serve-metrics.json"
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+
+    result = {}
+
+    def serve():
+        result["code"] = main([
+            "serve", "--port", str(port), "--allow-shutdown",
+            "--metrics-json", str(metrics_path)])
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    client = None
+    deadline = time.monotonic() + TIMEOUT
+    while client is None:
+        assert time.monotonic() < deadline, "daemon never listened"
+        try:
+            client = ReproClient("127.0.0.1", port, timeout=TIMEOUT)
+        except ReproError:
+            time.sleep(0.05)
+    with client:
+        assert client.server_info["protocol"] == PROTOCOL_VERSION
+        assert client.ping()["pong"] is True
+    with ReproClient("127.0.0.1", port, timeout=TIMEOUT) as client:
+        client.shutdown()
+    thread.join(TIMEOUT)
+    assert not thread.is_alive() and result["code"] == 0
+    out = capsys.readouterr().out
+    assert f"repro daemon listening on 127.0.0.1:{port}" in out
+    assert "repro daemon stopped" in out
+    report = json.loads(metrics_path.read_text())
+    assert report["sections"]["server"]["requests"] >= 2
