@@ -1,0 +1,136 @@
+"""Aggregate every benchmark gate snapshot into one trajectory file.
+
+The nightly workflow dumps a fresh ``--metrics-json`` snapshot per
+benchmark suite (stream, cache, closure, server, design) and compares
+each against its committed ``benchmarks/BENCH_*.json`` baseline.  This
+script folds all of those pairs into a single ``BENCH_trajectory.json``
+artifact: per-gauge history (baseline -> current, with the relative
+change) plus the throughput regressions
+:func:`repro.obs.compare_snapshots` reports for each suite.  One file
+to download instead of five, and the per-gauge deltas make slow drift
+visible before it trips the 20% gate.
+
+Usage (what ``.github/workflows/nightly.yml`` runs)::
+
+    python benchmarks/aggregate_trajectory.py \
+        --baseline-dir benchmarks --current-dir . \
+        --out BENCH_trajectory.json
+
+``--current-dir`` holds this run's snapshots under the same file names
+as the committed baselines; a missing current file is recorded as such
+(the suite may have been skipped) rather than failing the aggregation.
+Exit status is 0 unless ``--fail-on-regression`` is passed and some
+suite regressed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs import compare_snapshots
+
+__all__ = ["aggregate", "build_trajectory", "main"]
+
+
+def _load(path: Path) -> dict | None:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def build_trajectory(baseline: dict, current: dict | None,
+                     tolerance: float = 0.2) -> dict:
+    """The per-gauge history of one suite.
+
+    Every gauge of *baseline* gets a ``history`` entry ``[baseline,
+    current]`` (current ``None`` when the gauge or the whole snapshot
+    is missing) plus the relative change; gauges new in *current* are
+    included with a ``None`` baseline.  ``regressions`` holds the
+    throughput verdicts of :func:`repro.obs.compare_snapshots` — an
+    empty list means the run held the line.
+    """
+    base_gauges = baseline.get("gauges", {})
+    now_gauges = (current or {}).get("gauges", {})
+    gauges = {}
+    for name in sorted(set(base_gauges) | set(now_gauges)):
+        base = base_gauges.get(name)
+        now = now_gauges.get(name)
+        entry: dict = {"history": [base, now]}
+        if base and now is not None:
+            entry["change"] = round(now / base - 1.0, 4)
+        gauges[name] = entry
+    regressions = [] if current is None else \
+        compare_snapshots(current, baseline, tolerance=tolerance)
+    return {
+        "gauges": gauges,
+        "regressions": regressions,
+        "current_missing": current is None,
+    }
+
+
+def aggregate(baseline_dir: Path, current_dir: Path,
+              tolerance: float = 0.2) -> dict:
+    """One trajectory section per ``BENCH_*.json`` baseline."""
+    suites = {}
+    for baseline_path in sorted(baseline_dir.glob("BENCH_*.json")):
+        if baseline_path.name == "BENCH_trajectory.json":
+            continue
+        baseline = _load(baseline_path)
+        if baseline is None:
+            continue
+        suite = baseline_path.stem[len("BENCH_"):]
+        current = _load(current_dir / baseline_path.name)
+        suites[suite] = build_trajectory(baseline, current, tolerance)
+    return {
+        "tolerance": tolerance,
+        "suites": suites,
+        "regressed": sorted(name for name, data in suites.items()
+                            if data["regressions"]),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fold per-suite benchmark snapshots into one "
+                    "trajectory artifact")
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=Path("benchmarks"),
+                        help="directory of committed BENCH_*.json "
+                             "baselines (default: benchmarks/)")
+    parser.add_argument("--current-dir", type=Path, default=Path("."),
+                        help="directory of this run's snapshots, same "
+                             "file names (default: .)")
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_trajectory.json"),
+                        help="output file "
+                             "(default: BENCH_trajectory.json)")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="throughput drop tolerated before a gauge "
+                             "counts as regressed (default 0.2)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when any suite regressed")
+    args = parser.parse_args(argv)
+
+    trajectory = aggregate(args.baseline_dir, args.current_dir,
+                           args.tolerance)
+    args.out.write_text(json.dumps(trajectory, indent=2, sort_keys=True)
+                        + "\n")
+    for suite, data in sorted(trajectory["suites"].items()):
+        status = "missing current snapshot" if data["current_missing"] \
+            else (f"{len(data['regressions'])} regression(s)"
+                  if data["regressions"] else "held")
+        print(f"{suite}: {status}")
+        for message in data["regressions"]:
+            print(f"  {message}")
+    if args.fail_on_regression and trajectory["regressed"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

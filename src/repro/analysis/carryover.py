@@ -26,6 +26,8 @@ __all__ = [
     "fds_after_nest",
     "fd_after_unnest",
     "nfds_after_unnest",
+    "nfd_through_unnest",
+    "sigma_through_unnest",
 ]
 
 
@@ -93,6 +95,55 @@ def fd_after_unnest(nfd: NFD, nested_label: str) -> FD:
         )
 
     return FD({rewrite(path) for path in nfd.lhs}, rewrite(nfd.rhs))
+
+
+def nfd_through_unnest(nfd: NFD, nested_label: str) -> NFD | None:
+    """Rewrite *nfd* onto the schema after unnesting *nested_label*,
+    staying in NFD form (unlike :func:`fd_after_unnest`, deep paths are
+    allowed), or ``None`` when it does not survive.
+
+    Surviving rules: a path headed by the vanished set attribute loses
+    that head (its suffix surfaces one level up); a path *equal to* the
+    set attribute has no counterpart, so the NFD drops; an NFD whose
+    base descends through the vanished set loses its per-set scope, so
+    it drops too.  Bases and paths not touching *nested_label* are
+    unchanged (labels are globally unique, so no other subtree can
+    mention it).  Used by the normalization pipeline to flatten a
+    nested Sigma step by step (see :mod:`repro.design.synthesize`).
+    """
+    if nested_label in nfd.base.tail.labels:
+        return None
+
+    def rewrite(path: Path) -> Path | None:
+        if path.first != nested_label:
+            return path
+        if len(path) == 1:
+            return None
+        return path.tail
+
+    rhs = rewrite(nfd.rhs)
+    if rhs is None:
+        return None
+    lhs: set[Path] = set()
+    for path in nfd.lhs:
+        rewritten = rewrite(path)
+        if rewritten is None:
+            # dropping an LHS path would strengthen the dependency;
+            # the NFD has no faithful flat counterpart
+            return None
+        lhs.add(rewritten)
+    return NFD(nfd.base, lhs, rhs)
+
+
+def sigma_through_unnest(nfds: Iterable[NFD], nested_label: str) \
+        -> list[NFD]:
+    """Rewrite a whole Sigma through one unnest, dropping casualties."""
+    result = []
+    for nfd in nfds:
+        survivor = nfd_through_unnest(nfd, nested_label)
+        if survivor is not None:
+            result.append(survivor)
+    return result
 
 
 def nfds_after_unnest(nfds: Iterable[NFD], nested_label: str) \

@@ -9,6 +9,13 @@ from .bcnf import (
 )
 from .nested_design import DependencyPlacement, NestPlan, PlanReport
 from .preservation import preserves_dependencies, unpreserved_fds
+from .synthesize import (
+    DesignReport,
+    SweepSummary,
+    candidate_plans,
+    sweep_normalize,
+    synthesize_design,
+)
 
 __all__ = [
     "is_superkey",
@@ -21,4 +28,9 @@ __all__ = [
     "NestPlan",
     "PlanReport",
     "DependencyPlacement",
+    "DesignReport",
+    "SweepSummary",
+    "candidate_plans",
+    "synthesize_design",
+    "sweep_normalize",
 ]

@@ -11,7 +11,7 @@ verifiable with the chase), and FD projection onto components.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..errors import InferenceError
 from ..inference.armstrong import FD, attribute_closure
@@ -47,14 +47,22 @@ def is_bcnf(attributes: Sequence[str], fds: Iterable[FD]) -> bool:
 
 
 def project_fds(attributes: Sequence[str], fds: Iterable[FD],
-                subset: Iterable[str], max_lhs: int | None = None) \
-        -> list[FD]:
+                subset: Iterable[str], max_lhs: int | None = None,
+                closure: Callable[[tuple[str, ...]], set[str]]
+                | None = None) -> list[FD]:
     """The FDs implied on *subset*: ``X -> A`` with ``X, A ⊆ subset``.
 
     Computed by closing every LHS candidate within the subset —
     exponential in ``|subset|`` (inherently: FD projection has no
     polynomial enumeration), so *max_lhs* can cap the LHS size.  Trivial
     and redundant-by-reflexivity members are skipped.
+
+    *closure*, when given, replaces the built-in
+    :func:`attribute_closure` as the ``combo -> closed attributes``
+    oracle; the normalization pipeline passes an engine-backed oracle
+    here so projection work is spent (and counted) in the closure
+    engine, memoized across components by its implication session.
+    The oracle must agree with ``attribute_closure(combo, fds)``.
     """
     fd_list = list(fds)
     subset_tuple = tuple(dict.fromkeys(subset))
@@ -62,7 +70,8 @@ def project_fds(attributes: Sequence[str], fds: Iterable[FD],
     projected: list[FD] = []
     for size in range(1, limit + 1):
         for combo in combinations(subset_tuple, size):
-            closed = attribute_closure(combo, fd_list)
+            closed = attribute_closure(combo, fd_list) \
+                if closure is None else closure(combo)
             for attribute in subset_tuple:
                 if attribute in combo:
                     continue

@@ -121,7 +121,21 @@ class PlanReport:
         return NFD(nfd.base.concat(shared), inner_lhs,
                    nfd.rhs.strip_prefix(shared))
 
-    def locally_enforceable(self, placement: DependencyPlacement) -> bool:
+    def make_session(self, nonempty=None, *, strategy: str = "worklist",
+                     tracer=None):
+        """An :class:`~repro.inference.session.ImplicationSession` over
+        ``all_nfds()`` (carried NFDs in placement order, then the
+        structural ones) — the layout :meth:`locally_enforceable`
+        expects when given a *session*, so one compiled Sigma pool
+        serves every per-placement probe via copy-on-write."""
+        from ..inference.session import ImplicationSession
+
+        return ImplicationSession(self.schema, self.all_nfds(), nonempty,
+                                  strategy=strategy, tracer=tracer)
+
+    def locally_enforceable(self, placement: DependencyPlacement, *,
+                            session=None,
+                            strategy: str = "worklist") -> bool:
         """Can this dependency be checked one base set at a time?
 
         True when replacing the carried (global) NFD by its local form
@@ -129,6 +143,12 @@ class PlanReport:
         the structural constraints.  Top-level dependencies are
         trivially local; a purely inter-set dependency like
         ``sid -> age`` (nothing pins the set) is not.
+
+        Pass *session* (from :meth:`make_session`) when probing several
+        placements: each probe is then a copy-on-write
+        :meth:`~repro.inference.session.ImplicationSession.replaced`
+        perturbation of one shared compiled pool instead of a fresh
+        engine build per placement.
         """
         from ..inference.closure import ClosureEngine
 
@@ -137,9 +157,13 @@ class PlanReport:
         local = self.local_form(placement)
         if local is None:
             return False
+        if session is not None:
+            index = self.placements.index(placement)
+            return session.replaced(index, local).implies(placement.nfd)
         others = [p.nfd for p in self.placements if p is not placement]
         sigma = others + self.structural_nfds() + [local]
-        return ClosureEngine(self.schema, sigma).implies(placement.nfd)
+        return ClosureEngine(self.schema, sigma,
+                             strategy=strategy).implies(placement.nfd)
 
     def to_text(self) -> str:
         lines = []

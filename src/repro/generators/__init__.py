@@ -5,9 +5,15 @@ from .instances import (
     random_satisfying_instance,
     random_value,
 )
-from .nfds import candidate_paths, random_nfd, random_sigma
+from .nfds import (
+    candidate_paths,
+    random_design_sigma,
+    random_nfd,
+    random_sigma,
+)
 from .schemas import (
     LabelSupply,
+    random_flat_schema,
     random_record,
     random_relation_type,
     random_schema,
@@ -16,11 +22,13 @@ from . import workloads
 
 __all__ = [
     "random_schema",
+    "random_flat_schema",
     "random_record",
     "random_relation_type",
     "LabelSupply",
     "random_nfd",
     "random_sigma",
+    "random_design_sigma",
     "candidate_paths",
     "random_value",
     "random_instance",

@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import random
 
+from ..inference.armstrong import FD, fd_to_nfd
 from ..nfd.nfd import NFD
 from ..paths.path import Path
 from ..paths.typing import relation_paths, set_paths
 from ..types.schema import Schema
 
-__all__ = ["random_nfd", "random_sigma", "candidate_paths"]
+__all__ = ["random_nfd", "random_sigma", "random_design_sigma",
+           "candidate_paths"]
 
 
 def candidate_paths(schema: Schema, relation: str,
@@ -61,6 +63,47 @@ def random_nfd(rng: random.Random, schema: Schema,
     lhs_size = min(rng.randint(low, max_lhs), len(pool))
     lhs = rng.sample(pool, lhs_size) if lhs_size else []
     return NFD(Path((name,)).concat(base_tail), lhs, rhs)
+
+
+def random_design_sigma(rng: random.Random, schema: Schema,
+                        relation: str | None = None, *,
+                        max_group: int = 3,
+                        fallback_count: int = 3) -> list[NFD]:
+    """Flat FDs in the shape 3NF synthesis rewards.
+
+    One *anchor* attribute functionally determines a few top-level
+    attributes (``anchor -> t``); the remaining attributes split into
+    groups hanging off the anchor plus a per-group key
+    (``anchor, z -> w`` — partial dependencies, the classical
+    normalization trigger).  This is the Course/enrollment shape of the
+    paper's running example: the normalization sweep uses it so nest
+    plans have genuine redundancy to remove.  Schemas too small to
+    carry the shape (< 4 attributes) fall back to *fallback_count*
+    members of :func:`random_sigma`.
+    """
+    name = relation if relation is not None \
+        else rng.choice(schema.relation_names)
+    attributes = [label for label, _ in schema.element_type(name).fields]
+    if len(attributes) < 4:
+        return random_sigma(rng, schema, fallback_count,
+                            local_probability=0.0)
+    shuffled = rng.sample(attributes, len(attributes))
+    anchor = shuffled[0]
+    top_count = rng.randint(1, max(1, len(shuffled) - 3))
+    top, remainder = shuffled[1:1 + top_count], shuffled[1 + top_count:]
+    fds = [FD({anchor}, attribute) for attribute in top]
+    while remainder:
+        size = min(len(remainder), rng.randint(2, max(2, max_group)))
+        group, remainder = remainder[:size], remainder[size:]
+        if len(group) == 1:
+            # a leftover singleton cannot form a group; determine it
+            # from the anchor like a top attribute
+            fds.append(FD({anchor}, group[0]))
+            continue
+        group_key = group[0]
+        fds.extend(FD({anchor, group_key}, dependent)
+                   for dependent in group[1:])
+    return [fd_to_nfd(name, fd) for fd in fds]
 
 
 def random_sigma(rng: random.Random, schema: Schema, count: int,

@@ -15,7 +15,7 @@ from ..types.base import INT, STRING, RecordType, SetType, Type
 from ..types.schema import Schema
 
 __all__ = ["random_record", "random_relation_type", "random_schema",
-           "LabelSupply"]
+           "random_flat_schema", "LabelSupply"]
 
 
 class LabelSupply:
@@ -69,6 +69,22 @@ def random_relation_type(rng: random.Random,
     supply = labels if labels is not None else LabelSupply()
     return SetType(random_record(rng, supply, max_fields, max_depth,
                                  set_probability))
+
+
+def random_flat_schema(rng: random.Random, max_fields: int = 5,
+                       min_fields: int = 2) -> Schema:
+    """One flat (1NF) relation with ``min_fields..max_fields``
+    attributes — the input shape of the normalization sweep
+    (``repro normalize --sweep``), where the *output* nesting is the
+    object under study, so the input starts flat."""
+    supply = LabelSupply()
+    field_count = rng.randint(max(1, min_fields), max(min_fields,
+                                                      max_fields))
+    fields: list[tuple[str, Type]] = []
+    for _ in range(field_count):
+        base = STRING if rng.random() < 0.2 else INT
+        fields.append((supply.next(), base))
+    return Schema({"R": SetType(RecordType(fields))})
 
 
 def random_schema(rng: random.Random, relations: int = 1,

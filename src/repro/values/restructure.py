@@ -18,7 +18,8 @@ from ..errors import TypeConstructionError, ValueError_
 from ..types.base import RecordType, SetType, Type
 from .value import Record, SetValue
 
-__all__ = ["unnest", "nest", "unnest_type", "nest_type"]
+__all__ = ["unnest", "nest", "unnest_type", "nest_type",
+           "flatten_type", "flatten_value"]
 
 
 def unnest(relation: SetValue, label: str) -> SetValue:
@@ -122,6 +123,40 @@ def unnest_type(relation_type: SetType, label: str) -> SetType:
     combined: list[tuple[str, Type]] = outer_fields + \
         list(inner_type.element.fields)
     return SetType(RecordType(combined))
+
+
+def flatten_type(relation_type: SetType) -> tuple[SetType, list[str]]:
+    """Fully flatten a relation type by iterated :func:`unnest_type`.
+
+    Repeatedly unnests the first set-valued attribute (inner sets
+    surface as the outer ones dissolve) until the element type is 1NF.
+    Returns the flat type together with the unnest order — the label
+    sequence :func:`flatten_value` must replay to keep an instance in
+    lockstep.  Globally unique labels (the strict model) guarantee the
+    merges are collision-free.
+    """
+    current = relation_type
+    order: list[str] = []
+    while True:
+        set_label = next(
+            (label for label, field_type in current.element.fields
+             if isinstance(field_type, SetType)), None)
+        if set_label is None:
+            return current, order
+        order.append(set_label)
+        current = unnest_type(current, set_label)
+
+
+def flatten_value(relation: SetValue, order: list[str]) -> SetValue:
+    """Replay a :func:`flatten_type` unnest order on a value.
+
+    Inherits :func:`unnest`'s classical semantics: tuples whose set at
+    any step is empty vanish from the flat output.
+    """
+    current = relation
+    for label in order:
+        current = unnest(current, label)
+    return current
 
 
 def nest_type(relation_type: SetType, label: str,

@@ -1,0 +1,135 @@
+"""Unit tests for benchmarks/aggregate_trajectory.py.
+
+The nightly workflow folds every committed ``BENCH_*.json`` baseline
+plus this run's snapshots into one ``BENCH_trajectory.json`` artifact;
+these tests pin the per-gauge history shape, the regression plumbing
+through :func:`repro.obs.compare_snapshots`, the suite-discovery glob,
+and the missing-snapshot and ``--fail-on-regression`` behaviors.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent
+                       / "benchmarks"))
+
+from aggregate_trajectory import aggregate, build_trajectory, main  # noqa: E402
+
+
+def _snapshot(**gauges):
+    return {"gauges": gauges}
+
+
+class TestBuildTrajectory:
+    def test_history_and_change(self):
+        data = build_trajectory(
+            _snapshot(**{"x.items_per_sec": 100.0, "x.count": 7}),
+            _snapshot(**{"x.items_per_sec": 110.0, "x.count": 7}))
+        assert data["gauges"]["x.items_per_sec"]["history"] == \
+            [100.0, 110.0]
+        assert data["gauges"]["x.items_per_sec"]["change"] == 0.1
+        assert data["regressions"] == []
+        assert not data["current_missing"]
+
+    def test_throughput_drop_is_a_regression(self):
+        data = build_trajectory(
+            _snapshot(**{"x.items_per_sec": 100.0}),
+            _snapshot(**{"x.items_per_sec": 50.0}))
+        assert data["regressions"]
+        assert data["gauges"]["x.items_per_sec"]["change"] == -0.5
+
+    def test_non_rate_gauges_never_regress(self):
+        # compare_snapshots only gates *_per_sec gauges; counts may move
+        data = build_trajectory(_snapshot(**{"x.count": 100}),
+                                _snapshot(**{"x.count": 1}))
+        assert data["regressions"] == []
+
+    def test_missing_current_snapshot(self):
+        data = build_trajectory(
+            _snapshot(**{"x.items_per_sec": 100.0}), None)
+        assert data["current_missing"]
+        assert data["regressions"] == []
+        assert data["gauges"]["x.items_per_sec"]["history"] == \
+            [100.0, None]
+
+    def test_gauge_new_in_current(self):
+        data = build_trajectory(
+            _snapshot(), _snapshot(**{"y.count": 3}))
+        assert data["gauges"]["y.count"]["history"] == [None, 3]
+        assert "change" not in data["gauges"]["y.count"]
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baseline = tmp_path / "baseline"
+    current = tmp_path / "current"
+    baseline.mkdir()
+    current.mkdir()
+    return baseline, current
+
+
+def _write(directory, name, snapshot):
+    (directory / name).write_text(json.dumps(snapshot))
+
+
+class TestAggregate:
+    def test_discovers_bench_files(self, dirs):
+        baseline, current = dirs
+        _write(baseline, "BENCH_alpha.json",
+               _snapshot(**{"a.items_per_sec": 10.0}))
+        _write(baseline, "BENCH_beta.json",
+               _snapshot(**{"b.items_per_sec": 10.0}))
+        _write(baseline, "unrelated.json", _snapshot())
+        _write(current, "BENCH_alpha.json",
+               _snapshot(**{"a.items_per_sec": 11.0}))
+        result = aggregate(baseline, current)
+        assert sorted(result["suites"]) == ["alpha", "beta"]
+        assert result["suites"]["beta"]["current_missing"]
+        assert result["regressed"] == []
+
+    def test_trajectory_baseline_excluded(self, dirs):
+        baseline, current = dirs
+        _write(baseline, "BENCH_trajectory.json", _snapshot())
+        assert aggregate(baseline, current)["suites"] == {}
+
+    def test_regressed_suites_listed(self, dirs):
+        baseline, current = dirs
+        _write(baseline, "BENCH_slow.json",
+               _snapshot(**{"s.items_per_sec": 100.0}))
+        _write(current, "BENCH_slow.json",
+               _snapshot(**{"s.items_per_sec": 10.0}))
+        assert aggregate(baseline, current)["regressed"] == ["slow"]
+
+
+class TestMain:
+    def test_writes_artifact_and_reports(self, dirs, tmp_path, capsys):
+        baseline, current = dirs
+        _write(baseline, "BENCH_ok.json",
+               _snapshot(**{"o.items_per_sec": 10.0}))
+        _write(current, "BENCH_ok.json",
+               _snapshot(**{"o.items_per_sec": 10.5}))
+        out = tmp_path / "BENCH_trajectory.json"
+        code = main(["--baseline-dir", str(baseline),
+                     "--current-dir", str(current),
+                     "--out", str(out)])
+        assert code == 0
+        assert "ok: held" in capsys.readouterr().out
+        written = json.loads(out.read_text())
+        assert written["suites"]["ok"]["regressions"] == []
+
+    def test_fail_on_regression(self, dirs, tmp_path, capsys):
+        baseline, current = dirs
+        _write(baseline, "BENCH_bad.json",
+               _snapshot(**{"b.items_per_sec": 100.0}))
+        _write(current, "BENCH_bad.json",
+               _snapshot(**{"b.items_per_sec": 1.0}))
+        out = tmp_path / "t.json"
+        args = ["--baseline-dir", str(baseline),
+                "--current-dir", str(current), "--out", str(out)]
+        assert main(args) == 0  # reporting only by default
+        capsys.readouterr()
+        assert main(args + ["--fail-on-regression"]) == 1
+        assert "regression" in capsys.readouterr().out

@@ -108,6 +108,9 @@ TABLE = [
     ("analyze", ["analyze", "{good}"], 0),
     ("report", ["report", "{good}"], 0),
     ("repair-clean", ["repair", "{good}"], 0),
+    ("normalize-bundle", ["normalize", "{good}"], 0),
+    ("normalize-sweep", ["normalize", "--sweep", "4",
+                         "--jobs", "2"], 0),
     # -- exit 1: success, property fails ------------------------------
     ("check-violations", ["check", "{broken}"], 1),
     ("implies-not-implied", ["implies", "{good}", NOT_IMPLIED], 1),
@@ -115,6 +118,8 @@ TABLE = [
     ("prove-not-implied", ["prove", "{good}", NOT_IMPLIED], 1),
     ("counter-implied", ["counter", "{good}", IMPLIED], 1),
     ("diff-weaker", ["diff", "{good}", "{weaker}"], 1),
+    ("normalize-gate-miss", ["normalize", "--sweep", "2",
+                             "--min-preserved", "1.01"], 1),
     # -- exit 2: could not run ----------------------------------------
     ("missing-bundle", ["check", "{missing}"], 2),
     ("check-no-instance", ["check", "{no_instance}"], 2),
@@ -126,6 +131,10 @@ TABLE = [
     ("missing-argument", ["implies", "{good}"], 2),
     ("bad-strategy", ["implies", "{good}", IMPLIED,
                       "--strategy", "quantum"], 2),
+    ("normalize-no-input", ["normalize"], 2),
+    ("normalize-bad-sweep", ["normalize", "--sweep", "0"], 2),
+    ("normalize-bad-relation", ["normalize", "{good}",
+                                "--relation", "NoSuchRel"], 2),
     # -- serve / client error paths -----------------------------------
     ("serve-bad-inflight", ["serve", "--max-inflight", "0"], 2),
     ("serve-bad-port", ["serve", "--port", "99999"], 2),
